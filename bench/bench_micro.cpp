@@ -1,0 +1,128 @@
+// Micro benchmarks (google-benchmark) for the paper's CPU-time claims:
+//   * Core_assign runs ~2 orders of magnitude faster than an exact solve
+//     of the same P_AW instance (§2);
+//   * Design_wrapper is cheap enough to evaluate thousands of times;
+//   * partition enumeration is negligible next to evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/assignment_exact.hpp"
+#include "core/co_optimizer.hpp"
+#include "core/core_assign.hpp"
+#include "core/test_time_table.hpp"
+#include "lp/simplex.hpp"
+#include "partition/partition.hpp"
+#include "soc/benchmarks.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace {
+
+using namespace wtam;
+
+const soc::Soc& d695() {
+  static const soc::Soc soc = soc::d695();
+  return soc;
+}
+const soc::Soc& p93791() {
+  static const soc::Soc soc = soc::p93791();
+  return soc;
+}
+const core::TestTimeTable& d695_table() {
+  static const core::TestTimeTable table(d695(), 64);
+  return table;
+}
+const core::TestTimeTable& p93791_table() {
+  static const core::TestTimeTable table(p93791(), 64);
+  return table;
+}
+
+void BM_DesignWrapper(benchmark::State& state) {
+  const auto& core = d695().cores[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    for (int w = 1; w <= 32; ++w)
+      benchmark::DoNotOptimize(wrapper::design_wrapper(core, w).test_time);
+  }
+}
+BENCHMARK(BM_DesignWrapper)->Arg(3)->Arg(4)->Arg(8);  // s9234, s38584, s35932
+
+void BM_TestTimeTableBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    core::TestTimeTable table(p93791(), static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(table.time(0, 1));
+  }
+}
+BENCHMARK(BM_TestTimeTableBuild)->Arg(16)->Arg(64);
+
+void BM_CoreAssign(benchmark::State& state) {
+  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
+  const std::vector<int> widths = {9, 16, 23};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::core_assign(table, widths).architecture.testing_time);
+}
+BENCHMARK(BM_CoreAssign)->Arg(0)->Arg(1);  // d695, p93791
+
+void BM_ExactAssignBranchBound(benchmark::State& state) {
+  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
+  const std::vector<int> widths = {9, 16, 23};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::solve_assignment_exact(table, widths, {})
+                                 .architecture.testing_time);
+}
+BENCHMARK(BM_ExactAssignBranchBound)->Arg(0)->Arg(1);
+
+void BM_ExactAssignIlp(benchmark::State& state) {
+  // The paper's lp_solve analogue: the full ILP model through our simplex
+  // branch & bound (d695 only; the Philips instances take seconds each).
+  const std::vector<int> widths = {6, 10};
+  core::ExactOptions options;
+  options.engine = core::ExactEngine::Ilp;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::solve_assignment_exact(d695_table(), widths, options)
+            .architecture.testing_time);
+}
+BENCHMARK(BM_ExactAssignIlp);
+
+void BM_PartitionEnumeration(benchmark::State& state) {
+  const int width = 64;
+  const int tams = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t count = partition::for_each_partition(
+        width, tams, [](std::span<const int>) { return true; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PartitionEnumeration)->Arg(3)->Arg(6)->Arg(8);
+
+void BM_PartitionEvaluate(benchmark::State& state) {
+  const auto& table = d695_table();
+  core::PartitionEvaluateOptions options;
+  options.max_tams = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::partition_evaluate(table, 64, options).best.testing_time);
+}
+BENCHMARK(BM_PartitionEvaluate)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_FullCoOptimize(benchmark::State& state) {
+  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
+  core::CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::co_optimize(table, 48, options).architecture.testing_time);
+}
+BENCHMARK(BM_FullCoOptimize)->Arg(0)->Arg(1);
+
+void BM_Simplex(benchmark::State& state) {
+  // The LP relaxation of the d695 B=2 assignment model.
+  const std::vector<int> widths = {6, 10};
+  const ilp::Problem problem =
+      core::build_assignment_ilp(d695_table(), widths);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lp::solve(problem.lp).objective);
+}
+BENCHMARK(BM_Simplex);
+
+}  // namespace

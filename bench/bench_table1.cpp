@@ -1,0 +1,53 @@
+// Table 1: efficiency of the Partition_evaluate heuristic on SOC p21241.
+//
+// For B = 6 and B = 8 and W = 44..64, compares the theoretical number of
+// unique partitions P(W, B) ~ W^(B-1)/(B!(B-1)!) [10] with P_eval, the
+// number of partitions the heuristic actually evaluates to completion
+// (everything else is cut off early by the tau rule, Lines 18-20 of
+// Figure 1). E = P_eval / P(W, B); the paper reports ~2% on average.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "partition/partition.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+
+  const soc::Soc soc = soc::p21241();
+  const core::TestTimeTable table(soc, 64);
+
+  common::TextTable out(
+      "Table 1: efficiency of Partition_evaluate on p21241 (B=6 and B=8)");
+  out.set_header({"W", "P(W,6)", "P_eval", "E", "P(W,8)", "P_eval", "E"});
+
+  double total_e = 0.0;
+  int count = 0;
+  for (int width = 44; width <= 64; width += 4) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(width));
+    for (const int tams : {6, 8}) {
+      core::PartitionEvaluateOptions options;
+      options.min_tams = tams;
+      options.max_tams = tams;
+      const auto result = core::partition_evaluate(table, width, options);
+      const auto& stats = result.per_b.front();
+      const double estimate = partition::estimate(width, tams);
+      const double efficiency =
+          static_cast<double>(stats.evaluated_to_completion) / estimate;
+      row.push_back(common::format_fixed(estimate, 0));
+      row.push_back(std::to_string(stats.evaluated_to_completion));
+      row.push_back(common::format_fixed(efficiency, 3));
+      total_e += efficiency;
+      ++count;
+    }
+    out.add_row(std::move(row));
+  }
+  std::cout << out;
+  std::cout << "\nmean E = " << common::format_fixed(total_e / count, 3)
+            << "  (paper: ~0.02 on average; E << 1 means the tau rule prunes"
+               " almost the whole partition space)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Tables 11/12: SOC p31108, P_PAW with B = 3. The paper's signature
+// behaviour: from W = 40 the testing time sticks at 544579 cycles — the
+// theoretical floor set by Core 18, which saturates at a 10-bit wrapper.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+#include "soc/soc.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p31108();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Tables 11/12: p31108, B = 3 ===\n\n";
+  bench::run_paw_comparison(table, {.soc_label = "p31108", .tams = 3});
+
+  std::cout << "theoretical lower bound: Core 18 min testing time = "
+            << soc::min_test_time_bound(soc.cores[17])
+            << " cycles (paper: 544579, reached from W = 40)\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table 13: SOC p31108, P_NPAW (B <= 10). Once W >= 40 the optimizer hits
+// the 544579-cycle floor (Core 18 alone on a >= 10-bit TAM) and extra
+// width/TAMs stop helping — some TAMs may even stay idle, as the paper
+// observes for W >= 56.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p31108();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Table 13: p31108, P_NPAW (B <= 10) ===\n\n";
+  bench::run_pnpaw(table, {.soc_label = "p31108",
+                           .max_tams = 10,
+                           .reference_max_tams = 3});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Tables 15/16: SOC p93791, P_PAW with B = 2.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p93791();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Tables 15/16: p93791, B = 2 ===\n\n";
+  bench::run_paw_comparison(table, {.soc_label = "p93791", .tams = 2});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Tables 17/18: SOC p93791, P_PAW with B = 3.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p93791();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Tables 17/18: p93791, B = 3 ===\n\n";
+  bench::run_paw_comparison(table, {.soc_label = "p93791", .tams = 3});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Table 19: SOC p93791, P_NPAW (B <= 10).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p93791();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Table 19: p93791, P_NPAW (B <= 10) ===\n\n";
+  bench::run_pnpaw(table, {.soc_label = "p93791",
+                           .max_tams = 10,
+                           .reference_max_tams = 3});
+  return 0;
+}

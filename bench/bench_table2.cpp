@@ -1,0 +1,22 @@
+// Table 2 (a-d): SOC d695, problem P_PAW for B=2 and B=3 — the exhaustive
+// method of [8] vs the new co-optimization flow.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::d695();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Table 2(a)/(b): d695, B = 2 ===\n\n";
+  bench::run_paw_comparison(
+      table, {.soc_label = "d695", .tams = 2, .ilp_exhaustive = true});
+
+  std::cout << "=== Table 2(c)/(d): d695, B = 3 ===\n\n";
+  bench::run_paw_comparison(
+      table, {.soc_label = "d695", .tams = 3, .ilp_exhaustive = true});
+  return 0;
+}

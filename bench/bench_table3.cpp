@@ -1,0 +1,20 @@
+// Table 3: SOC d695, problem P_NPAW — the number of TAMs is free (B <= 10).
+// The paper's delta column compares against the best exhaustive result for
+// B <= 3 (beyond that, [8] never terminated).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::d695();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Table 3: d695, P_NPAW (B <= 10) ===\n\n";
+  bench::run_pnpaw(table, {.soc_label = "d695",
+                           .max_tams = 10,
+                           .reference_max_tams = 3});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Tables 5/6: SOC p21241, P_PAW with B = 2 — exhaustive [8] vs the new
+// co-optimization method. (The paper could not run B >= 3 exhaustively for
+// this SOC: "did not run to completion even after two days".)
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p21241();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Tables 5/6: p21241, B = 2 ===\n\n";
+  bench::run_paw_comparison(table, {.soc_label = "p21241", .tams = 2});
+  return 0;
+}

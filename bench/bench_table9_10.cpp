@@ -1,0 +1,16 @@
+// Tables 9/10: SOC p31108, P_PAW with B = 2.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/benchmarks.hpp"
+
+int main() {
+  using namespace wtam;
+  const soc::Soc soc = soc::p31108();
+  const core::TestTimeTable table(soc, 64);
+
+  std::cout << "=== Tables 9/10: p31108, B = 2 ===\n\n";
+  bench::run_paw_comparison(table, {.soc_label = "p31108", .tams = 2});
+  return 0;
+}

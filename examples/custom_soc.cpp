@@ -1,0 +1,92 @@
+// Build your own SOC: assemble cores via the API (or load a .soc file),
+// save it, re-load it, and sweep the co-optimizer over TAM widths.
+//
+//   custom_soc              -- uses a small hand-built SOC
+//   custom_soc file.soc     -- optimizes the given .soc file instead
+
+#include <iostream>
+
+#include "wtam.hpp"
+
+namespace {
+
+wtam::soc::Soc build_demo_soc() {
+  using wtam::soc::Core;
+  using wtam::soc::CoreKind;
+  wtam::soc::Soc soc;
+  soc.name = "demo4";
+
+  Core cpu;
+  cpu.name = "cpu";
+  cpu.test_patterns = 220;
+  cpu.num_inputs = 64;
+  cpu.num_outputs = 64;
+  cpu.scan_chains = {120, 120, 110, 110, 100, 100};
+  soc.cores.push_back(cpu);
+
+  Core dsp;
+  dsp.name = "dsp";
+  dsp.test_patterns = 150;
+  dsp.num_inputs = 40;
+  dsp.num_outputs = 48;
+  dsp.scan_chains = {90, 90, 80, 80};
+  soc.cores.push_back(dsp);
+
+  Core sram;
+  sram.name = "sram";
+  sram.kind = CoreKind::Memory;
+  sram.test_patterns = 4000;
+  sram.num_inputs = 30;
+  sram.num_outputs = 16;
+  soc.cores.push_back(sram);
+
+  Core uart;
+  uart.name = "uart";
+  uart.test_patterns = 85;
+  uart.num_inputs = 12;
+  uart.num_outputs = 10;
+  uart.scan_chains = {60};
+  soc.cores.push_back(uart);
+
+  soc.validate();
+  return soc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+
+  soc::Soc soc;
+  if (argc > 1) {
+    soc = soc::load_soc_file(argv[1]);
+    std::cout << "loaded " << soc.name << " from " << argv[1] << "\n";
+  } else {
+    soc = build_demo_soc();
+    // Demonstrate the text format round trip.
+    const std::string text = soc::write_soc_string(soc);
+    std::cout << "serialized SOC:\n" << text << "\n";
+    soc = soc::parse_soc_string(text);
+  }
+
+  constexpr int kMaxWidth = 48;
+  const core::TestTimeTable table(soc, kMaxWidth);
+
+  common::TextTable sweep("Co-optimization sweep for " + soc.name);
+  sweep.set_header({"W", "TAMs", "partition", "testing time", "CPU (ms)"},
+                   {common::Align::Right, common::Align::Right,
+                    common::Align::Left, common::Align::Right,
+                    common::Align::Right});
+  core::CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  for (int w = 8; w <= kMaxWidth; w += 8) {
+    const auto result = core::co_optimize(table, w, options);
+    sweep.add_row({std::to_string(w),
+                   std::to_string(result.architecture.tam_count()),
+                   core::format_partition(result.architecture.widths),
+                   std::to_string(result.architecture.testing_time),
+                   common::format_fixed(result.total_cpu_s() * 1e3, 1)});
+  }
+  std::cout << sweep;
+  return 0;
+}

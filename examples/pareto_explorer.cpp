@@ -1,0 +1,64 @@
+// Pareto explorer: the width/testing-time trade-off of individual cores.
+//
+// The paper's §1 motivates multiple TAMs with the observation that cores
+// only exploit TAM width up to a point ("idle TAM wires"). This example
+// prints, for each core of a chosen SOC, the staircase T(w) of Pareto-
+// optimal wrapper widths — the widths at which the testing time actually
+// improves — and the width at which the core saturates.
+
+#include <iostream>
+#include <string>
+
+#include "wtam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+
+  const std::string which = argc > 1 ? argv[1] : "d695";
+  soc::Soc soc;
+  if (which == "d695") {
+    soc = soc::d695();
+  } else if (which == "p21241") {
+    soc = soc::p21241();
+  } else if (which == "p31108") {
+    soc = soc::p31108();
+  } else if (which == "p93791") {
+    soc = soc::p93791();
+  } else {
+    std::cerr << "usage: pareto_explorer [d695|p21241|p31108|p93791]\n";
+    return 1;
+  }
+
+  constexpr int kMaxWidth = 64;
+  common::TextTable table("Pareto-optimal wrapper widths, " + soc.name +
+                          " (T in cycles, widths 1.." +
+                          std::to_string(kMaxWidth) + ")");
+  table.set_header({"core", "T(1)", "saturation width", "T(min)", "staircase"},
+                   {common::Align::Left, common::Align::Right,
+                    common::Align::Right, common::Align::Right,
+                    common::Align::Left});
+
+  for (const auto& core : soc.cores) {
+    const auto widths = wrapper::pareto_widths(core, kMaxWidth);
+    std::string staircase;
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+      if (k > 0) staircase += ' ';
+      staircase += std::to_string(widths[k]) + ':' +
+                   std::to_string(wrapper::test_time(core, widths[k]));
+      if (staircase.size() > 70) {  // keep rows printable
+        staircase += " ...";
+        break;
+      }
+    }
+    table.add_row({core.name, std::to_string(wrapper::test_time(core, 1)),
+                   std::to_string(widths.back()),
+                   std::to_string(wrapper::test_time(core, widths.back())),
+                   staircase});
+  }
+  std::cout << table;
+
+  std::cout << "\nReading: 'saturation width' is the smallest wrapper width "
+               "reaching the core's minimal testing time; assigning the core "
+               "to a wider TAM only idles wires (paper §1).\n";
+  return 0;
+}

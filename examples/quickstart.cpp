@@ -1,0 +1,68 @@
+// Quickstart: co-optimize the test access architecture of SOC d695.
+//
+// Loads the embedded ITC'02-style benchmark, runs the paper's two-step
+// flow (Partition_evaluate + final exact assignment) for a 32-bit total
+// TAM width, and prints the resulting architecture.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "wtam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+
+  int total_width = 32;
+  if (argc > 1) total_width = std::atoi(argv[1]);
+  if (total_width < 1 || total_width > 128) {
+    std::cerr << "usage: quickstart [total_tam_width 1..128]\n";
+    return 1;
+  }
+
+  // 1. Load a SOC (here: the embedded d695 benchmark).
+  const soc::Soc soc = soc::d695();
+  std::cout << "SOC " << soc.name << ": " << soc.core_count()
+            << " cores, test complexity ~" << soc::test_complexity(soc)
+            << "\n\n";
+
+  // 2. Precompute core testing times for every width up to the budget.
+  const core::TestTimeTable table(soc, total_width);
+
+  // 3. Run the two-step co-optimization (P_NPAW: number of TAMs is free).
+  core::CoOptimizeOptions options;
+  options.search.max_tams = 10;
+  const core::CoOptimizeResult result =
+      core::co_optimize(table, total_width, options);
+
+  // 4. Report.
+  const core::TamArchitecture& arch = result.architecture;
+  std::cout << "Total TAM width " << total_width << " -> " << arch.tam_count()
+            << " TAMs, partition " << core::format_partition(arch.widths)
+            << "\n";
+  std::cout << "SOC testing time: " << arch.testing_time << " cycles\n";
+  std::cout << "heuristic search: " << result.heuristic.best.testing_time
+            << " cycles in " << common::format_fixed(result.heuristic_cpu_s, 3)
+            << " s; final exact step "
+            << common::format_fixed(result.final_cpu_s, 3) << " s\n\n";
+
+  common::TextTable per_tam("Per-TAM schedule");
+  per_tam.set_header({"TAM", "width", "time (cycles)", "cores"},
+                     {common::Align::Right, common::Align::Right,
+                      common::Align::Right, common::Align::Left});
+  for (int j = 0; j < arch.tam_count(); ++j) {
+    std::string cores;
+    for (int i = 0; i < soc.core_count(); ++i) {
+      if (arch.assignment[static_cast<std::size_t>(i)] != j) continue;
+      if (!cores.empty()) cores += ", ";
+      cores += soc.cores[static_cast<std::size_t>(i)].name;
+    }
+    per_tam.add_row({std::to_string(j + 1),
+                     std::to_string(arch.widths[static_cast<std::size_t>(j)]),
+                     std::to_string(arch.tam_times[static_cast<std::size_t>(j)]),
+                     cores});
+  }
+  std::cout << per_tam;
+  std::cout << "\nassignment vector " << core::format_assignment(arch.assignment)
+            << "\n";
+  return 0;
+}

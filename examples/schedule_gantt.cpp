@@ -1,0 +1,68 @@
+// Test-schedule visualization: co-optimize a SOC, then print the per-TAM
+// schedule as a Gantt chart together with the wire-utilization report
+// that quantifies the paper's §1 "idle TAM wires" motivation.
+
+#include <iostream>
+#include <string>
+
+#include "wtam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+
+  const std::string which = argc > 1 ? argv[1] : "d695";
+  const int width = argc > 2 ? std::atoi(argv[2]) : 32;
+  soc::Soc soc;
+  if (which == "d695") {
+    soc = soc::d695();
+  } else if (which == "p21241") {
+    soc = soc::p21241();
+  } else if (which == "p31108") {
+    soc = soc::p31108();
+  } else if (which == "p93791") {
+    soc = soc::p93791();
+  } else {
+    std::cerr << "usage: schedule_gantt [d695|p21241|p31108|p93791] [width]\n";
+    return 1;
+  }
+  if (width < 2 || width > 128) {
+    std::cerr << "width must be in 2..128\n";
+    return 1;
+  }
+
+  const core::TestTimeTable table(soc, width);
+  core::CoOptimizeOptions options;
+  options.search.max_tams = 8;
+  const auto result = core::co_optimize(table, width, options);
+  const auto& arch = result.architecture;
+
+  std::cout << soc.name << " at total TAM width " << width << ": partition "
+            << core::format_partition(arch.widths) << ", testing time "
+            << arch.testing_time << " cycles\n\n";
+
+  const auto schedule =
+      core::build_schedule(table, arch, core::ScheduleOrder::LongestFirst);
+  std::cout << core::render_gantt(schedule, soc, 64) << "\n";
+
+  common::TextTable util("Wire utilization per TAM");
+  util.set_header({"TAM", "width", "max used", "idle wires", "utilization"});
+  for (const auto& u : core::wire_utilization(table, arch)) {
+    util.add_row({std::to_string(u.tam + 1), std::to_string(u.width),
+                  std::to_string(u.max_used_width),
+                  std::to_string(u.idle_wires),
+                  common::format_fixed(u.time_weighted_utilization * 100.0, 1) +
+                      "%"});
+  }
+  std::cout << util;
+
+  const auto bounds = core::testing_time_lower_bounds(table, width);
+  std::cout << "\nlower bounds: bottleneck core "
+            << soc.cores[static_cast<std::size_t>(bounds.bottleneck_core_index)]
+                   .name
+            << " -> " << bounds.bottleneck_core << " cycles; volume -> "
+            << bounds.volume << " cycles; achieved gap "
+            << common::format_fixed(
+                   core::optimality_gap(bounds, arch.testing_time) * 100.0, 1)
+            << "%\n";
+  return 0;
+}

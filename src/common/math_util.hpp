@@ -1,0 +1,25 @@
+// Small integer helpers shared across modules.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace wtam::common {
+
+/// ceil(a / b) for non-negative a and positive b.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  if (b <= 0) throw std::invalid_argument("ceil_div: divisor must be positive");
+  if (a < 0) throw std::invalid_argument("ceil_div: dividend must be non-negative");
+  return (a + b - 1) / b;
+}
+
+/// Saturating check that a fits into int; SOC dimensions are small, so any
+/// overflow here indicates corrupted input rather than a legitimate design.
+[[nodiscard]] constexpr int narrow_to_int(std::int64_t value) {
+  if (value < INT32_MIN || value > INT32_MAX)
+    throw std::overflow_error("narrow_to_int: value out of int range");
+  return static_cast<int>(value);
+}
+
+}  // namespace wtam::common

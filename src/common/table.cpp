@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtam::common {
+
+void TextTable::set_header(std::vector<std::string> names, std::vector<Align> aligns) {
+  if (!rows_.empty())
+    throw std::logic_error("TextTable::set_header: rows already added");
+  if (!aligns.empty() && aligns.size() != names.size())
+    throw std::invalid_argument("TextTable::set_header: alignment count mismatch");
+  header_ = std::move(names);
+  if (aligns.empty()) {
+    aligns_.assign(header_.size(), Align::Right);
+  } else {
+    aligns_ = std::move(aligns);
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TextTable::add_row: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&os, &widths] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - text.size();
+      if (aligns_[c] == Align::Right)
+        os << ' ' << std::string(pad, ' ') << text << ' ';
+      else
+        os << ' ' << text << std::string(pad, ' ') << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      rule();
+    else
+      emit(row);
+  }
+  rule();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  table.print(os);
+  return os;
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(decimals) << value;
+  return oss.str();
+}
+
+std::string format_signed_percent(double value, int decimals) {
+  std::ostringstream oss;
+  oss << (value >= 0 ? "+" : "") << std::fixed << std::setprecision(decimals) << value;
+  return oss.str();
+}
+
+}  // namespace wtam::common

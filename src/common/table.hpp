@@ -1,0 +1,48 @@
+// Fixed-width text tables for the bench harness: every paper table is
+// regenerated as one of these, so formatting lives in exactly one place.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wtam::common {
+
+enum class Align { Left, Right };
+
+/// Monospace table with a header row, column alignment, and a title.
+/// Cells are strings; callers format numbers (so benches control precision).
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Define the columns; must be called before add_row.
+  void set_header(std::vector<std::string> names,
+                  std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator after the most recently added row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Format helpers used throughout the bench harness.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+/// "+3.26" / "-9.86" percentage-delta format used in the paper's tables.
+[[nodiscard]] std::string format_signed_percent(double value, int decimals = 2);
+
+}  // namespace wtam::common

@@ -1,0 +1,274 @@
+#include "core/assignment_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/timer.hpp"
+
+namespace wtam::core {
+
+namespace {
+
+/// Testing times of every core on every TAM, plus per-core minima.
+struct TimeMatrix {
+  std::vector<std::vector<std::int64_t>> t;  ///< [core][tam]
+  std::vector<std::int64_t> row_min;         ///< min over TAMs per core
+
+  TimeMatrix(const TestTimeProvider& table, std::span<const int> widths) {
+    const int n = table.core_count();
+    const int b = static_cast<int>(widths.size());
+    t.resize(static_cast<std::size_t>(n));
+    row_min.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& row = t[static_cast<std::size_t>(i)];
+      row.resize(static_cast<std::size_t>(b));
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      for (int j = 0; j < b; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            table.time(i, widths[static_cast<std::size_t>(j)]);
+        lo = std::min(lo, row[static_cast<std::size_t>(j)]);
+      }
+      row_min[static_cast<std::size_t>(i)] = lo;
+    }
+  }
+};
+
+/// Depth-first branch & bound for min-makespan assignment.
+class CombinatorialSearch {
+ public:
+  CombinatorialSearch(const TimeMatrix& times, std::span<const int> widths,
+                      const ExactOptions& options)
+      : times_(times), widths_(widths.begin(), widths.end()), options_(options) {
+    const auto n = times_.t.size();
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), 0);
+    // Hardest cores first: by decreasing best-case (minimum) time.
+    std::stable_sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+      return times_.row_min[a] > times_.row_min[b];
+    });
+    // Suffix sums of best-case times for the work-based lower bound.
+    suffix_min_.assign(n + 1, 0);
+    for (std::size_t k = n; k-- > 0;)
+      suffix_min_[k] = suffix_min_[k + 1] + times_.row_min[order_[k]];
+  }
+
+  /// `incumbent` holds the heuristic assignment on entry; it is replaced
+  /// whenever the search finds an assignment strictly better than
+  /// `prune_bound`. Returns false when a node/time limit fired.
+  bool run(std::vector<int>& incumbent, std::int64_t prune_bound,
+           std::int64_t& nodes) {
+    best_ = &incumbent;
+    best_time_ = prune_bound;
+    loads_.assign(widths_.size(), 0);
+    current_.assign(times_.t.size(), -1);
+    limit_hit_ = false;
+    dfs(0, nodes);
+    return !limit_hit_;
+  }
+
+ private:
+  void dfs(std::size_t depth, std::int64_t& nodes) {
+    if (limit_hit_) return;
+    if (++nodes >= options_.max_nodes ||
+        ((nodes & 0x3ff) == 0 && watch_.elapsed_s() > options_.time_limit_s)) {
+      limit_hit_ = true;
+      return;
+    }
+    if (depth == times_.t.size()) return;  // all pruning happened at edges
+
+    const std::size_t core = order_[depth];
+    const auto& row = times_.t[core];
+
+    // Try TAMs in ascending resulting-load order for good incumbents early.
+    std::vector<int> tams(widths_.size());
+    std::iota(tams.begin(), tams.end(), 0);
+    std::sort(tams.begin(), tams.end(), [&](int a, int b) {
+      return loads_[static_cast<std::size_t>(a)] + row[static_cast<std::size_t>(a)] <
+             loads_[static_cast<std::size_t>(b)] + row[static_cast<std::size_t>(b)];
+    });
+
+    for (std::size_t pick = 0; pick < tams.size(); ++pick) {
+      const int j = tams[static_cast<std::size_t>(pick)];
+      // Symmetry break: among TAMs with identical width and identical
+      // current load, only the first is worth trying.
+      bool duplicate = false;
+      for (std::size_t prev = 0; prev < pick; ++prev) {
+        const int k = tams[prev];
+        if (widths_[static_cast<std::size_t>(k)] == widths_[static_cast<std::size_t>(j)] &&
+            loads_[static_cast<std::size_t>(k)] == loads_[static_cast<std::size_t>(j)]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      const std::int64_t new_load =
+          loads_[static_cast<std::size_t>(j)] + row[static_cast<std::size_t>(j)];
+      if (new_load >= best_time_) continue;
+
+      loads_[static_cast<std::size_t>(j)] += row[static_cast<std::size_t>(j)];
+      current_[core] = j;
+
+      if (depth + 1 == times_.t.size()) {
+        const std::int64_t makespan =
+            *std::max_element(loads_.begin(), loads_.end());
+        if (makespan < best_time_) {
+          best_time_ = makespan;
+          *best_ = std::vector<int>(current_.begin(), current_.end());
+        }
+      } else if (lower_bound(depth + 1) < best_time_) {
+        dfs(depth + 1, nodes);
+      }
+
+      loads_[static_cast<std::size_t>(j)] -= row[static_cast<std::size_t>(j)];
+      current_[core] = -1;
+      if (limit_hit_) return;
+    }
+  }
+
+  /// Work-based bound: remaining best-case work spread over all TAMs can
+  /// never beat the current maximum load.
+  [[nodiscard]] std::int64_t lower_bound(std::size_t depth) const {
+    const std::int64_t current_max =
+        *std::max_element(loads_.begin(), loads_.end());
+    const std::int64_t total_load =
+        std::accumulate(loads_.begin(), loads_.end(), std::int64_t{0});
+    const std::int64_t spread = common::ceil_div(
+        total_load + suffix_min_[depth], static_cast<std::int64_t>(loads_.size()));
+    return std::max(current_max, spread);
+  }
+
+  const TimeMatrix& times_;
+  std::vector<int> widths_;
+  const ExactOptions& options_;
+  common::Stopwatch watch_;
+  std::vector<std::size_t> order_;
+  std::vector<std::int64_t> suffix_min_;
+  std::vector<std::int64_t> loads_;
+  std::vector<int> current_;
+  std::vector<int>* best_ = nullptr;
+  std::int64_t best_time_ = 0;
+  bool limit_hit_ = false;
+};
+
+ExactResult finish_result(const TestTimeProvider& table, std::span<const int> widths,
+                          std::vector<int> assignment) {
+  ExactResult out;
+  auto& arch = out.architecture;
+  arch.widths.assign(widths.begin(), widths.end());
+  arch.assignment = std::move(assignment);
+  arch.tam_times.assign(widths.size(), 0);
+  for (int i = 0; i < table.core_count(); ++i) {
+    const int j = arch.assignment[static_cast<std::size_t>(i)];
+    arch.tam_times[static_cast<std::size_t>(j)] +=
+        table.time(i, widths[static_cast<std::size_t>(j)]);
+  }
+  arch.testing_time =
+      *std::max_element(arch.tam_times.begin(), arch.tam_times.end());
+  return out;
+}
+
+}  // namespace
+
+ilp::Problem build_assignment_ilp(const TestTimeProvider& table,
+                                  std::span<const int> widths) {
+  const int n = table.core_count();
+  const int b = static_cast<int>(widths.size());
+  if (b < 1) throw std::invalid_argument("build_assignment_ilp: no TAMs");
+
+  const int tau = n * b;  // makespan variable index
+  ilp::Problem problem;
+  problem.lp = lp::Problem::with_vars(n * b + 1);
+  problem.is_integer.assign(static_cast<std::size_t>(n * b + 1), true);
+  problem.is_integer[static_cast<std::size_t>(tau)] = false;
+  problem.lp.objective[static_cast<std::size_t>(tau)] = 1.0;
+
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < b; ++j)
+      problem.lp.upper[static_cast<std::size_t>(i * b + j)] = 1.0;
+
+  // tau >= sum_i T_i(w_j) x_ij  for every TAM j (constraint 1).
+  for (int j = 0; j < b; ++j) {
+    lp::Row row;
+    row.sense = lp::RowSense::LessEqual;
+    row.rhs = 0.0;
+    for (int i = 0; i < n; ++i)
+      row.coeffs.emplace_back(
+          i * b + j,
+          static_cast<double>(table.time(i, widths[static_cast<std::size_t>(j)])));
+    row.coeffs.emplace_back(tau, -1.0);
+    problem.lp.rows.push_back(std::move(row));
+  }
+  // Every core on exactly one TAM (constraint 2).
+  for (int i = 0; i < n; ++i) {
+    lp::Row row;
+    row.sense = lp::RowSense::Equal;
+    row.rhs = 1.0;
+    for (int j = 0; j < b; ++j) row.coeffs.emplace_back(i * b + j, 1.0);
+    problem.lp.rows.push_back(std::move(row));
+  }
+  return problem;
+}
+
+ExactResult solve_assignment_exact(const TestTimeProvider& table,
+                                   std::span<const int> widths,
+                                   const ExactOptions& options) {
+  common::Stopwatch watch;
+  const int n = table.core_count();
+  const int b = static_cast<int>(widths.size());
+
+  // Warm start from the heuristic (paper: the final ILP refines the
+  // Partition_evaluate assignment).
+  const CoreAssignResult heuristic = core_assign(table, widths);
+
+  if (options.engine == ExactEngine::BranchAndBound) {
+    const TimeMatrix times(table, widths);
+    std::vector<int> assignment = heuristic.architecture.assignment;
+    std::int64_t prune_bound = heuristic.architecture.testing_time;
+    if (options.upper_bound_hint)
+      prune_bound = std::min(prune_bound, *options.upper_bound_hint);
+    CombinatorialSearch search(times, widths, options);
+    std::int64_t nodes = 0;
+    const bool complete = search.run(assignment, prune_bound, nodes);
+    ExactResult out = finish_result(table, widths, std::move(assignment));
+    out.proven_optimal = complete;
+    out.nodes = nodes;
+    out.cpu_s = watch.elapsed_s();
+    return out;
+  }
+
+  // ILP engine.
+  ilp::Problem problem = build_assignment_ilp(table, widths);
+  ilp::Options ilp_options;
+  ilp_options.time_limit_s = options.time_limit_s;
+  ilp_options.max_nodes = options.max_nodes;
+  ilp_options.objective_is_integral = true;
+  std::vector<double> hint(static_cast<std::size_t>(n * b + 1), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int j = heuristic.architecture.assignment[static_cast<std::size_t>(i)];
+    hint[static_cast<std::size_t>(i * b + j)] = 1.0;
+  }
+  hint[static_cast<std::size_t>(n * b)] =
+      static_cast<double>(heuristic.architecture.testing_time);
+  ilp_options.incumbent_hint = std::move(hint);
+
+  const ilp::Solution solution = ilp::solve(problem, ilp_options);
+  std::vector<int> assignment = heuristic.architecture.assignment;
+  if (!solution.x.empty()) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < b; ++j)
+        if (solution.x[static_cast<std::size_t>(i * b + j)] > 0.5)
+          assignment[static_cast<std::size_t>(i)] = j;
+  }
+  ExactResult out = finish_result(table, widths, std::move(assignment));
+  out.proven_optimal = solution.status == ilp::Status::Optimal;
+  out.nodes = solution.nodes;
+  out.cpu_s = watch.elapsed_s();
+  return out;
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,66 @@
+// Exact solution of P_AW — optimal core-to-TAM assignment for fixed TAM
+// widths (paper §3.2, the "final optimization step").
+//
+// Two engines compute the same optimum:
+//   * Ilp           — the paper's mathematical-programming model verbatim:
+//                     binary x_ij (core i on TAM j), continuous makespan
+//                     tau; min tau s.t. tau >= sum_i x_ij T_i(w_j) for all
+//                     j and sum_j x_ij = 1 for all i. O(N*B) variables,
+//                     O(N) constraints. Solved by src/ilp (branch & bound
+//                     over our simplex), warm-started from Core_assign.
+//   * BranchAndBound — a combinatorial DFS specialized to min-makespan
+//                     assignment; orders of magnitude faster on these
+//                     instances, used where benches must solve thousands
+//                     of partitions exactly.
+// Both honor a time limit and report whether optimality was proven —
+// mirroring the paper's exhaustive runs that "did not complete even after
+// two days of execution".
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+
+#include "core/core_assign.hpp"
+#include "core/tam_types.hpp"
+#include "core/time_provider.hpp"
+#include "ilp/branch_and_bound.hpp"
+
+namespace wtam::core {
+
+enum class ExactEngine { BranchAndBound, Ilp };
+
+struct ExactOptions {
+  ExactEngine engine = ExactEngine::BranchAndBound;
+  double time_limit_s = std::numeric_limits<double>::infinity();
+  std::int64_t max_nodes = 500'000'000;
+  /// External upper bound: search only for strictly better assignments.
+  /// When it is tighter than this partition's optimum the heuristic
+  /// assignment is returned unchanged. Lets the exhaustive-baseline
+  /// ablation share the best time across partitions (BranchAndBound only;
+  /// the ILP engine ignores it). std::nullopt = no external bound.
+  std::optional<std::int64_t> upper_bound_hint;
+};
+
+struct ExactResult {
+  bool proven_optimal = false;  ///< false if a limit stopped the search
+  TamArchitecture architecture; ///< best assignment found
+  std::int64_t nodes = 0;
+  double cpu_s = 0.0;
+};
+
+/// Solves P_AW exactly for the given widths. The Core_assign heuristic
+/// result seeds the incumbent, so the returned testing time is never worse
+/// than the heuristic's even when a limit fires.
+[[nodiscard]] ExactResult solve_assignment_exact(
+    const TestTimeProvider& table, std::span<const int> widths,
+    const ExactOptions& options = {});
+
+/// Builds the paper's ILP model (exposed for tests and the micro bench).
+/// Variable layout: x_ij at index i*B + j, tau at index N*B.
+[[nodiscard]] ilp::Problem build_assignment_ilp(const TestTimeProvider& table,
+                                                std::span<const int> widths);
+
+}  // namespace wtam::core

@@ -1,0 +1,30 @@
+#include "core/co_optimizer.hpp"
+
+namespace wtam::core {
+
+CoOptimizeResult co_optimize(const TestTimeProvider& table, int total_width,
+                             const CoOptimizeOptions& options) {
+  CoOptimizeResult result;
+  result.heuristic = partition_evaluate(table, total_width, options.search);
+  result.heuristic_cpu_s = result.heuristic.cpu_s;
+  if (options.run_final_step) {
+    result.final_step = solve_assignment_exact(
+        table, result.heuristic.best.widths, options.final_step);
+    result.final_cpu_s = result.final_step.cpu_s;
+    result.architecture = result.final_step.architecture;
+  } else {
+    result.architecture = result.heuristic.best;
+  }
+  return result;
+}
+
+CoOptimizeResult co_optimize_fixed_b(const TestTimeProvider& table,
+                                     int total_width, int tams,
+                                     const CoOptimizeOptions& options) {
+  CoOptimizeOptions pinned = options;
+  pinned.search.min_tams = tams;
+  pinned.search.max_tams = tams;
+  return co_optimize(table, total_width, pinned);
+}
+
+}  // namespace wtam::core

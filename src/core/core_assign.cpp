@@ -1,0 +1,117 @@
+#include "core/core_assign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace wtam::core {
+
+CoreAssignResult core_assign(const TestTimeProvider& table,
+                             std::span<const int> widths,
+                             const CoreAssignOptions& options) {
+  const int num_tams = static_cast<int>(widths.size());
+  if (num_tams < 1)
+    throw std::invalid_argument("core_assign: need at least one TAM");
+  for (const int w : widths)
+    if (w < 1 || w > table.max_width())
+      throw std::invalid_argument("core_assign: TAM width outside table range");
+
+  const int num_cores = table.core_count();
+
+  // Lines 4-6: testing time of every core on every TAM (shared widths hit
+  // the memoized table, so this is a cheap lookup pass).
+  std::vector<std::vector<std::int64_t>> time(
+      static_cast<std::size_t>(num_cores),
+      std::vector<std::int64_t>(static_cast<std::size_t>(num_tams)));
+  for (int i = 0; i < num_cores; ++i)
+    for (int j = 0; j < num_tams; ++j)
+      time[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          table.time(i, widths[static_cast<std::size_t>(j)]);
+
+  CoreAssignResult result;
+  auto& arch = result.architecture;
+  arch.widths.assign(widths.begin(), widths.end());
+  arch.assignment.assign(static_cast<std::size_t>(num_cores), -1);
+  arch.tam_times.assign(static_cast<std::size_t>(num_tams), 0);
+
+  std::vector<int> unassigned(static_cast<std::size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) unassigned[static_cast<std::size_t>(i)] = i;
+
+  // For the core tie-break: the widest TAM strictly narrower than a given
+  // TAM (Line 15). -1 when none exists.
+  const auto next_narrower_tam = [&widths, num_tams](int tam) {
+    int best = -1;
+    for (int k = 0; k < num_tams; ++k) {
+      if (k == tam) continue;
+      if (widths[static_cast<std::size_t>(k)] >
+          widths[static_cast<std::size_t>(tam)])
+        continue;
+      if (best < 0 || widths[static_cast<std::size_t>(k)] >
+                          widths[static_cast<std::size_t>(best)])
+        best = k;
+    }
+    return best;
+  };
+
+  while (!unassigned.empty()) {
+    // Lines 10-12: minimally loaded TAM; ties go to the widest.
+    int tam = 0;
+    for (int j = 1; j < num_tams; ++j) {
+      const auto tj = arch.tam_times[static_cast<std::size_t>(j)];
+      const auto tb = arch.tam_times[static_cast<std::size_t>(tam)];
+      if (tj < tb) {
+        tam = j;
+      } else if (tj == tb && options.widest_tam_tiebreak &&
+                 widths[static_cast<std::size_t>(j)] >
+                     widths[static_cast<std::size_t>(tam)]) {
+        tam = j;
+      }
+    }
+
+    // Lines 13-16: unassigned core with the largest time on `tam`; ties
+    // are broken by the time on the next-narrower TAM.
+    std::vector<int> tied;
+    std::int64_t max_time = -1;
+    for (const int i : unassigned) {
+      const auto t = time[static_cast<std::size_t>(i)][static_cast<std::size_t>(tam)];
+      if (t > max_time) {
+        max_time = t;
+        tied.assign(1, i);
+      } else if (t == max_time) {
+        tied.push_back(i);
+      }
+    }
+    int core = tied.front();
+    if (tied.size() > 1 && options.next_tam_core_tiebreak) {
+      const int ref_tam = next_narrower_tam(tam);
+      if (ref_tam >= 0) {
+        for (const int i : tied) {
+          if (time[static_cast<std::size_t>(i)][static_cast<std::size_t>(ref_tam)] >
+              time[static_cast<std::size_t>(core)][static_cast<std::size_t>(ref_tam)])
+            core = i;
+        }
+      }
+    }
+
+    // Line 17: assign.
+    arch.assignment[static_cast<std::size_t>(core)] = tam;
+    arch.tam_times[static_cast<std::size_t>(tam)] +=
+        time[static_cast<std::size_t>(core)][static_cast<std::size_t>(tam)];
+    std::erase(unassigned, core);
+
+    // Lines 18-20: abort once any TAM reaches the best-known time.
+    const auto worst =
+        *std::max_element(arch.tam_times.begin(), arch.tam_times.end());
+    if (worst >= options.best_known) {
+      arch.testing_time = worst;
+      result.aborted = true;
+      return result;
+    }
+  }
+
+  arch.testing_time =
+      *std::max_element(arch.tam_times.begin(), arch.tam_times.end());
+  return result;
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,52 @@
+#include "core/daisy_chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::core {
+
+DaisyChainEvaluation evaluate_daisy_chain(const soc::Soc& soc,
+                                          const TamArchitecture& architecture) {
+  if (architecture.tam_count() < 1)
+    throw std::invalid_argument("evaluate_daisy_chain: no TAMs");
+  if (static_cast<int>(architecture.assignment.size()) != soc.core_count())
+    throw std::invalid_argument(
+        "evaluate_daisy_chain: assignment size != core count");
+
+  const int tams = architecture.tam_count();
+  std::vector<int> cores_on(static_cast<std::size_t>(tams), 0);
+  for (const int tam : architecture.assignment) {
+    if (tam < 0 || tam >= tams)
+      throw std::invalid_argument("evaluate_daisy_chain: bad TAM index");
+    ++cores_on[static_cast<std::size_t>(tam)];
+  }
+
+  DaisyChainEvaluation eval;
+  eval.tam_times.assign(static_cast<std::size_t>(tams), 0);
+  for (int i = 0; i < soc.core_count(); ++i) {
+    const int tam = architecture.assignment[static_cast<std::size_t>(i)];
+    const int width = architecture.widths[static_cast<std::size_t>(tam)];
+    if (width < 1)
+      throw std::invalid_argument("evaluate_daisy_chain: bad TAM width");
+    const auto& core = soc.cores[static_cast<std::size_t>(i)];
+    const wrapper::WrapperDesign design = wrapper::best_design(core, width);
+
+    const std::int64_t bypass = cores_on[static_cast<std::size_t>(tam)] - 1;
+    const std::int64_t longer =
+        std::max(design.scan_in_length, design.scan_out_length) + bypass;
+    const std::int64_t shorter =
+        std::min(design.scan_in_length, design.scan_out_length) + bypass;
+    const std::int64_t serial_time =
+        (1 + longer) * core.test_patterns + shorter;
+
+    eval.tam_times[static_cast<std::size_t>(tam)] += serial_time;
+    eval.bypass_overhead_cycles += serial_time - design.test_time;
+  }
+  eval.testing_time =
+      *std::max_element(eval.tam_times.begin(), eval.tam_times.end());
+  return eval;
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,44 @@
+// Daisy-chain TAM evaluation (the architectural alternative to the
+// paper's test bus model).
+//
+// The paper adopts the *test bus* model: each TAM's wires are multiplexed
+// to one core at a time, so a TAM's testing time is the plain sum of its
+// cores' times. The main published alternative is the *daisychain*
+// (TestShell/TestRail [11], and the serial access of [14]): the TAM wires
+// thread through every core on the chain, each core contributing a 1-bit
+// bypass register when it is not the core under test. Serial access
+// through k cores therefore stretches every scan-in/out path by the
+// (k - 1) bypass bits of the other cores:
+//
+//   T_i^daisy = (1 + max(si,so) + k - 1) * p_i + min(si,so) + k - 1
+//
+// and the TAM still tests its cores one after another. The bypass penalty
+// grows with the number of cores per chain, which is exactly why the
+// paper's bus model wins on testing time (the daisychain's advantage —
+// no per-core multiplexing fabric — is an area argument outside the
+// testing-time objective). bench_ablation quantifies the gap.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tam_types.hpp"
+#include "soc/soc.hpp"
+
+namespace wtam::core {
+
+struct DaisyChainEvaluation {
+  std::vector<std::int64_t> tam_times;
+  std::int64_t testing_time = 0;  ///< max over tam_times
+  std::int64_t bypass_overhead_cycles = 0;  ///< total cycles lost to bypass
+};
+
+/// Evaluates an existing architecture (widths + assignment) under the
+/// daisychain access model. Wrapper designs are recomputed per core at
+/// its TAM's width, exactly as the bus model does, then the bypass
+/// stretch is applied. Throws std::invalid_argument on malformed input.
+[[nodiscard]] DaisyChainEvaluation evaluate_daisy_chain(
+    const soc::Soc& soc, const TamArchitecture& architecture);
+
+}  // namespace wtam::core

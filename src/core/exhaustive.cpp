@@ -1,0 +1,65 @@
+#include "core/exhaustive.hpp"
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "partition/partition.hpp"
+
+namespace wtam::core {
+
+namespace {
+
+void solve_all_partitions(const TestTimeProvider& table, int total_width,
+                          int tams, const ExhaustiveOptions& options,
+                          const common::Stopwatch& watch,
+                          ExhaustiveResult& result) {
+  result.partitions_total += partition::count_exact(total_width, tams);
+  partition::for_each_partition(
+      total_width, tams, [&](std::span<const int> widths) {
+        if (watch.elapsed_s() > options.time_budget_s) return false;
+        ExactOptions exact;
+        exact.engine = options.engine;
+        // Leave the per-partition solve unbounded in nodes; the outer
+        // budget is the only cutoff, like the original runs.
+        const double remaining = options.time_budget_s - watch.elapsed_s();
+        exact.time_limit_s = remaining;
+        if (options.share_incumbent && !result.best.widths.empty())
+          exact.upper_bound_hint = result.best.testing_time;
+        ExactResult solved = solve_assignment_exact(table, widths, exact);
+        if (!solved.proven_optimal) return false;  // budget expired mid-solve
+        ++result.partitions_solved;
+        if (result.best.widths.empty() ||
+            solved.architecture.testing_time < result.best.testing_time)
+          result.best = std::move(solved.architecture);
+        return true;
+      });
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_paw(const TestTimeProvider& table, int total_width,
+                                int tams, const ExhaustiveOptions& options) {
+  if (tams < 1) throw std::invalid_argument("exhaustive_paw: tams must be >= 1");
+  common::Stopwatch watch;
+  ExhaustiveResult result;
+  solve_all_partitions(table, total_width, tams, options, watch, result);
+  result.completed = result.partitions_solved == result.partitions_total;
+  result.cpu_s = watch.elapsed_s();
+  return result;
+}
+
+ExhaustiveResult exhaustive_pnpaw(const TestTimeProvider& table, int total_width,
+                                  int max_tams,
+                                  const ExhaustiveOptions& options) {
+  if (max_tams < 1)
+    throw std::invalid_argument("exhaustive_pnpaw: max_tams must be >= 1");
+  common::Stopwatch watch;
+  ExhaustiveResult result;
+  for (int b = 1; b <= max_tams && b <= total_width; ++b)
+    solve_all_partitions(table, total_width, b, options, watch, result);
+  result.completed = result.partitions_solved == result.partitions_total;
+  result.cpu_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace wtam::core

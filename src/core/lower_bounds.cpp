@@ -1,0 +1,40 @@
+#include "core/lower_bounds.hpp"
+
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace wtam::core {
+
+LowerBounds testing_time_lower_bounds(const TestTimeTable& table,
+                                      int total_width) {
+  if (total_width < 1 || total_width > table.max_width())
+    throw std::invalid_argument(
+        "testing_time_lower_bounds: width outside table range");
+
+  LowerBounds bounds;
+  std::int64_t volume = 0;
+  for (int i = 0; i < table.core_count(); ++i) {
+    const std::int64_t t_full = table.time(i, total_width);
+    if (t_full > bounds.bottleneck_core) {
+      bounds.bottleneck_core = t_full;
+      bounds.bottleneck_core_index = i;
+    }
+    std::int64_t best_area = std::numeric_limits<std::int64_t>::max();
+    for (int w = 1; w <= total_width; ++w)
+      best_area = std::min(best_area, static_cast<std::int64_t>(w) *
+                                          table.time(i, w));
+    volume += best_area;
+  }
+  bounds.volume = common::ceil_div(volume, total_width);
+  return bounds;
+}
+
+double optimality_gap(const LowerBounds& bounds, std::int64_t achieved_time) {
+  const std::int64_t lb = bounds.combined();
+  if (lb <= 0)
+    throw std::invalid_argument("optimality_gap: non-positive lower bound");
+  return static_cast<double>(achieved_time - lb) / static_cast<double>(lb);
+}
+
+}  // namespace wtam::core

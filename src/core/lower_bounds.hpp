@@ -1,0 +1,39 @@
+// Architecture-independent lower bounds on SOC testing time (from [8]).
+//
+// For ANY wrapper/TAM architecture with total width W:
+//   LB1 (bottleneck core): every core sits on a TAM of width <= W, so the
+//       testing time is at least max_i T_i(W);
+//   LB2 (test-data volume): a core on a w-wire TAM occupies w wires for
+//       T_i(w) cycles; with V_i = min_w { w * T_i(w) } the whole test
+//       needs at least ceil(sum_i V_i / W) cycles on W wires.
+// The overall bound is max(LB1, LB2). These make optimality gaps
+// reportable without exhaustive search — e.g. p31108's plateau at 544579
+// is exactly LB1 (Core 18).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/test_time_table.hpp"
+
+namespace wtam::core {
+
+struct LowerBounds {
+  std::int64_t bottleneck_core = 0;  ///< LB1 = max_i T_i(W)
+  int bottleneck_core_index = 0;
+  std::int64_t volume = 0;  ///< LB2 = ceil(sum_i min_w w*T_i(w) / W)
+  [[nodiscard]] std::int64_t combined() const noexcept {
+    return bottleneck_core > volume ? bottleneck_core : volume;
+  }
+};
+
+/// Computes both bounds for a total TAM width (1 <= W <= table range).
+[[nodiscard]] LowerBounds testing_time_lower_bounds(const TestTimeTable& table,
+                                                    int total_width);
+
+/// Relative optimality gap of an achieved testing time vs the combined
+/// bound: (time - LB) / LB. Zero means provably optimal.
+[[nodiscard]] double optimality_gap(const LowerBounds& bounds,
+                                    std::int64_t achieved_time);
+
+}  // namespace wtam::core

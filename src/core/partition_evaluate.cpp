@@ -1,0 +1,80 @@
+#include "core/partition_evaluate.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "partition/partition.hpp"
+
+namespace wtam::core {
+
+PartitionEvaluateResult partition_evaluate(
+    const TestTimeProvider& table, int total_width,
+    const PartitionEvaluateOptions& options) {
+  if (total_width < 1 || total_width > table.max_width())
+    throw std::invalid_argument(
+        "partition_evaluate: total_width outside table range");
+  if (options.min_tams < 1 || options.max_tams < options.min_tams)
+    throw std::invalid_argument("partition_evaluate: bad TAM range");
+  if (options.min_tam_width < 1 || options.min_tam_width > total_width)
+    throw std::invalid_argument("partition_evaluate: bad min_tam_width");
+  if (static_cast<std::int64_t>(options.min_tams) * options.min_tam_width >
+      total_width)
+    throw std::invalid_argument(
+        "partition_evaluate: min_tams * min_tam_width exceeds total width");
+
+  common::Stopwatch total_watch;
+  PartitionEvaluateResult result;
+  constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max();
+  std::int64_t global_best = kInfinity;
+
+  for (int b = options.min_tams; b <= options.max_tams; ++b) {
+    if (b > total_width) break;  // no partition of W into more than W parts
+    common::Stopwatch b_watch;
+    PartitionSearchStats stats;
+    stats.tams = b;
+    // Figure 3 Line 6 resets tau per B; the ablation variant carries the
+    // global best across B values.
+    std::int64_t tau = options.reset_tau_per_b ? kInfinity : global_best;
+
+    partition::for_each_partition_min(
+        total_width, b, options.min_tam_width,
+        [&](std::span<const int> widths) {
+          ++stats.partitions_unique;
+          CoreAssignOptions assign_options;
+          assign_options.best_known = options.prune_with_tau ? tau : kInfinity;
+          assign_options.widest_tam_tiebreak = options.widest_tam_tiebreak;
+          assign_options.next_tam_core_tiebreak = options.next_tam_core_tiebreak;
+          const CoreAssignResult assigned =
+              core_assign(table, widths, assign_options);
+          if (assigned.aborted) {
+            ++stats.aborted_by_tau;
+            return true;
+          }
+          ++stats.evaluated_to_completion;
+          const std::int64_t time = assigned.architecture.testing_time;
+          if (time < tau) {
+            tau = time;
+            stats.best_time = time;
+            stats.best_partition.assign(widths.begin(), widths.end());
+            if (time < global_best) {
+              global_best = time;
+              result.best = assigned.architecture;
+              result.best_tams = b;
+            }
+          }
+          return true;
+        });
+
+    stats.best_time = tau == kInfinity ? 0 : tau;
+    stats.cpu_s = b_watch.elapsed_s();
+    result.per_b.push_back(std::move(stats));
+  }
+
+  if (global_best == kInfinity)
+    throw std::logic_error("partition_evaluate: no partition evaluated");
+  result.cpu_s = total_watch.elapsed_s();
+  return result;
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,68 @@
+// Partition_evaluate — fast heuristic search over TAM width partitions
+// (paper §3.1, Figure 3; problems P_PAW and P_NPAW).
+//
+// For each TAM count B in [min_tams, max_tams], enumerate every unique
+// partition of the total width W into B positive parts and evaluate it
+// with Core_assign. Three levels of solution-space pruning (the paper's
+// central scalability argument):
+//   1. the Increment upper-bound rule enumerates each partition once
+//      (no permuted duplicates);
+//   2. Core_assign aborts a partition as soon as any TAM's accumulated
+//      time reaches the best-known time tau (Lines 18-20 of Figure 1);
+//   3. evaluation itself is the O(N^2) heuristic, not an ILP.
+// Statistics per B reproduce Table 1 (how few partitions are evaluated to
+// completion).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core_assign.hpp"
+#include "core/tam_types.hpp"
+#include "core/time_provider.hpp"
+
+namespace wtam::core {
+
+struct PartitionEvaluateOptions {
+  int min_tams = 1;
+  int max_tams = 10;
+  /// Routing floor on every TAM's width (the paper's reference [4]
+  /// studies place-and-route constraints of this kind). 1 = unrestricted.
+  int min_tam_width = 1;
+  /// Pruning level 2 (tau early abort). Off only in the ablation bench.
+  bool prune_with_tau = true;
+  /// Tie-break switches forwarded to Core_assign (ablation).
+  bool widest_tam_tiebreak = true;
+  bool next_tam_core_tiebreak = true;
+  /// Reset tau to +inf at each B, as Figure 3 Line 6 does. The ablation
+  /// bench can carry tau across B values instead (slightly stronger
+  /// pruning than the published algorithm).
+  bool reset_tau_per_b = true;
+};
+
+/// Per-B statistics (Table 1 columns).
+struct PartitionSearchStats {
+  int tams = 0;
+  std::uint64_t partitions_unique = 0;  ///< enumerated (each exactly once)
+  std::uint64_t evaluated_to_completion = 0;  ///< P_eval of Table 1
+  std::uint64_t aborted_by_tau = 0;
+  std::int64_t best_time = 0;  ///< best heuristic time for this B
+  std::vector<int> best_partition;
+  double cpu_s = 0.0;
+};
+
+struct PartitionEvaluateResult {
+  /// Best architecture over all B (heuristic testing times).
+  TamArchitecture best;
+  int best_tams = 0;
+  std::vector<PartitionSearchStats> per_b;
+  double cpu_s = 0.0;
+};
+
+/// Runs the search. total_width must be within the table's range.
+[[nodiscard]] PartitionEvaluateResult partition_evaluate(
+    const TestTimeProvider& table, int total_width,
+    const PartitionEvaluateOptions& options = {});
+
+}  // namespace wtam::core

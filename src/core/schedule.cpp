@@ -1,0 +1,142 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtam::core {
+
+namespace {
+
+void check_architecture(const TestTimeTable& table,
+                        const TamArchitecture& architecture) {
+  if (architecture.tam_count() < 1)
+    throw std::invalid_argument("schedule: architecture has no TAMs");
+  if (static_cast<int>(architecture.assignment.size()) != table.core_count())
+    throw std::invalid_argument("schedule: assignment size != core count");
+  for (const int w : architecture.widths)
+    if (w < 1 || w > table.max_width())
+      throw std::invalid_argument("schedule: TAM width outside table range");
+  for (const int tam : architecture.assignment)
+    if (tam < 0 || tam >= architecture.tam_count())
+      throw std::invalid_argument("schedule: core assigned to invalid TAM");
+}
+
+}  // namespace
+
+TestSchedule build_schedule(const TestTimeTable& table,
+                            const TamArchitecture& architecture,
+                            ScheduleOrder order) {
+  check_architecture(table, architecture);
+
+  TestSchedule schedule;
+  schedule.tam_finish.assign(architecture.widths.size(), 0);
+
+  for (int tam = 0; tam < architecture.tam_count(); ++tam) {
+    const int width = architecture.widths[static_cast<std::size_t>(tam)];
+    std::vector<int> cores;
+    for (int i = 0; i < table.core_count(); ++i)
+      if (architecture.assignment[static_cast<std::size_t>(i)] == tam)
+        cores.push_back(i);
+
+    switch (order) {
+      case ScheduleOrder::AsAssigned:
+        break;  // already in core-index order
+      case ScheduleOrder::LongestFirst:
+        std::stable_sort(cores.begin(), cores.end(), [&](int a, int b) {
+          return table.time(a, width) > table.time(b, width);
+        });
+        break;
+      case ScheduleOrder::ShortestFirst:
+        std::stable_sort(cores.begin(), cores.end(), [&](int a, int b) {
+          return table.time(a, width) < table.time(b, width);
+        });
+        break;
+    }
+
+    std::int64_t clock = 0;
+    for (const int core : cores) {
+      const std::int64_t duration = table.time(core, width);
+      schedule.entries.push_back({core, tam, clock, clock + duration});
+      clock += duration;
+    }
+    schedule.tam_finish[static_cast<std::size_t>(tam)] = clock;
+  }
+  schedule.makespan = schedule.tam_finish.empty()
+                          ? 0
+                          : *std::max_element(schedule.tam_finish.begin(),
+                                              schedule.tam_finish.end());
+  return schedule;
+}
+
+std::vector<TamUtilization> wire_utilization(
+    const TestTimeTable& table, const TamArchitecture& architecture) {
+  check_architecture(table, architecture);
+  std::vector<TamUtilization> report;
+  report.reserve(architecture.widths.size());
+  for (int tam = 0; tam < architecture.tam_count(); ++tam) {
+    const int width = architecture.widths[static_cast<std::size_t>(tam)];
+    TamUtilization u;
+    u.tam = tam;
+    u.width = width;
+    std::int64_t busy_wire_cycles = 0;
+    std::int64_t finish = 0;
+    for (int i = 0; i < table.core_count(); ++i) {
+      if (architecture.assignment[static_cast<std::size_t>(i)] != tam) continue;
+      const int used = table.used_width(i, width);
+      u.max_used_width = std::max(u.max_used_width, used);
+      busy_wire_cycles += table.time(i, width) * used;
+      finish += table.time(i, width);
+    }
+    u.idle_wires = width - u.max_used_width;
+    u.time_weighted_utilization =
+        finish > 0 ? static_cast<double>(busy_wire_cycles) /
+                         (static_cast<double>(finish) * width)
+                   : 0.0;
+    report.push_back(u);
+  }
+  return report;
+}
+
+std::string render_gantt(const TestSchedule& schedule, const soc::Soc& soc,
+                         int columns) {
+  if (columns < 10) columns = 10;
+  std::ostringstream out;
+  if (schedule.makespan == 0) return "(empty schedule)\n";
+  const double scale =
+      static_cast<double>(columns) / static_cast<double>(schedule.makespan);
+
+  const int tams = static_cast<int>(schedule.tam_finish.size());
+  for (int tam = 0; tam < tams; ++tam) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const auto& entry : schedule.entries) {
+      if (entry.tam != tam) continue;
+      auto from = static_cast<int>(static_cast<double>(entry.start) * scale);
+      auto to = static_cast<int>(static_cast<double>(entry.end) * scale);
+      from = std::clamp(from, 0, columns - 1);
+      to = std::clamp(to, from + 1, columns);
+      // Fill with the core's label letter, separators at session starts.
+      const char label = static_cast<char>(
+          'A' + entry.core % 26);
+      for (int c = from; c < to; ++c) row[static_cast<std::size_t>(c)] = label;
+      row[static_cast<std::size_t>(from)] = '|';
+    }
+    out << "TAM " << tam + 1 << " " << row << " "
+        << schedule.tam_finish[static_cast<std::size_t>(tam)] << "\n";
+  }
+  out << "legend:";
+  std::vector<bool> mentioned(soc.cores.size(), false);
+  for (const auto& entry : schedule.entries) {
+    const auto idx = static_cast<std::size_t>(entry.core);
+    if (idx < mentioned.size() && !mentioned[idx]) {
+      mentioned[idx] = true;
+      out << ' ' << static_cast<char>('A' + entry.core % 26) << '='
+          << soc.cores[idx].name;
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace wtam::core

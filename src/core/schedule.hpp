@@ -1,0 +1,68 @@
+// Test scheduling on a fixed TAM architecture.
+//
+// The paper uses the test bus model: cores assigned to the same TAM are
+// tested *sequentially*, different TAMs run *concurrently*, so the SOC
+// testing time is the maximum TAM completion time and the order of cores
+// on a TAM does not change it. The order does matter for everything
+// layered on top — abort-on-first-fail expectations, power profiles
+// (see power.hpp), and debug — so this module materializes explicit
+// schedules, reports per-TAM wire utilization (quantifying the paper's
+// §1 idle-TAM-wire motivation), and renders ASCII Gantt charts.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tam_types.hpp"
+#include "core/test_time_table.hpp"
+
+namespace wtam::core {
+
+/// One core's test session on a TAM.
+struct ScheduledTest {
+  int core = 0;
+  int tam = 0;
+  std::int64_t start = 0;  ///< cycles from test start
+  std::int64_t end = 0;    ///< start + T_core(width(tam))
+};
+
+struct TestSchedule {
+  std::vector<ScheduledTest> entries;     ///< sorted by (tam, start)
+  std::vector<std::int64_t> tam_finish;   ///< completion time per TAM
+  std::int64_t makespan = 0;
+};
+
+enum class ScheduleOrder {
+  AsAssigned,     ///< core index order (deterministic default)
+  LongestFirst,   ///< longest tests first (fails surface late)
+  ShortestFirst,  ///< shortest tests first (fails surface early)
+};
+
+/// Builds the schedule implied by an architecture. Throws
+/// std::invalid_argument if the architecture does not match the table
+/// (core count, width range, unassigned cores).
+[[nodiscard]] TestSchedule build_schedule(
+    const TestTimeTable& table, const TamArchitecture& architecture,
+    ScheduleOrder order = ScheduleOrder::AsAssigned);
+
+/// Per-TAM wire usage: how many of the TAM's wires any assigned core
+/// actually shifts through, and the time-weighted utilization
+/// sum(T_core * used_width(core)) / (finish * width).
+struct TamUtilization {
+  int tam = 0;
+  int width = 0;
+  int max_used_width = 0;  ///< widest wrapper among assigned cores
+  int idle_wires = 0;      ///< width - max_used_width
+  double time_weighted_utilization = 0.0;  ///< in [0, 1]
+};
+
+[[nodiscard]] std::vector<TamUtilization> wire_utilization(
+    const TestTimeTable& table, const TamArchitecture& architecture);
+
+/// ASCII Gantt chart of the schedule (one row per TAM), `columns` wide.
+[[nodiscard]] std::string render_gantt(const TestSchedule& schedule,
+                                       const soc::Soc& soc, int columns = 64);
+
+}  // namespace wtam::core

@@ -1,0 +1,27 @@
+#include "core/tam_types.hpp"
+
+#include <sstream>
+
+namespace wtam::core {
+
+std::string format_partition(std::span<const int> widths) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i > 0) oss << '+';
+    oss << widths[i];
+  }
+  return oss.str();
+}
+
+std::string format_assignment(std::span<const int> assignment) {
+  std::ostringstream oss;
+  oss << '(';
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (i > 0) oss << ',';
+    oss << assignment[i] + 1;
+  }
+  oss << ')';
+  return oss.str();
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,38 @@
+// Shared result types for the TAM optimization algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wtam::core {
+
+/// A complete test-bus architecture: TAM widths plus the core assignment.
+/// `assignment[i]` is the 0-based TAM index of core i (printed 1-based in
+/// the core-assignment-vector notation of [5]).
+struct TamArchitecture {
+  std::vector<int> widths;
+  std::vector<int> assignment;
+  std::vector<std::int64_t> tam_times;  ///< summed testing time per TAM
+  std::int64_t testing_time = 0;        ///< max over tam_times
+
+  [[nodiscard]] int tam_count() const noexcept {
+    return static_cast<int>(widths.size());
+  }
+  [[nodiscard]] int total_width() const noexcept {
+    int total = 0;
+    for (const int w : widths) total += w;
+    return total;
+  }
+};
+
+/// "5+5+6" — the width-partition notation of the paper's tables.
+[[nodiscard]] std::string format_partition(std::span<const int> widths);
+
+/// "(2,1,2,1,...)" — the core-assignment-vector notation of [5]
+/// (position = core, entry = 1-based TAM).
+[[nodiscard]] std::string format_assignment(std::span<const int> assignment);
+
+}  // namespace wtam::core

@@ -1,0 +1,61 @@
+#include "core/test_time_table.hpp"
+
+#include <stdexcept>
+
+namespace wtam::core {
+
+TestTimeTable::TestTimeTable(const soc::Soc& soc, int max_width)
+    : soc_(&soc), max_width_(max_width) {
+  if (max_width < 1)
+    throw std::invalid_argument("TestTimeTable: max_width must be >= 1");
+  soc.validate();
+
+  const auto n = static_cast<std::size_t>(soc.core_count());
+  times_.resize(n);
+  used_widths_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& core = soc.cores[i];
+    auto& row = times_[i];
+    auto& used = used_widths_[i];
+    row.resize(static_cast<std::size_t>(max_width));
+    used.resize(static_cast<std::size_t>(max_width));
+    const std::int64_t floor_time = soc::min_test_time_bound(core);
+    std::int64_t best = -1;
+    int best_width = 1;
+    for (int w = 1; w <= max_width; ++w) {
+      if (best < 0 || best > floor_time) {
+        const std::int64_t raw = wrapper::test_time(core, w);
+        if (best < 0 || raw < best) {
+          best = raw;
+          best_width = w;
+        }
+      }
+      row[static_cast<std::size_t>(w - 1)] = best;
+      used[static_cast<std::size_t>(w - 1)] = best_width;
+    }
+  }
+}
+
+std::int64_t TestTimeTable::time(int core, int width) const {
+  if (core < 0 || core >= core_count())
+    throw std::out_of_range("TestTimeTable::time: core index");
+  if (width < 1 || width > max_width_)
+    throw std::out_of_range("TestTimeTable::time: width");
+  return times_[static_cast<std::size_t>(core)][static_cast<std::size_t>(width - 1)];
+}
+
+int TestTimeTable::used_width(int core, int width) const {
+  if (core < 0 || core >= core_count())
+    throw std::out_of_range("TestTimeTable::used_width: core index");
+  if (width < 1 || width > max_width_)
+    throw std::out_of_range("TestTimeTable::used_width: width");
+  return used_widths_[static_cast<std::size_t>(core)][static_cast<std::size_t>(width - 1)];
+}
+
+std::int64_t TestTimeTable::total_time(int width) const {
+  std::int64_t total = 0;
+  for (int i = 0; i < core_count(); ++i) total += time(i, width);
+  return total;
+}
+
+}  // namespace wtam::core

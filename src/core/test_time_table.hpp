@@ -1,0 +1,51 @@
+// Memoized core testing times T_i(w).
+//
+// Every optimization algorithm in the paper consults T_i(w) — the testing
+// time of core i wrapped at TAM width w — thousands of times. The table
+// precomputes the *effective* (monotone-envelope) testing time for every
+// core at every width 1..max_width: a TAM may always leave wires idle, so
+// T_i(w) = min over w' <= w of the raw Design_wrapper time. The width that
+// attains the minimum is recorded as the used width (priority (ii) of P_W).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_provider.hpp"
+#include "soc/soc.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::core {
+
+class TestTimeTable final : public TestTimeProvider {
+ public:
+  /// Precomputes testing times for all cores at widths 1..max_width.
+  /// Throws std::invalid_argument for max_width < 1 or an empty SOC.
+  TestTimeTable(const soc::Soc& soc, int max_width);
+
+  [[nodiscard]] const soc::Soc& soc() const noexcept { return *soc_; }
+  [[nodiscard]] int core_count() const noexcept override {
+    return soc_->core_count();
+  }
+  [[nodiscard]] int max_width() const noexcept override { return max_width_; }
+
+  /// Effective testing time of core `core` on a TAM of width `width`.
+  [[nodiscard]] std::int64_t time(int core, int width) const override;
+
+  /// Wrapper width actually used when core is put on a TAM of `width`
+  /// wires (<= width; the rest idle).
+  [[nodiscard]] int used_width(int core, int width) const;
+
+  /// Sum over all cores of time(core, width) — total work at a width.
+  [[nodiscard]] std::int64_t total_time(int width) const;
+
+ private:
+  const soc::Soc* soc_;  ///< non-owning; caller keeps the SOC alive
+  int max_width_;
+  /// times_[core][width-1], envelope-monotone non-increasing per core.
+  std::vector<std::vector<std::int64_t>> times_;
+  std::vector<std::vector<int>> used_widths_;
+};
+
+}  // namespace wtam::core

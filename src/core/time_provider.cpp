@@ -1,0 +1,33 @@
+#include "core/time_provider.hpp"
+
+#include <stdexcept>
+
+namespace wtam::core {
+
+ExplicitTimeMatrix::ExplicitTimeMatrix(
+    std::vector<int> widths, std::vector<std::vector<std::int64_t>> times)
+    : times_(std::move(times)) {
+  if (widths.empty())
+    throw std::invalid_argument("ExplicitTimeMatrix: no widths");
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (widths[c] < 1)
+      throw std::invalid_argument("ExplicitTimeMatrix: width must be >= 1");
+    if (!width_column_.emplace(widths[c], c).second)
+      throw std::invalid_argument("ExplicitTimeMatrix: duplicate width");
+    max_width_ = std::max(max_width_, widths[c]);
+  }
+  for (const auto& row : times_)
+    if (row.size() != widths.size())
+      throw std::invalid_argument("ExplicitTimeMatrix: row size mismatch");
+}
+
+std::int64_t ExplicitTimeMatrix::time(int core, int width) const {
+  if (core < 0 || core >= core_count())
+    throw std::out_of_range("ExplicitTimeMatrix::time: core index");
+  const auto it = width_column_.find(width);
+  if (it == width_column_.end())
+    throw std::out_of_range("ExplicitTimeMatrix::time: unknown width");
+  return times_[static_cast<std::size_t>(core)][it->second];
+}
+
+}  // namespace wtam::core

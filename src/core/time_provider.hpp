@@ -1,0 +1,47 @@
+// Abstraction over "testing time of core i at TAM width w".
+//
+// The production implementation is TestTimeTable (Design_wrapper +
+// memoization over a real SOC). ExplicitTimeMatrix feeds hand-written
+// time matrices into the same algorithms — used by the Figure-2 worked
+// example, unit tests, and what-if studies.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace wtam::core {
+
+class TestTimeProvider {
+ public:
+  virtual ~TestTimeProvider() = default;
+
+  [[nodiscard]] virtual int core_count() const = 0;
+  /// Largest width `time` may be asked about.
+  [[nodiscard]] virtual int max_width() const = 0;
+  /// Effective testing time of `core` on a TAM of `width` wires.
+  [[nodiscard]] virtual std::int64_t time(int core, int width) const = 0;
+};
+
+/// Testing times given explicitly for a fixed set of widths (other widths
+/// are invalid and throw std::out_of_range).
+class ExplicitTimeMatrix final : public TestTimeProvider {
+ public:
+  /// `times[i]` are core i's testing times, one per entry of `widths`.
+  ExplicitTimeMatrix(std::vector<int> widths,
+                     std::vector<std::vector<std::int64_t>> times);
+
+  [[nodiscard]] int core_count() const override {
+    return static_cast<int>(times_.size());
+  }
+  [[nodiscard]] int max_width() const override { return max_width_; }
+  [[nodiscard]] std::int64_t time(int core, int width) const override;
+
+ private:
+  std::map<int, std::size_t> width_column_;
+  std::vector<std::vector<std::int64_t>> times_;
+  int max_width_ = 0;
+};
+
+}  // namespace wtam::core

@@ -1,0 +1,173 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace wtam::ilp {
+
+void Problem::validate() const {
+  lp.validate();
+  if (is_integer.size() != static_cast<std::size_t>(lp.num_vars))
+    throw std::invalid_argument("ilp::Problem: is_integer size != num_vars");
+}
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::Optimal: return "optimal";
+    case Status::Feasible: return "feasible";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::Limit: return "limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const Problem& problem, const Options& options)
+      : problem_(problem), options_(options), work_(problem.lp) {}
+
+  Solution run() {
+    Solution out;
+    if (const auto& hint = options_.incumbent_hint) {
+      if (hint->size() != static_cast<std::size_t>(problem_.lp.num_vars))
+        throw std::invalid_argument("ilp: incumbent hint size mismatch");
+      incumbent_ = *hint;
+      incumbent_obj_ = objective_of(*hint);
+      have_incumbent_ = true;
+    }
+
+    const NodeResult root = explore();
+    out.nodes = nodes_;
+    out.lp_iterations = lp_iterations_;
+    if (root == NodeResult::RootUnbounded) {
+      out.status = Status::Unbounded;
+      return out;
+    }
+    if (have_incumbent_) {
+      out.objective = incumbent_obj_;
+      out.x = incumbent_;
+      out.status = hit_limit_ ? Status::Feasible : Status::Optimal;
+    } else {
+      out.status = hit_limit_ ? Status::Limit : Status::Infeasible;
+    }
+    return out;
+  }
+
+ private:
+  enum class NodeResult { Done, RootUnbounded };
+
+  [[nodiscard]] double objective_of(const std::vector<double>& x) const {
+    double obj = 0.0;
+    for (int j = 0; j < problem_.lp.num_vars; ++j)
+      obj += problem_.lp.objective[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    return obj;
+  }
+
+  /// Bound below which a node can still improve on the incumbent.
+  [[nodiscard]] bool can_improve(double lp_bound) const {
+    if (!have_incumbent_) return true;
+    double bound = lp_bound;
+    if (options_.objective_is_integral)
+      bound = std::ceil(bound - 1e-7);
+    return bound < incumbent_obj_ - 1e-9;
+  }
+
+  NodeResult explore() { return branch(0); }
+
+  NodeResult branch(int depth) {
+    if (hit_limit_) return NodeResult::Done;
+    if (nodes_ >= options_.max_nodes ||
+        watch_.elapsed_s() > options_.time_limit_s) {
+      hit_limit_ = true;
+      return NodeResult::Done;
+    }
+    ++nodes_;
+
+    const lp::Solution relax = lp::solve(work_);
+    lp_iterations_ += relax.iterations;
+    if (relax.status == lp::Status::Unbounded)
+      return depth == 0 ? NodeResult::RootUnbounded : NodeResult::Done;
+    if (relax.status != lp::Status::Optimal) return NodeResult::Done;  // infeasible node
+    if (!can_improve(relax.objective)) return NodeResult::Done;
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double worst_frac = options_.integrality_tol;
+    for (int j = 0; j < problem_.lp.num_vars; ++j) {
+      if (!problem_.is_integer[static_cast<std::size_t>(j)]) continue;
+      const double v = relax.x[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integer feasible: snap and accept if it improves the incumbent.
+      std::vector<double> x = relax.x;
+      for (int j = 0; j < problem_.lp.num_vars; ++j)
+        if (problem_.is_integer[static_cast<std::size_t>(j)])
+          x[static_cast<std::size_t>(j)] = std::round(x[static_cast<std::size_t>(j)]);
+      const double obj = objective_of(x);
+      if (!have_incumbent_ || obj < incumbent_obj_ - 1e-9) {
+        incumbent_ = std::move(x);
+        incumbent_obj_ = obj;
+        have_incumbent_ = true;
+      }
+      return NodeResult::Done;
+    }
+
+    const double value = relax.x[static_cast<std::size_t>(branch_var)];
+    const double floor_v = std::floor(value);
+    const auto jv = static_cast<std::size_t>(branch_var);
+    const double saved_lower = work_.lower[jv];
+    const double saved_upper = work_.upper[jv];
+
+    // Explore the side the LP leans toward first (better incumbents early).
+    const bool up_first = (value - floor_v) >= 0.5;
+    for (int side = 0; side < 2; ++side) {
+      const bool up = (side == 0) == up_first;
+      if (up) {
+        work_.lower[jv] = floor_v + 1.0;
+        work_.upper[jv] = saved_upper;
+      } else {
+        work_.lower[jv] = saved_lower;
+        work_.upper[jv] = floor_v;
+      }
+      if (work_.lower[jv] <= work_.upper[jv]) branch(depth + 1);
+      work_.lower[jv] = saved_lower;
+      work_.upper[jv] = saved_upper;
+      if (hit_limit_) break;
+    }
+    return NodeResult::Done;
+  }
+
+  const Problem& problem_;
+  const Options& options_;
+  lp::Problem work_;  ///< mutable copy; bounds are tightened along the DFS
+  common::Stopwatch watch_;
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = 0.0;
+  bool have_incumbent_ = false;
+  bool hit_limit_ = false;
+  std::int64_t nodes_ = 0;
+  std::int64_t lp_iterations_ = 0;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const Options& options) {
+  problem.validate();
+  Searcher searcher(problem, options);
+  return searcher.run();
+}
+
+}  // namespace wtam::ilp

@@ -1,0 +1,368 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wtam::lp {
+
+double Problem::infinity() noexcept {
+  return std::numeric_limits<double>::infinity();
+}
+
+Problem Problem::with_vars(int n) {
+  if (n < 0) throw std::invalid_argument("Problem::with_vars: negative n");
+  Problem p;
+  p.num_vars = n;
+  p.objective.assign(static_cast<std::size_t>(n), 0.0);
+  p.lower.assign(static_cast<std::size_t>(n), 0.0);
+  p.upper.assign(static_cast<std::size_t>(n), infinity());
+  return p;
+}
+
+void Problem::validate() const {
+  const auto n = static_cast<std::size_t>(num_vars);
+  if (objective.size() != n || lower.size() != n || upper.size() != n)
+    throw std::invalid_argument("lp::Problem: vector sizes != num_vars");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(objective[i]) || std::isnan(lower[i]) || std::isnan(upper[i]))
+      throw std::invalid_argument("lp::Problem: NaN coefficient");
+    if (lower[i] > upper[i])
+      throw std::invalid_argument("lp::Problem: lower > upper bound");
+  }
+  for (const auto& row : rows) {
+    if (std::isnan(row.rhs)) throw std::invalid_argument("lp::Problem: NaN rhs");
+    for (const auto& [idx, val] : row.coeffs) {
+      if (idx < 0 || idx >= num_vars)
+        throw std::invalid_argument("lp::Problem: coefficient index out of range");
+      if (std::isnan(val))
+        throw std::invalid_argument("lp::Problem: NaN coefficient");
+    }
+  }
+}
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Internal dense tableau. Variables are laid out as
+///   [0, n)                      shifted structural variables (x - lower)
+///   [n, n + num_slack)          slack/surplus variables
+///   [n + num_slack, total)      artificial variables (phase 1 only)
+/// The tableau has one row per constraint plus an objective row; the last
+/// column is the RHS.
+class Tableau {
+ public:
+  Tableau(const Problem& problem, const SimplexOptions& options)
+      : options_(options) {
+    build(problem);
+  }
+
+  Solution run(const Problem& problem) {
+    Solution result;
+    // Phase 1: minimize the sum of artificials.
+    if (num_artificial_ > 0) {
+      set_phase1_objective();
+      const Status phase1 = optimize(result.iterations);
+      if (phase1 == Status::IterationLimit) {
+        result.status = phase1;
+        return result;
+      }
+      if (objective_value() > options_.feasibility_tol) {
+        result.status = Status::Infeasible;
+        return result;
+      }
+      drive_out_artificials();
+    }
+    // Phase 2: the real objective.
+    set_phase2_objective();
+    const Status phase2 = optimize(result.iterations);
+    result.status = phase2;
+    if (phase2 != Status::Optimal) return result;
+
+    result.x.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      const int var = basis_[static_cast<std::size_t>(r)];
+      if (var < problem.num_vars)
+        result.x[static_cast<std::size_t>(var)] = rhs(r);
+    }
+    result.objective = 0.0;
+    for (int j = 0; j < problem.num_vars; ++j) {
+      result.x[static_cast<std::size_t>(j)] += problem.lower[static_cast<std::size_t>(j)];
+      result.objective += problem.objective[static_cast<std::size_t>(j)] *
+                          result.x[static_cast<std::size_t>(j)];
+    }
+    return result;
+  }
+
+ private:
+  // --- construction ------------------------------------------------------
+
+  void build(const Problem& problem) {
+    // Shift variables by their lower bounds and add explicit rows for
+    // finite upper bounds; x' = x - l, 0 <= x' <= u - l.
+    struct NormRow {
+      std::vector<double> dense;
+      RowSense sense;
+      double rhs;
+    };
+    const int n = problem.num_vars;
+    std::vector<NormRow> norm;
+    norm.reserve(problem.rows.size() + static_cast<std::size_t>(n));
+    for (const auto& row : problem.rows) {
+      NormRow nr{std::vector<double>(static_cast<std::size_t>(n), 0.0), row.sense,
+                 row.rhs};
+      for (const auto& [idx, val] : row.coeffs) {
+        nr.dense[static_cast<std::size_t>(idx)] += val;
+        nr.rhs -= val * problem.lower[static_cast<std::size_t>(idx)];
+      }
+      norm.push_back(std::move(nr));
+    }
+    for (int j = 0; j < n; ++j) {
+      const double range = problem.upper[static_cast<std::size_t>(j)] -
+                           problem.lower[static_cast<std::size_t>(j)];
+      if (std::isfinite(range)) {
+        NormRow nr{std::vector<double>(static_cast<std::size_t>(n), 0.0),
+                   RowSense::LessEqual, range};
+        nr.dense[static_cast<std::size_t>(j)] = 1.0;
+        norm.push_back(std::move(nr));
+      }
+    }
+
+    rows_ = static_cast<int>(norm.size());
+    // Count slack and artificial columns.
+    num_slack_ = 0;
+    num_artificial_ = 0;
+    for (auto& nr : norm) {
+      if (nr.rhs < 0) {  // normalize to non-negative RHS
+        for (auto& v : nr.dense) v = -v;
+        nr.rhs = -nr.rhs;
+        if (nr.sense == RowSense::LessEqual)
+          nr.sense = RowSense::GreaterEqual;
+        else if (nr.sense == RowSense::GreaterEqual)
+          nr.sense = RowSense::LessEqual;
+      }
+      if (nr.sense != RowSense::Equal) ++num_slack_;
+      if (nr.sense != RowSense::LessEqual) ++num_artificial_;
+    }
+
+    structural_ = n;
+    cols_ = structural_ + num_slack_ + num_artificial_;
+    width_ = cols_ + 1;  // + RHS column
+    a_.assign(static_cast<std::size_t>(rows_ + 1) * static_cast<std::size_t>(width_), 0.0);
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+    int slack = structural_;
+    int artificial = structural_ + num_slack_;
+    for (int r = 0; r < rows_; ++r) {
+      const auto& nr = norm[static_cast<std::size_t>(r)];
+      for (int j = 0; j < n; ++j) at(r, j) = nr.dense[static_cast<std::size_t>(j)];
+      rhs(r) = nr.rhs;
+      switch (nr.sense) {
+        case RowSense::LessEqual:
+          at(r, slack) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = slack++;
+          break;
+        case RowSense::GreaterEqual:
+          at(r, slack) = -1.0;
+          ++slack;
+          at(r, artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+        case RowSense::Equal:
+          at(r, artificial) = 1.0;
+          basis_[static_cast<std::size_t>(r)] = artificial++;
+          break;
+      }
+    }
+  }
+
+  // --- objective rows -----------------------------------------------------
+
+  void set_phase1_objective() {
+    // Objective row = -(sum of rows whose basic variable is artificial),
+    // so that reduced costs of the artificial basis are zero.
+    std::fill(obj_row(), obj_row() + width_, 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] >= structural_ + num_slack_) {
+        for (int c = 0; c < width_; ++c) obj(c) -= at(r, c);
+        // The artificial's own column should read zero cost.
+      }
+    }
+    // Artificial columns carry cost 1; after the subtraction above their
+    // reduced costs are 1 - 1 = 0 for basic ones. Make non-basic artificial
+    // columns cost-correct too:
+    for (int c = structural_ + num_slack_; c < cols_; ++c) obj(c) += 1.0;
+    phase1_ = true;
+  }
+
+  void set_phase2_objective() {
+    std::fill(obj_row(), obj_row() + width_, 0.0);
+    for (int j = 0; j < structural_; ++j) obj(j) = objective_coeff_[static_cast<std::size_t>(j)];
+    // Forbid artificials from re-entering.
+    // (They are excluded in pricing when phase1_ is false.)
+    // Eliminate the basic columns from the objective row.
+    for (int r = 0; r < rows_; ++r) {
+      const int var = basis_[static_cast<std::size_t>(r)];
+      const double cost = obj(var);
+      if (cost != 0.0)
+        for (int c = 0; c < width_; ++c) obj(c) -= cost * at(r, c);
+    }
+    phase1_ = false;
+  }
+
+ public:
+  void set_objective_coeffs(std::vector<double> coeffs) {
+    objective_coeff_ = std::move(coeffs);
+  }
+
+ private:
+  // --- simplex iterations --------------------------------------------------
+
+  Status optimize(std::int64_t& iteration_counter) {
+    int stall = 0;
+    double last_objective = objective_value();
+    for (std::int64_t it = 0; it < options_.max_iterations; ++it) {
+      const bool bland = stall > options_.stall_threshold;
+      const int entering = pick_entering(bland);
+      if (entering < 0) return Status::Optimal;
+      const int leaving_row = pick_leaving(entering, bland);
+      if (leaving_row < 0) return Status::Unbounded;
+      pivot(leaving_row, entering);
+      ++iteration_counter;
+      const double now = objective_value();
+      if (now < last_objective - options_.optimality_tol) {
+        stall = 0;
+        last_objective = now;
+      } else {
+        ++stall;
+      }
+    }
+    return Status::IterationLimit;
+  }
+
+  [[nodiscard]] int pick_entering(bool bland) const {
+    const int limit = phase1_ ? cols_ : structural_ + num_slack_;
+    if (bland) {
+      for (int c = 0; c < limit; ++c)
+        if (obj(c) < -options_.optimality_tol) return c;
+      return -1;
+    }
+    int best = -1;
+    double best_cost = -options_.optimality_tol;
+    for (int c = 0; c < limit; ++c) {
+      if (obj(c) < best_cost) {
+        best_cost = obj(c);
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] int pick_leaving(int entering, bool bland) const {
+    int best_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    int best_var = std::numeric_limits<int>::max();
+    for (int r = 0; r < rows_; ++r) {
+      const double coeff = at(r, entering);
+      if (coeff <= options_.feasibility_tol) continue;
+      const double ratio = rhs(r) / coeff;
+      const int var = basis_[static_cast<std::size_t>(r)];
+      const bool better =
+          ratio < best_ratio - 1e-12 ||
+          (bland && ratio < best_ratio + 1e-12 && var < best_var);
+      if (better) {
+        best_ratio = ratio;
+        best_row = r;
+        best_var = var;
+      }
+    }
+    return best_row;
+  }
+
+  void pivot(int row, int col) {
+    const double pivot_value = at(row, col);
+    for (int c = 0; c < width_; ++c) at(row, c) /= pivot_value;
+    for (int r = 0; r <= rows_; ++r) {
+      if (r == row) continue;
+      const double factor = (r == rows_) ? obj(col) : at(r, col);
+      if (factor == 0.0) continue;
+      double* target = (r == rows_) ? obj_row() : row_ptr(r);
+      const double* source = row_ptr(row);
+      for (int c = 0; c < width_; ++c) target[c] -= factor * source[c];
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  /// After phase 1, pivot any artificial still in the basis out (or drop
+  /// its redundant row by leaving it at zero).
+  void drive_out_artificials() {
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] < structural_ + num_slack_) continue;
+      // Find any non-artificial column with a nonzero entry in this row.
+      int col = -1;
+      for (int c = 0; c < structural_ + num_slack_; ++c) {
+        if (std::abs(at(r, c)) > options_.feasibility_tol) {
+          col = c;
+          break;
+        }
+      }
+      if (col >= 0) pivot(r, col);
+      // Otherwise the row is 0 = 0 (redundant); keep the artificial basic
+      // at value 0 — harmless because pricing excludes artificials in
+      // phase 2 and the row can never bind.
+    }
+  }
+
+  // --- layout helpers ------------------------------------------------------
+
+  [[nodiscard]] double& at(int r, int c) {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double* row_ptr(int r) {
+    return a_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(width_);
+  }
+  [[nodiscard]] double* obj_row() { return row_ptr(rows_); }
+  [[nodiscard]] double& obj(int c) { return *(obj_row() + c); }
+  [[nodiscard]] double obj(int c) const { return at(rows_, c); }
+  [[nodiscard]] double& rhs(int r) { return at(r, cols_); }
+  [[nodiscard]] double rhs(int r) const { return at(r, cols_); }
+  [[nodiscard]] double objective_value() const { return -at(rows_, cols_); }
+
+  SimplexOptions options_;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+  std::vector<double> objective_coeff_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int width_ = 0;
+  int structural_ = 0;
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  bool phase1_ = false;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  problem.validate();
+  Tableau tableau(problem, options);
+  tableau.set_objective_coeffs(problem.objective);
+  return tableau.run(problem);
+}
+
+}  // namespace wtam::lp

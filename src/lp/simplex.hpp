@@ -1,0 +1,76 @@
+// Dense two-phase primal simplex solver.
+//
+// The paper's exact P_AW model was solved with lp_solve [2]; no external
+// solver is available in this environment, so this module provides the
+// linear-programming substrate from scratch. The LPs arising here are tiny
+// by LP standards (<= ~400 variables, <= ~400 rows after bound rows), so a
+// dense tableau with Dantzig pricing and a Bland anti-cycling fallback is
+// both simple and fast.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wtam::lp {
+
+enum class RowSense { LessEqual, Equal, GreaterEqual };
+
+/// One linear constraint: sum(coeffs) sense rhs. Coefficients are sparse
+/// (variable index, value) pairs; repeated indices are summed.
+struct Row {
+  std::vector<std::pair<int, double>> coeffs;
+  RowSense sense = RowSense::LessEqual;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to rows, lower <= x <= upper.
+/// Default bounds are [0, +inf); use infinity() for a free upper bound.
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<Row> rows;
+  std::vector<double> lower;  ///< size num_vars (default 0)
+  std::vector<double> upper;  ///< size num_vars (default +inf)
+
+  [[nodiscard]] static double infinity() noexcept;
+
+  /// Creates a problem with n variables, zero objective, default bounds.
+  [[nodiscard]] static Problem with_vars(int n);
+
+  /// Throws std::invalid_argument on malformed input (sizes, indices, NaN).
+  void validate() const;
+};
+
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+struct Solution {
+  Status status = Status::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::int64_t iterations = 0;
+};
+
+[[nodiscard]] std::string to_string(Status status);
+
+struct SimplexOptions {
+  std::int64_t max_iterations = 200'000;
+  double feasibility_tol = 1e-8;
+  double optimality_tol = 1e-9;
+  /// Switch from Dantzig to Bland pivoting after this many iterations
+  /// without objective progress (anti-cycling).
+  int stall_threshold = 64;
+};
+
+/// Solves the problem; never throws on solvable-but-degenerate inputs,
+/// throws std::invalid_argument on malformed problems.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {});
+
+}  // namespace wtam::lp

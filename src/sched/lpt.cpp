@@ -1,0 +1,86 @@
+#include "sched/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace wtam::sched {
+
+Schedule lpt(std::span<const std::int64_t> job_times, int machines) {
+  if (machines < 1) throw std::invalid_argument("lpt: machines must be >= 1");
+  for (const auto t : job_times)
+    if (t < 0) throw std::invalid_argument("lpt: negative job time");
+
+  std::vector<int> order(job_times.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&job_times](int a, int b) {
+    return job_times[static_cast<std::size_t>(a)] >
+           job_times[static_cast<std::size_t>(b)];
+  });
+
+  Schedule schedule;
+  schedule.machine_of.assign(job_times.size(), -1);
+  schedule.loads.assign(static_cast<std::size_t>(machines), 0);
+  for (const int job : order) {
+    const auto least = std::min_element(schedule.loads.begin(), schedule.loads.end());
+    *least += job_times[static_cast<std::size_t>(job)];
+    schedule.machine_of[static_cast<std::size_t>(job)] =
+        static_cast<int>(least - schedule.loads.begin());
+  }
+  schedule.makespan =
+      *std::max_element(schedule.loads.begin(), schedule.loads.end());
+  return schedule;
+}
+
+std::int64_t makespan_lower_bound(std::span<const std::int64_t> job_times,
+                                  int machines) {
+  if (machines < 1)
+    throw std::invalid_argument("makespan_lower_bound: machines must be >= 1");
+  std::int64_t total = 0;
+  std::int64_t largest = 0;
+  for (const auto t : job_times) {
+    total += t;
+    largest = std::max(largest, t);
+  }
+  return std::max(largest, common::ceil_div(total, machines));
+}
+
+namespace {
+
+void search(std::span<const std::int64_t> jobs, std::size_t next,
+            std::vector<std::int64_t>& loads, std::int64_t& best) {
+  if (next == jobs.size()) {
+    const std::int64_t makespan = *std::max_element(loads.begin(), loads.end());
+    best = std::min(best, makespan);
+    return;
+  }
+  for (std::size_t m = 0; m < loads.size(); ++m) {
+    if (loads[m] + jobs[next] >= best) continue;  // cannot improve
+    // Symmetry break: identical machines, so skip duplicates of empty ones.
+    if (loads[m] == 0 && m > 0 && loads[m - 1] == 0) break;
+    loads[m] += jobs[next];
+    search(jobs, next + 1, loads, best);
+    loads[m] -= jobs[next];
+  }
+}
+
+}  // namespace
+
+std::int64_t optimal_makespan(std::span<const std::int64_t> job_times,
+                              int machines) {
+  if (machines < 1)
+    throw std::invalid_argument("optimal_makespan: machines must be >= 1");
+  if (job_times.empty()) return 0;
+  // Start from the LPT makespan + 1 as the pruning bound; LPT is feasible,
+  // so the search can only confirm or improve it.
+  std::vector<std::int64_t> sorted(job_times.begin(), job_times.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::int64_t best = lpt(job_times, machines).makespan + 1;
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(machines), 0);
+  search(sorted, 0, loads, best);
+  return best;
+}
+
+}  // namespace wtam::sched

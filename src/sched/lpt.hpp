@@ -1,0 +1,40 @@
+// Multiprocessor scheduling substrate.
+//
+// Core_assign (paper Figure 1) is "based on an approximation algorithm for
+// the problem of scheduling n independent jobs on k parallel, equal
+// processors" [3] — the classic Longest-Processing-Time-first rule. This
+// module provides that kernel in its pure form plus the standard makespan
+// lower bound and a brute-force optimum (for validation), so Core_assign's
+// behaviour can be tested against its scheduling-theory ancestry.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wtam::sched {
+
+struct Schedule {
+  std::vector<int> machine_of;          ///< job -> machine
+  std::vector<std::int64_t> loads;      ///< per-machine summed time
+  std::int64_t makespan = 0;
+};
+
+/// Longest Processing Time first: jobs sorted by decreasing time, each
+/// placed on the currently least-loaded machine (ties: lowest machine
+/// index; equal job times keep input order). Guarantees makespan
+/// <= (4/3 - 1/(3m)) * OPT on identical machines.
+[[nodiscard]] Schedule lpt(std::span<const std::int64_t> job_times,
+                           int machines);
+
+/// max(largest job, ceil(total / machines)) — classic makespan lower bound.
+[[nodiscard]] std::int64_t makespan_lower_bound(
+    std::span<const std::int64_t> job_times, int machines);
+
+/// Exact minimum makespan by exhaustive assignment with pruning. Intended
+/// for tests only (exponential in the number of jobs).
+[[nodiscard]] std::int64_t optimal_makespan(
+    std::span<const std::int64_t> job_times, int machines);
+
+}  // namespace wtam::sched

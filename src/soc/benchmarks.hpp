@@ -1,0 +1,29 @@
+// The four benchmark SOCs the paper evaluates.
+//
+// d695 is the academic Duke benchmark (two ISCAS'85 and eight ISCAS'89
+// circuits); its per-core test data is embedded verbatim from the ITC'02
+// SOC Test Benchmarks literature. The three Philips SOCs are proprietary;
+// see generator.hpp for the seeded synthetic reconstructions that match
+// every statistic the paper publishes about them.
+
+#pragma once
+
+#include "soc/soc.hpp"
+
+namespace wtam::soc {
+
+/// SOC d695: 10 cores, no memories, mixed combinational and full-scan.
+[[nodiscard]] Soc d695();
+
+/// Synthetic reconstructions of the Philips SOCs (see generator.hpp).
+[[nodiscard]] Soc p21241();
+[[nodiscard]] Soc p31108();
+[[nodiscard]] Soc p93791();
+
+/// Splits `total_bits` flip-flops into `chains` scan chains as evenly as
+/// possible (lengths differ by at most one), the distribution the ITC'02
+/// benchmark files use for the ISCAS cores.
+[[nodiscard]] std::vector<int> balanced_scan_chains(std::int64_t total_bits,
+                                                    int chains);
+
+}  // namespace wtam::soc

@@ -1,0 +1,38 @@
+#include "soc/core.hpp"
+
+#include <stdexcept>
+
+namespace wtam::soc {
+
+void Core::validate() const {
+  if (name.empty())
+    throw std::invalid_argument("Core: name must not be empty");
+  if (test_patterns < 0)
+    throw std::invalid_argument("Core '" + name + "': negative pattern count");
+  if (num_inputs < 0 || num_outputs < 0 || num_bidirs < 0)
+    throw std::invalid_argument("Core '" + name + "': negative terminal count");
+  for (const int len : scan_chains)
+    if (len <= 0)
+      throw std::invalid_argument("Core '" + name +
+                                  "': scan chain length must be positive");
+  if (kind == CoreKind::Memory && !scan_chains.empty())
+    throw std::invalid_argument("Core '" + name +
+                                "': memory cores have no internal scan chains");
+  if (test_patterns > 0 && functional_ios() == 0 && scan_chains.empty())
+    throw std::invalid_argument("Core '" + name +
+                                "': testable core needs terminals or scan");
+}
+
+std::int64_t min_test_time_bound(const Core& core) noexcept {
+  // With unlimited width each wrapper chain holds at most one internal
+  // chain plus at most ~0 cells, so max(si, so) >= longest internal chain;
+  // with no scan at all, si and so can drop to 1 (a single wrapper cell)
+  // provided the core has terminals.
+  const int longest = core.longest_scan_chain();
+  std::int64_t floor_len = longest;
+  if (floor_len == 0 && core.functional_ios() > 0) floor_len = 1;
+  if (floor_len == 0) return core.test_patterns;
+  return (1 + floor_len) * core.test_patterns + floor_len;
+}
+
+}  // namespace wtam::soc

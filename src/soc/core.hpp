@@ -1,0 +1,66 @@
+// Embedded-core test data model.
+//
+// Every algorithm in the paper consumes exactly the per-core quantities
+// modeled here: the number of test patterns, the functional terminal
+// counts (inputs / outputs / bidirectionals), and the lengths of the
+// core-internal scan chains. This matches the ITC'02 SOC Test Benchmarks
+// view of a module and the range tables (Tables 4, 8, 14) of the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace wtam::soc {
+
+/// Classification used by the paper's range tables. Memory cores have no
+/// internal scan; combinational logic cores (e.g. c6288) have no flip-flops
+/// either but are still "logic" for reporting purposes.
+enum class CoreKind { Logic, Memory };
+
+/// Test data for one embedded core.
+struct Core {
+  std::string name;
+  CoreKind kind = CoreKind::Logic;
+  std::int64_t test_patterns = 0;
+  int num_inputs = 0;    ///< functional (non-test) input terminals
+  int num_outputs = 0;   ///< functional output terminals
+  int num_bidirs = 0;    ///< functional bidirectional terminals
+  std::vector<int> scan_chains;  ///< lengths of core-internal scan chains
+
+  /// Total flip-flops in internal scan chains.
+  [[nodiscard]] std::int64_t total_scan_bits() const noexcept {
+    return std::accumulate(scan_chains.begin(), scan_chains.end(),
+                           std::int64_t{0});
+  }
+
+  /// Longest single internal scan chain (0 if none). Internal chains are
+  /// indivisible, so this lower-bounds every wrapper scan-in/out length.
+  [[nodiscard]] int longest_scan_chain() const noexcept {
+    int longest = 0;
+    for (const int len : scan_chains) longest = std::max(longest, len);
+    return longest;
+  }
+
+  /// Functional terminals = inputs + outputs + bidirs ("functional I/Os"
+  /// column of the paper's range tables).
+  [[nodiscard]] int functional_ios() const noexcept {
+    return num_inputs + num_outputs + num_bidirs;
+  }
+
+  [[nodiscard]] bool is_scan_testable() const noexcept {
+    return !scan_chains.empty();
+  }
+
+  /// Throws std::invalid_argument if any field is out of domain
+  /// (negative counts, non-positive chain lengths, ...).
+  void validate() const;
+};
+
+/// Lower bound on the core's test time at unbounded TAM width:
+/// the longest internal chain caps max(si, so) from below.
+[[nodiscard]] std::int64_t min_test_time_bound(const Core& core) noexcept;
+
+}  // namespace wtam::soc

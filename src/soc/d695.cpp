@@ -1,0 +1,60 @@
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::soc {
+
+std::vector<int> balanced_scan_chains(std::int64_t total_bits, int chains) {
+  if (chains <= 0)
+    throw std::invalid_argument("balanced_scan_chains: chains must be positive");
+  if (total_bits < chains)
+    throw std::invalid_argument("balanced_scan_chains: fewer bits than chains");
+  const auto base = total_bits / chains;
+  const auto extra = total_bits % chains;  // this many chains get base+1
+  std::vector<int> lengths(static_cast<std::size_t>(chains));
+  for (int i = 0; i < chains; ++i)
+    lengths[static_cast<std::size_t>(i)] =
+        common::narrow_to_int(base + (i < extra ? 1 : 0));
+  return lengths;
+}
+
+namespace {
+
+Core logic_core(std::string name, std::int64_t patterns, int inputs,
+                int outputs, std::vector<int> chains) {
+  Core core;
+  core.name = std::move(name);
+  core.kind = CoreKind::Logic;
+  core.test_patterns = patterns;
+  core.num_inputs = inputs;
+  core.num_outputs = outputs;
+  core.scan_chains = std::move(chains);
+  return core;
+}
+
+}  // namespace
+
+Soc d695() {
+  // Per-core data from the ITC'02 SOC Test Benchmarks / [8]. Scan chains of
+  // the ISCAS'89 cores are the benchmark's balanced distributions except
+  // where the published lengths differ (s9234, s5378).
+  Soc soc;
+  soc.name = "d695";
+  soc.cores = {
+      logic_core("c6288", 12, 32, 32, {}),
+      logic_core("c7552", 73, 207, 108, {}),
+      logic_core("s838", 75, 34, 1, {32}),
+      logic_core("s9234", 105, 36, 39, {54, 54, 52, 52}),
+      logic_core("s38584", 110, 38, 304, balanced_scan_chains(1426, 32)),
+      logic_core("s13207", 234, 62, 152, balanced_scan_chains(638, 16)),
+      logic_core("s15850", 95, 77, 150, balanced_scan_chains(534, 16)),
+      logic_core("s5378", 97, 35, 49, {46, 45, 44, 44}),
+      logic_core("s35932", 12, 35, 320, balanced_scan_chains(1728, 32)),
+      logic_core("s38417", 68, 28, 106, balanced_scan_chains(1636, 32)),
+  };
+  soc.validate();
+  return soc;
+}
+
+}  // namespace wtam::soc

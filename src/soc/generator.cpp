@@ -1,0 +1,325 @@
+#include "soc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::soc {
+
+namespace {
+
+void check_range(const IntRange& range, const char* what) {
+  if (range.lo < 0 || range.hi < range.lo)
+    throw std::invalid_argument(std::string("generate_soc: bad range for ") +
+                                what);
+}
+
+std::int64_t draw_log_uniform(common::Rng& rng, const IntRange& range) {
+  if (range.lo == range.hi) return range.lo;
+  const double lo = static_cast<double>(std::max<std::int64_t>(1, range.lo));
+  const double value = rng.log_uniform(lo, static_cast<double>(range.hi));
+  return std::clamp<std::int64_t>(std::llround(value), range.lo, range.hi);
+}
+
+std::int64_t draw_uniform(common::Rng& rng, const IntRange& range) {
+  return rng.uniform_int(range.lo, range.hi);
+}
+
+/// Splits total functional I/Os into inputs/outputs (~45/55, the typical
+/// ratio of the ISCAS cores; at least one of each when total >= 2).
+void split_ios(Core& core, std::int64_t total) {
+  auto inputs = static_cast<std::int64_t>(std::llround(0.45 * static_cast<double>(total)));
+  if (total >= 2) inputs = std::clamp<std::int64_t>(inputs, 1, total - 1);
+  core.num_inputs = common::narrow_to_int(inputs);
+  core.num_outputs = common::narrow_to_int(total - inputs);
+  core.num_bidirs = 0;
+}
+
+/// Largest pattern count that keeps the core's floor time within cap:
+/// (1 + longest)*p + longest <= cap.
+std::int64_t max_patterns_for_cap(const Core& core, std::int64_t cap) {
+  const std::int64_t longest = std::max(1, core.longest_scan_chain());
+  return std::max<std::int64_t>(0, (cap - longest) / (1 + longest));
+}
+
+/// Largest chain length that keeps the floor within cap at p patterns:
+/// (1 + len)*p + len <= cap  =>  len <= (cap - p) / (p + 1).
+std::int64_t max_chain_len_for_cap(std::int64_t patterns, std::int64_t cap) {
+  return std::max<std::int64_t>(0, (cap - patterns) / (patterns + 1));
+}
+
+struct Draft {
+  Core core;
+  bool patterns_pinned = false;  ///< calibration must not rescale
+};
+
+}  // namespace
+
+Soc generate_soc(const SyntheticSpec& spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("generate_soc: spec needs a name");
+  if (spec.logic_cores < 0 || spec.memory_cores < 0 ||
+      spec.logic_cores + spec.memory_cores < 1)
+    throw std::invalid_argument("generate_soc: need at least one core");
+  if (spec.logic_cores > 0) {
+    check_range(spec.logic.patterns, "logic patterns");
+    check_range(spec.logic.ios, "logic ios");
+    check_range(spec.logic.chains, "logic chains");
+    check_range(spec.logic.chain_len, "logic chain_len");
+    if (spec.logic.chains.lo < 1)
+      throw std::invalid_argument(
+          "generate_soc: logic cores need at least one scan chain");
+  }
+  if (spec.memory_cores > 0) {
+    check_range(spec.memory.patterns, "memory patterns");
+    check_range(spec.memory.ios, "memory ios");
+  }
+
+  common::Rng rng(spec.seed);
+
+  // ---- draw logic cores --------------------------------------------------
+  std::vector<Draft> logic(static_cast<std::size_t>(spec.logic_cores));
+  for (int i = 0; i < spec.logic_cores; ++i) {
+    auto& draft = logic[static_cast<std::size_t>(i)];
+    auto& core = draft.core;
+    core.name = spec.name + "_L" + std::to_string(i + 1);
+    core.kind = CoreKind::Logic;
+    core.test_patterns = draw_log_uniform(rng, spec.logic.patterns);
+    split_ios(core, draw_uniform(rng, spec.logic.ios));
+    const auto chains = draw_uniform(rng, spec.logic.chains);
+    for (std::int64_t c = 0; c < chains; ++c)
+      core.scan_chains.push_back(
+          common::narrow_to_int(draw_uniform(rng, spec.logic.chain_len)));
+  }
+
+  // ---- pin the published range endpoints (Tables 4 / 8 / 14) -------------
+  if (spec.logic_cores > 0) {
+    const auto l0 = std::size_t{0};
+    const auto l1 = static_cast<std::size_t>(std::min(1, spec.logic_cores - 1));
+    const auto l2 = static_cast<std::size_t>(std::min(2, spec.logic_cores - 1));
+    logic[l0].core.test_patterns = spec.logic.patterns.lo;
+    logic[l0].patterns_pinned = true;
+    split_ios(logic[l0].core, spec.logic.ios.lo);
+    logic[l0].core.scan_chains.assign(
+        static_cast<std::size_t>(spec.logic.chains.lo),
+        common::narrow_to_int(
+            std::midpoint(spec.logic.chain_len.lo, spec.logic.chain_len.hi)));
+    logic[l1].core.test_patterns = spec.logic.patterns.hi;
+    logic[l1].patterns_pinned = true;
+    split_ios(logic[l2].core, spec.logic.ios.hi);
+    auto& pinned_chains = logic[l2].core.scan_chains;
+    pinned_chains.assign(static_cast<std::size_t>(spec.logic.chains.hi), 0);
+    for (auto& len : pinned_chains)
+      len = common::narrow_to_int(draw_uniform(rng, spec.logic.chain_len));
+    if (pinned_chains.size() >= 2) {
+      pinned_chains[0] = common::narrow_to_int(spec.logic.chain_len.hi);
+      pinned_chains[1] = common::narrow_to_int(spec.logic.chain_len.lo);
+    } else if (!pinned_chains.empty()) {
+      pinned_chains[0] = common::narrow_to_int(spec.logic.chain_len.hi);
+    }
+  }
+
+  // ---- draw memory cores --------------------------------------------------
+  std::vector<Draft> memory(static_cast<std::size_t>(spec.memory_cores));
+  for (int i = 0; i < spec.memory_cores; ++i) {
+    auto& draft = memory[static_cast<std::size_t>(i)];
+    auto& core = draft.core;
+    core.name = spec.name + "_M" + std::to_string(i + 1);
+    core.kind = CoreKind::Memory;
+    core.test_patterns = draw_log_uniform(rng, spec.memory.patterns);
+    split_ios(core, draw_uniform(rng, spec.memory.ios));
+  }
+  if (spec.memory_cores > 0) {
+    const auto m1 = static_cast<std::size_t>(std::min(1, spec.memory_cores - 1));
+    memory[0].core.test_patterns = spec.memory.patterns.lo;
+    memory[0].patterns_pinned = true;
+    split_ios(memory[0].core, spec.memory.ios.lo);
+    memory[m1].core.test_patterns = spec.memory.patterns.hi;
+    memory[m1].patterns_pinned = true;
+    split_ios(memory[m1].core, spec.memory.ios.hi);
+  }
+
+  // ---- per-core floor-time cap --------------------------------------------
+  if (spec.core_floor_time_cap) {
+    const std::int64_t cap = *spec.core_floor_time_cap;
+    for (auto& draft : logic) {
+      auto& core = draft.core;
+      if (min_test_time_bound(core) <= cap) continue;
+      if (!draft.patterns_pinned) {
+        const std::int64_t limit = max_patterns_for_cap(core, cap);
+        if (limit < spec.logic.patterns.lo)
+          throw std::invalid_argument(
+              "generate_soc: floor cap incompatible with pattern range for " +
+              core.name);
+        core.test_patterns = std::min(core.test_patterns, limit);
+      } else {
+        // Pattern count is pinned: shorten the chains instead.
+        const std::int64_t len_limit =
+            max_chain_len_for_cap(core.test_patterns, cap);
+        if (len_limit < spec.logic.chain_len.lo)
+          throw std::invalid_argument(
+              "generate_soc: floor cap incompatible with chain lengths for " +
+              core.name);
+        for (auto& len : core.scan_chains)
+          len = common::narrow_to_int(
+              std::min<std::int64_t>(len, len_limit));
+      }
+    }
+  }
+
+  // ---- calibrate total test-data volume ------------------------------------
+  const auto core_volume = [](const Core& core) {
+    return core.test_patterns * (core.functional_ios() + core.total_scan_bits());
+  };
+  if (spec.target_volume) {
+    std::vector<Draft*> all;
+    for (auto& d : logic) all.push_back(&d);
+    for (auto& d : memory) all.push_back(&d);
+    for (int iteration = 0; iteration < 64; ++iteration) {
+      std::int64_t pinned_volume = 0;
+      std::int64_t free_volume = 0;
+      for (const Draft* d : all)
+        (d->patterns_pinned ? pinned_volume : free_volume) +=
+            core_volume(d->core);
+      const std::int64_t want = *spec.target_volume - pinned_volume;
+      if (free_volume <= 0 || want <= 0) break;
+      const double factor =
+          static_cast<double>(want) / static_cast<double>(free_volume);
+      if (std::abs(factor - 1.0) < 0.003) break;
+      bool moved = false;
+      for (Draft* d : all) {
+        if (d->patterns_pinned) continue;
+        auto& core = d->core;
+        const IntRange& range = core.kind == CoreKind::Logic
+                                    ? spec.logic.patterns
+                                    : spec.memory.patterns;
+        std::int64_t hi = range.hi;
+        if (spec.core_floor_time_cap && core.is_scan_testable())
+          hi = std::min(hi, max_patterns_for_cap(core, *spec.core_floor_time_cap));
+        const auto scaled = static_cast<std::int64_t>(std::llround(
+            static_cast<double>(core.test_patterns) * factor));
+        const auto next = std::clamp(scaled, range.lo, hi);
+        if (next != core.test_patterns) {
+          core.test_patterns = next;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  // ---- interleave deterministically (Bresenham spread) ---------------------
+  Soc soc;
+  soc.name = spec.name;
+  const int total = spec.logic_cores + spec.memory_cores;
+  soc.cores.reserve(static_cast<std::size_t>(total));
+  std::size_t li = 0;
+  std::size_t mi = 0;
+  long long err = 0;
+  for (int i = 0; i < total; ++i) {
+    // Emit logic cores at evenly spread positions among the memories.
+    err += spec.logic_cores;
+    if ((err >= total && li < logic.size()) || mi >= memory.size()) {
+      err -= total;
+      soc.cores.push_back(std::move(logic[li++].core));
+    } else {
+      soc.cores.push_back(std::move(memory[mi++].core));
+    }
+  }
+  soc.validate();
+  return soc;
+}
+
+SyntheticSpec p21241_spec() {
+  SyntheticSpec spec;
+  spec.name = "p21241";
+  spec.seed = 21241;
+  spec.logic_cores = 22;
+  spec.logic.patterns = {1, 785};      // Table 4
+  spec.logic.ios = {37, 1197};
+  spec.logic.chains = {1, 31};
+  spec.logic.chain_len = {1, 400};
+  spec.memory_cores = 6;
+  spec.memory.patterns = {222, 12324};
+  spec.memory.ios = {52, 148};
+  // Volume calibrated to the paper's testing-time scale (see DESIGN.md §3):
+  // ~462k cycles at W=16 implies roughly 16 * 462k / 0.85 bit-cycles.
+  spec.target_volume = 7'000'000;
+  spec.core_floor_time_cap = 150'000;
+  return spec;
+}
+
+SyntheticSpec p31108_spec() {
+  // Spec covers the 18 cores around the pinned bottleneck Core 18, which
+  // p31108() constructs explicitly and inserts afterwards.
+  SyntheticSpec spec;
+  spec.name = "p31108";
+  spec.seed = 31108;
+  spec.logic_cores = 3;
+  spec.logic.patterns = {210, 745};    // Table 8
+  spec.logic.ios = {109, 428};
+  spec.logic.chains = {1, 29};
+  spec.logic.chain_len = {8, 806};
+  spec.memory_cores = 15;
+  spec.memory.patterns = {128, 12236};
+  spec.memory.ios = {11, 87};
+  // Together with the anchor core's 729 * (428 + 9*745) = 5.2M this puts
+  // the SOC at ~16M bit-cycles. The pattern-pinned logic cores (745
+  // patterns x thousands of scan bits) already contribute most of it, so
+  // the target reflects what the published ranges make achievable while
+  // keeping the W=40 plateau reachable (2 x 544579 x ~15 wires of
+  // capacity remains above the non-anchor volume).
+  spec.target_volume = 11'000'000;
+  // Strictly below the anchor's 544579-cycle floor so Core 18 stays the
+  // unique bottleneck (Tables 11-13).
+  spec.core_floor_time_cap = 544'578;
+  return spec;
+}
+
+SyntheticSpec p93791_spec() {
+  SyntheticSpec spec;
+  spec.name = "p93791";
+  spec.seed = 93791;
+  spec.logic_cores = 14;
+  spec.logic.patterns = {11, 6127};    // Table 14
+  spec.logic.ios = {109, 813};
+  spec.logic.chains = {11, 46};
+  spec.logic.chain_len = {1, 521};
+  spec.memory_cores = 18;
+  spec.memory.patterns = {42, 3085};
+  spec.memory.ios = {21, 396};
+  spec.target_volume = 27'500'000;
+  spec.core_floor_time_cap = 450'000;
+  return spec;
+}
+
+Soc p21241() { return generate_soc(p21241_spec()); }
+
+Soc p31108() {
+  Soc soc = generate_soc(p31108_spec());
+  // The paper's documented bottleneck (§4.3): Core 18 reaches its minimal
+  // testing time of 544579 cycles once its TAM is 10+ bits wide. Nine
+  // indivisible chains of 745 put max(si, so) at 745 for any width >= 10
+  // (a tenth wrapper chain absorbs all I/O cells), giving
+  // (1+745)*729 + 745 = 544579.
+  Core anchor;
+  anchor.name = "p31108_L4";
+  anchor.kind = CoreKind::Logic;
+  anchor.test_patterns = 729;
+  anchor.num_inputs = 200;
+  anchor.num_outputs = 228;
+  anchor.scan_chains.assign(9, 745);
+  anchor.validate();
+  soc.cores.insert(soc.cores.begin() + 17, std::move(anchor));  // core 18
+  soc.name = "p31108";
+  soc.validate();
+  return soc;
+}
+
+Soc p93791() { return generate_soc(p93791_spec()); }
+
+}  // namespace wtam::soc

@@ -1,0 +1,77 @@
+// Seeded synthetic SOC generation.
+//
+// The Philips SOCs evaluated in the paper (p21241, p31108, p93791) are
+// proprietary; the paper publishes, per SOC: the core count, the
+// logic/memory split, min/max ranges for patterns / functional I/Os /
+// scan-chain counts / scan-chain lengths (Tables 4, 8, 14), and the
+// experimentally observed testing times. This module reconstructs
+// statistically equivalent SOCs:
+//
+//   * every published range endpoint is *pinned* to a designated core, so
+//     the regenerated range tables match the paper cell for cell;
+//   * remaining cores draw from the ranges (log-uniform pattern counts —
+//     they span two decades in the published tables);
+//   * total test-data volume sum(p * (ios + scan_bits)) is calibrated by
+//     rescaling free cores' pattern counts, so SOC testing times land on
+//     the paper's cycle scale;
+//   * a per-core floor-time cap keeps any single core from flattening the
+//     SOC testing time earlier than the paper observed;
+//   * p31108 embeds the paper's documented bottleneck verbatim: Core 18
+//     has 729 patterns and longest internal chain 745, so its minimal
+//     testing time is (1+745)*729 + 745 = 544579 cycles, reached at
+//     wrapper width 10 (Tables 11-13's plateau and lower bound).
+//
+// Generation is fully deterministic (fixed seeds, own PRNG).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace wtam::soc {
+
+/// Inclusive integer range.
+struct IntRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+/// Ranges for one core class (one row of Tables 4 / 8 / 14).
+struct ClassRanges {
+  IntRange patterns;
+  IntRange ios;        ///< functional inputs + outputs
+  IntRange chains;     ///< scan-chain count (logic only)
+  IntRange chain_len;  ///< individual scan-chain length (logic only)
+};
+
+struct SyntheticSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  int logic_cores = 0;
+  ClassRanges logic;
+  int memory_cores = 0;
+  ClassRanges memory;  ///< chains/chain_len ignored (memories have no scan)
+  /// Calibrate sum(p*(ios+scan_bits)) to this value by rescaling free
+  /// cores' pattern counts within their ranges.
+  std::optional<std::int64_t> target_volume;
+  /// Shrink pattern counts (within range) of any core whose minimal test
+  /// time would exceed this cap, so no single core flattens the SOC curve
+  /// prematurely.
+  std::optional<std::int64_t> core_floor_time_cap;
+};
+
+/// Generates a synthetic SOC. Logic and memory cores are interleaved
+/// deterministically; range endpoints are pinned as described above.
+/// Throws std::invalid_argument on inconsistent specs.
+[[nodiscard]] Soc generate_soc(const SyntheticSpec& spec);
+
+/// The specs used for the three Philips reconstructions (exposed so tests
+/// and docs can show exactly what was generated).
+[[nodiscard]] SyntheticSpec p21241_spec();
+[[nodiscard]] SyntheticSpec p31108_spec();
+[[nodiscard]] SyntheticSpec p93791_spec();
+
+}  // namespace wtam::soc

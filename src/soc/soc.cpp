@@ -1,0 +1,59 @@
+#include "soc/soc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtam::soc {
+
+void Soc::validate() const {
+  if (name.empty()) throw std::invalid_argument("Soc: name must not be empty");
+  if (cores.empty())
+    throw std::invalid_argument("Soc '" + name + "': no cores");
+  for (const auto& core : cores) core.validate();
+}
+
+std::int64_t test_complexity(const Soc& soc) noexcept {
+  std::int64_t volume = 0;
+  for (const auto& core : soc.cores)
+    volume += core.test_patterns *
+              (core.functional_ios() + core.total_scan_bits());
+  return volume / 1000;
+}
+
+CoreDataRanges core_data_ranges(const Soc& soc, CoreKind kind) {
+  CoreDataRanges out;
+  bool first = true;
+  bool any_scan = false;
+  for (const auto& core : soc.cores) {
+    if (core.kind != kind) continue;
+    const auto patterns = core.test_patterns;
+    const std::int64_t ios = core.functional_ios();
+    const std::int64_t chains = static_cast<std::int64_t>(core.scan_chains.size());
+    if (first) {
+      out.test_patterns = {patterns, patterns};
+      out.functional_ios = {ios, ios};
+      out.scan_chain_count = {chains, chains};
+      first = false;
+    } else {
+      out.test_patterns.min = std::min(out.test_patterns.min, patterns);
+      out.test_patterns.max = std::max(out.test_patterns.max, patterns);
+      out.functional_ios.min = std::min(out.functional_ios.min, ios);
+      out.functional_ios.max = std::max(out.functional_ios.max, ios);
+      out.scan_chain_count.min = std::min(out.scan_chain_count.min, chains);
+      out.scan_chain_count.max = std::max(out.scan_chain_count.max, chains);
+    }
+    ++out.core_count;
+    for (const int len : core.scan_chains) {
+      if (!any_scan) {
+        out.scan_lengths = Range{len, len};
+        any_scan = true;
+      } else {
+        out.scan_lengths->min = std::min<std::int64_t>(out.scan_lengths->min, len);
+        out.scan_lengths->max = std::max<std::int64_t>(out.scan_lengths->max, len);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wtam::soc

@@ -1,0 +1,53 @@
+// A system-on-chip: a named collection of embedded cores plus the
+// summary statistics the paper reports about each benchmark SOC.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/core.hpp"
+
+namespace wtam::soc {
+
+struct Soc {
+  std::string name;
+  std::vector<Core> cores;
+
+  [[nodiscard]] int core_count() const noexcept {
+    return static_cast<int>(cores.size());
+  }
+
+  /// Validates every core; throws on the first violation.
+  void validate() const;
+};
+
+/// SOC test-complexity number in the spirit of [8]: total test-data volume
+///   C = floor( sum_m patterns_m * (functional_ios_m + scan_bits_m) / 1000 ).
+/// The Philips SOC names (p93791, ...) encode this number; our synthetic
+/// generators calibrate against it. On d695 this evaluates to ~669 (the
+/// exact constant of [8] is not public; same order of magnitude).
+[[nodiscard]] std::int64_t test_complexity(const Soc& soc) noexcept;
+
+/// Min/max over a set of cores for one column of the paper's range tables.
+struct Range {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  [[nodiscard]] bool operator==(const Range&) const = default;
+};
+
+/// One row ("Logic cores" or "Memory cores") of Tables 4 / 8 / 14.
+struct CoreDataRanges {
+  int core_count = 0;
+  Range test_patterns;
+  Range functional_ios;
+  Range scan_chain_count;            ///< 0..0 for memory cores
+  std::optional<Range> scan_lengths; ///< nullopt when no core has scan
+};
+
+/// Computes the paper's range-table row for all cores of the given kind.
+[[nodiscard]] CoreDataRanges core_data_ranges(const Soc& soc, CoreKind kind);
+
+}  // namespace wtam::soc

@@ -1,0 +1,156 @@
+#include "soc/soc_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtam::soc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("soc parse error at line " + std::to_string(line) +
+                           ": " + message);
+}
+
+std::int64_t parse_int(std::string_view text, int line) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    fail(line, "expected integer, got '" + std::string(text) + "'");
+  return value;
+}
+
+/// Splits "key=value"; returns false if '=' is missing.
+bool split_kv(std::string_view token, std::string_view& key,
+              std::string_view& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+Core parse_core_line(std::istringstream& tokens, int line) {
+  Core core;
+  if (!(tokens >> core.name)) fail(line, "core line missing name");
+  bool saw_patterns = false;
+  std::string token;
+  while (tokens >> token) {
+    std::string_view key;
+    std::string_view value;
+    if (!split_kv(token, key, value))
+      fail(line, "expected key=value, got '" + token + "'");
+    if (key == "kind") {
+      if (value == "logic")
+        core.kind = CoreKind::Logic;
+      else if (value == "memory")
+        core.kind = CoreKind::Memory;
+      else
+        fail(line, "unknown kind '" + std::string(value) + "'");
+    } else if (key == "patterns") {
+      core.test_patterns = parse_int(value, line);
+      saw_patterns = true;
+    } else if (key == "inputs") {
+      core.num_inputs = static_cast<int>(parse_int(value, line));
+    } else if (key == "outputs") {
+      core.num_outputs = static_cast<int>(parse_int(value, line));
+    } else if (key == "bidirs") {
+      core.num_bidirs = static_cast<int>(parse_int(value, line));
+    } else if (key == "scan") {
+      core.scan_chains.clear();
+      std::string_view rest = value;
+      while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const auto piece = rest.substr(0, comma);
+        if (!piece.empty())
+          core.scan_chains.push_back(static_cast<int>(parse_int(piece, line)));
+        if (comma == std::string_view::npos) break;
+        rest = rest.substr(comma + 1);
+      }
+    } else {
+      fail(line, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!saw_patterns) fail(line, "core line missing patterns=");
+  return core;
+}
+
+}  // namespace
+
+Soc parse_soc(std::istream& in) {
+  Soc soc;
+  bool saw_soc = false;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream tokens(raw);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank/comment line
+    if (keyword == "soc") {
+      if (saw_soc) fail(line, "duplicate soc line");
+      if (!(tokens >> soc.name)) fail(line, "soc line missing name");
+      saw_soc = true;
+    } else if (keyword == "core") {
+      if (!saw_soc) fail(line, "core line before soc line");
+      soc.cores.push_back(parse_core_line(tokens, line));
+    } else {
+      fail(line, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_soc) fail(line, "missing soc line");
+  try {
+    soc.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("soc parse error: ") + e.what());
+  }
+  return soc;
+}
+
+Soc parse_soc_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_soc(in);
+}
+
+void write_soc(std::ostream& out, const Soc& soc) {
+  soc.validate();
+  out << "soc " << soc.name << '\n';
+  for (const auto& core : soc.cores) {
+    out << "core " << core.name
+        << " kind=" << (core.kind == CoreKind::Logic ? "logic" : "memory")
+        << " patterns=" << core.test_patterns << " inputs=" << core.num_inputs
+        << " outputs=" << core.num_outputs << " bidirs=" << core.num_bidirs
+        << " scan=";
+    for (std::size_t i = 0; i < core.scan_chains.size(); ++i) {
+      if (i > 0) out << ',';
+      out << core.scan_chains[i];
+    }
+    out << '\n';
+  }
+}
+
+std::string write_soc_string(const Soc& soc) {
+  std::ostringstream out;
+  write_soc(out, soc);
+  return out.str();
+}
+
+Soc load_soc_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open soc file: " + path);
+  return parse_soc(in);
+}
+
+void save_soc_file(const std::string& path, const Soc& soc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write soc file: " + path);
+  write_soc(out, soc);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace wtam::soc

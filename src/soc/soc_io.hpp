@@ -1,0 +1,38 @@
+// Text serialization of SOC test data.
+//
+// The ITC'02 SOC Test Benchmarks distribute per-core test data as small
+// text files; the exact grammar is not redistributable, so this module
+// defines a self-describing dialect carrying the same information:
+//
+//   # comment (blank lines ignored)
+//   soc <name>
+//   core <name> kind=logic|memory patterns=<p> inputs=<i> outputs=<o>
+//        bidirs=<b> scan=<l1>,<l2>,...   (scan= empty for no scan chains)
+//   (shown wrapped here; each core is a single line in the file)
+//
+// One `soc` line, then one `core` line per core, whitespace separated.
+// The writer emits exactly this format; parse(write(soc)) == soc.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace wtam::soc {
+
+/// Parses a SOC from the dialect above. Throws std::runtime_error with a
+/// line number on malformed input; the parsed SOC is validate()d.
+[[nodiscard]] Soc parse_soc(std::istream& in);
+[[nodiscard]] Soc parse_soc_string(const std::string& text);
+
+/// Serializes to the same dialect.
+void write_soc(std::ostream& out, const Soc& soc);
+[[nodiscard]] std::string write_soc_string(const Soc& soc);
+
+/// Convenience file helpers. Throw std::runtime_error on I/O failure.
+[[nodiscard]] Soc load_soc_file(const std::string& path);
+void save_soc_file(const std::string& path, const Soc& soc);
+
+}  // namespace wtam::soc

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace wtam::common {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, LogUniformWithinBoundsAndSpansDecades) {
+  Rng rng(5);
+  double lo_seen = 1e18;
+  double hi_seen = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.log_uniform(10.0, 10000.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 10000.0);
+    lo_seen = std::min(lo_seen, v);
+    hi_seen = std::max(hi_seen, v);
+  }
+  EXPECT_LT(lo_seen, 100.0);    // lower decade reached
+  EXPECT_GT(hi_seen, 1000.0);   // upper decade reached
+}
+
+TEST(Rng, LogUniformRejectsNonPositiveLow) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.log_uniform(0.0, 10.0), std::invalid_argument);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(212, 16), 14);
+}
+
+TEST(MathUtil, CeilDivRejectsBadArguments) {
+  EXPECT_THROW((void)ceil_div(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_div(-1, 2), std::invalid_argument);
+}
+
+TEST(MathUtil, NarrowToInt) {
+  EXPECT_EQ(narrow_to_int(123), 123);
+  EXPECT_THROW((void)narrow_to_int(std::int64_t{1} << 40), std::overflow_error);
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table("Title");
+  table.set_header({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"10", "20"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("bb"), std::string::npos);
+  EXPECT_NE(text.find("20"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table("t");
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsHeaderAfterRows) {
+  TextTable table("t");
+  table.set_header({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.set_header({"x"}), std::logic_error);
+}
+
+TEST(TextTable, LeftAlignmentPadsRight) {
+  TextTable table("");
+  table.set_header({"col"}, {Align::Left});
+  table.add_row({"x"});
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("| x   |"), std::string::npos);
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Format, SignedPercent) {
+  EXPECT_EQ(format_signed_percent(3.26), "+3.26");
+  EXPECT_EQ(format_signed_percent(-9.86), "-9.86");
+  EXPECT_EQ(format_signed_percent(0.0), "+0.00");
+}
+
+}  // namespace
+}  // namespace wtam::common

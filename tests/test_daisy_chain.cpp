@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/co_optimizer.hpp"
+#include "core/daisy_chain.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/benchmarks.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::core {
+namespace {
+
+class DaisyFixture : public ::testing::Test {
+ protected:
+  static const soc::Soc& soc() {
+    static const soc::Soc s = soc::d695();
+    return s;
+  }
+  static TamArchitecture architecture() {
+    static const TestTimeTable table(soc(), 32);
+    return co_optimize_fixed_b(table, 32, 3, {}).architecture;
+  }
+};
+
+TEST_F(DaisyFixture, NeverFasterThanTestBus) {
+  // Bypass bits only add cycles; the bus model is the daisychain with
+  // zero bypass overhead.
+  const TamArchitecture arch = architecture();
+  const auto daisy = evaluate_daisy_chain(soc(), arch);
+  EXPECT_GE(daisy.testing_time, arch.testing_time);
+  EXPECT_GT(daisy.bypass_overhead_cycles, 0);
+}
+
+TEST_F(DaisyFixture, SingleCorePerTamEqualsBusModel) {
+  // With one core per TAM there is no bypass, so both models agree.
+  soc::Soc three;
+  three.name = "three";
+  three.cores = {soc().cores[0], soc().cores[3], soc().cores[7]};
+  const TestTimeTable table(three, 12);
+  TamArchitecture arch;
+  arch.widths = {4, 4, 4};
+  arch.assignment = {0, 1, 2};
+  arch.tam_times = {table.time(0, 4), table.time(1, 4), table.time(2, 4)};
+  arch.testing_time =
+      *std::max_element(arch.tam_times.begin(), arch.tam_times.end());
+  const auto daisy = evaluate_daisy_chain(three, arch);
+  EXPECT_EQ(daisy.testing_time, arch.testing_time);
+  EXPECT_EQ(daisy.bypass_overhead_cycles, 0);
+}
+
+TEST_F(DaisyFixture, BypassPenaltyMatchesFormula) {
+  // Two cores on one 4-wire chain: each pays exactly one bypass bit.
+  soc::Soc two;
+  two.name = "two";
+  two.cores = {soc().cores[0], soc().cores[3]};  // c6288, s9234
+  TamArchitecture arch;
+  arch.widths = {4};
+  arch.assignment = {0, 0};
+  arch.tam_times = {0};
+
+  const auto daisy = evaluate_daisy_chain(two, arch);
+  std::int64_t expected = 0;
+  for (const auto& core : two.cores) {
+    const auto design = wrapper::best_design(core, 4);
+    const std::int64_t longer =
+        std::max(design.scan_in_length, design.scan_out_length) + 1;
+    const std::int64_t shorter =
+        std::min(design.scan_in_length, design.scan_out_length) + 1;
+    expected += (1 + longer) * core.test_patterns + shorter;
+  }
+  EXPECT_EQ(daisy.testing_time, expected);
+}
+
+TEST_F(DaisyFixture, OverheadGrowsWithCoresPerChain) {
+  // All ten cores on one TAM vs spread over two: more cores per chain
+  // means more bypass overhead.
+  TamArchitecture one;
+  one.widths = {16};
+  one.assignment.assign(10, 0);
+  one.tam_times = {0};
+  TamArchitecture two;
+  two.widths = {8, 8};
+  two.assignment = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  two.tam_times = {0, 0};
+  const auto all_on_one = evaluate_daisy_chain(soc(), one);
+  const auto spread = evaluate_daisy_chain(soc(), two);
+  EXPECT_GT(all_on_one.bypass_overhead_cycles, spread.bypass_overhead_cycles);
+}
+
+TEST_F(DaisyFixture, RejectsMalformedInput) {
+  TamArchitecture arch = architecture();
+  arch.assignment[0] = 42;
+  EXPECT_THROW((void)evaluate_daisy_chain(soc(), arch), std::invalid_argument);
+  TamArchitecture empty;
+  EXPECT_THROW((void)evaluate_daisy_chain(soc(), empty), std::invalid_argument);
+  TamArchitecture wrong = architecture();
+  wrong.assignment.pop_back();
+  EXPECT_THROW((void)evaluate_daisy_chain(soc(), wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::core

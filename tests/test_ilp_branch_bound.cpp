@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ilp/branch_and_bound.hpp"
+
+namespace wtam::ilp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+lp::Row make_row(std::vector<std::pair<int, double>> coeffs, lp::RowSense sense,
+                 double rhs) {
+  lp::Row row;
+  row.coeffs = std::move(coeffs);
+  row.sense = sense;
+  row.rhs = rhs;
+  return row;
+}
+
+/// 0/1 knapsack as a min problem: min -sum(v_i x_i) s.t. sum(w_i x_i) <= C.
+Problem knapsack(const std::vector<double>& values,
+                 const std::vector<double>& weights, double capacity) {
+  const int n = static_cast<int>(values.size());
+  Problem p;
+  p.lp = lp::Problem::with_vars(n);
+  p.is_integer.assign(static_cast<std::size_t>(n), true);
+  lp::Row row;
+  row.sense = lp::RowSense::LessEqual;
+  row.rhs = capacity;
+  for (int j = 0; j < n; ++j) {
+    p.lp.objective[static_cast<std::size_t>(j)] = -values[static_cast<std::size_t>(j)];
+    p.lp.upper[static_cast<std::size_t>(j)] = 1.0;
+    row.coeffs.emplace_back(j, weights[static_cast<std::size_t>(j)]);
+  }
+  p.lp.rows.push_back(std::move(row));
+  return p;
+}
+
+/// Brute force over all 0/1 vectors (n <= ~16).
+double brute_force_binary(const Problem& p) {
+  const int n = p.lp.num_vars;
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool feasible = true;
+    for (const auto& row : p.lp.rows) {
+      double lhs = 0.0;
+      for (const auto& [idx, val] : row.coeffs)
+        lhs += val * ((mask >> idx) & 1);
+      if (row.sense == lp::RowSense::LessEqual && lhs > row.rhs + 1e-9)
+        feasible = false;
+      if (row.sense == lp::RowSense::GreaterEqual && lhs < row.rhs - 1e-9)
+        feasible = false;
+      if (row.sense == lp::RowSense::Equal && std::abs(lhs - row.rhs) > 1e-9)
+        feasible = false;
+      if (!feasible) break;
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j)
+      obj += p.lp.objective[static_cast<std::size_t>(j)] * ((mask >> j) & 1);
+    best = std::min(best, obj);
+  }
+  return best;
+}
+
+TEST(BranchAndBound, SolvesSmallKnapsack) {
+  // values {10, 13, 7}, weights {3, 4, 2}, cap 5 => take items 1+3 (17).
+  const Problem p = knapsack({10, 13, 7}, {3, 4, 2}, 5);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -17.0, kTol);
+  EXPECT_NEAR(s.x[0], 1.0, kTol);
+  EXPECT_NEAR(s.x[1], 0.0, kTol);
+  EXPECT_NEAR(s.x[2], 1.0, kTol);
+}
+
+TEST(BranchAndBound, LpRelaxationFractionalButIpIntegral) {
+  // LP relaxation would take half of item 2; IP must not.
+  const Problem p = knapsack({6, 10}, {3, 6}, 8);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -10.0, kTol);  // item 2 alone
+}
+
+TEST(BranchAndBound, DetectsInfeasibleIp) {
+  // x1 + x2 = 1.5 has no 0/1 solution (equality with binaries).
+  Problem p;
+  p.lp = lp::Problem::with_vars(2);
+  p.is_integer = {true, true};
+  p.lp.upper = {1.0, 1.0};
+  p.lp.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, lp::RowSense::Equal, 1.5));
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(BranchAndBound, DetectsLpInfeasibleRoot) {
+  Problem p;
+  p.lp = lp::Problem::with_vars(1);
+  p.is_integer = {true};
+  p.lp.rows.push_back(make_row({{0, 1.0}}, lp::RowSense::GreaterEqual, 2.0));
+  p.lp.upper = {1.0};
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(BranchAndBound, ReportsUnboundedRoot) {
+  Problem p;
+  p.lp = lp::Problem::with_vars(1);
+  p.is_integer = {false};
+  p.lp.objective = {-1.0};
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(BranchAndBound, MixedIntegerProblem) {
+  // min -x - y, x integer in [0,3], y continuous in [0, 2.5], x + y <= 4.2.
+  Problem p;
+  p.lp = lp::Problem::with_vars(2);
+  p.is_integer = {true, false};
+  p.lp.objective = {-1.0, -1.0};
+  p.lp.upper = {3.0, 2.5};
+  p.lp.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, lp::RowSense::LessEqual, 4.2));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  // x=3 (integer), y=1.2 => -4.2; or x=2, y=2.2 => -4.2. Same objective.
+  EXPECT_NEAR(s.objective, -4.2, kTol);
+  EXPECT_NEAR(s.x[0], std::round(s.x[0]), 1e-6);
+}
+
+TEST(BranchAndBound, IncumbentHintIsReturnedWhenOptimal) {
+  const Problem p = knapsack({10, 13, 7}, {3, 4, 2}, 5);
+  Options options;
+  std::vector<double> hint = {1.0, 0.0, 1.0};  // the optimum
+  options.incumbent_hint = hint;
+  const Solution s = solve(p, options);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -17.0, kTol);
+}
+
+TEST(BranchAndBound, IncumbentHintSizeMismatchThrows) {
+  const Problem p = knapsack({1, 2}, {1, 1}, 1);
+  Options options;
+  options.incumbent_hint = std::vector<double>{1.0};
+  EXPECT_THROW((void)solve(p, options), std::invalid_argument);
+}
+
+TEST(BranchAndBound, NodeLimitReturnsFeasibleWithHint) {
+  // Capacity 5 makes the root LP fractional (2/3 of the 10-value item), so
+  // the search must branch — and immediately trips the 1-node limit.
+  const Problem p = knapsack({10, 13, 7, 9, 4}, {3, 4, 2, 3, 1}, 5);
+  Options options;
+  options.max_nodes = 1;
+  options.incumbent_hint = std::vector<double>{0.0, 0.0, 0.0, 0.0, 0.0};
+  const Solution s = solve(p, options);
+  EXPECT_EQ(s.status, Status::Feasible);  // limit, incumbent available
+}
+
+TEST(BranchAndBound, IntegralObjectiveRoundingStillOptimal) {
+  const Problem p = knapsack({3, 5, 7}, {2, 3, 4}, 6);
+  Options options;
+  options.objective_is_integral = true;
+  const Solution s = solve(p, options);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, brute_force_binary(p), kTol);
+}
+
+TEST(BranchAndBound, ValidatesIsIntegerSize) {
+  Problem p;
+  p.lp = lp::Problem::with_vars(2);
+  p.is_integer = {true};  // wrong size
+  EXPECT_THROW((void)solve(p), std::invalid_argument);
+}
+
+/// Property sweep: random binary programs vs brute force.
+class IlpRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpRandomTest, MatchesBruteForce) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int n = static_cast<int>(rng.uniform_int(2, 10));
+  const int m = static_cast<int>(rng.uniform_int(1, 4));
+
+  Problem p;
+  p.lp = lp::Problem::with_vars(n);
+  p.is_integer.assign(static_cast<std::size_t>(n), true);
+  for (int j = 0; j < n; ++j) {
+    p.lp.objective[static_cast<std::size_t>(j)] =
+        static_cast<double>(rng.uniform_int(-9, 9));
+    p.lp.upper[static_cast<std::size_t>(j)] = 1.0;
+  }
+  for (int r = 0; r < m; ++r) {
+    lp::Row row;
+    row.sense = lp::RowSense::LessEqual;
+    double weight_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double c = static_cast<double>(rng.uniform_int(0, 5));
+      if (c != 0.0) row.coeffs.emplace_back(j, c);
+      weight_sum += c;
+    }
+    // rhs between 0 and the full weight: always feasible (all-zero).
+    row.rhs = static_cast<double>(rng.uniform_int(
+        0, static_cast<std::int64_t>(weight_sum)));
+    p.lp.rows.push_back(std::move(row));
+  }
+
+  const double expected = brute_force_binary(p);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, expected, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpRandomTest, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace wtam::ilp

@@ -1,0 +1,145 @@
+// End-to-end reproduction checks on SOC d695 against the paper's Table 2
+// and Table 3. Our embedded d695 data is reconstructed from the ITC'02
+// literature; a handful of testing times match the paper exactly (34455,
+// 42952, 30032, 15442, ...) and the rest sit within a few percent, so
+// these tests assert a +-5% envelope around the published values plus the
+// structural invariants of the two-step flow.
+
+#include <gtest/gtest.h>
+
+#include "core/co_optimizer.hpp"
+#include "core/exhaustive.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+class D695Fixture : public ::testing::Test {
+ protected:
+  static const TestTimeTable& table() {
+    static const soc::Soc soc = soc::d695();
+    static const TestTimeTable table(soc, 64);
+    return table;
+  }
+};
+
+struct PaperRow {
+  int width;
+  std::int64_t paper_time;  // T_new of Table 2(b)/(d)
+};
+
+void expect_within(std::int64_t measured, std::int64_t paper, double rel,
+                   const std::string& what) {
+  const double lo = static_cast<double>(paper) * (1.0 - rel);
+  const double hi = static_cast<double>(paper) * (1.0 + rel);
+  EXPECT_GE(static_cast<double>(measured), lo) << what;
+  EXPECT_LE(static_cast<double>(measured), hi) << what;
+}
+
+TEST_F(D695Fixture, Table2bTwoTamCoOptimization) {
+  const std::vector<PaperRow> rows = {{16, 45055}, {24, 34455}, {32, 25828},
+                                      {40, 22848}, {48, 22804}, {56, 18940},
+                                      {64, 18869}};
+  for (const auto& row : rows) {
+    const auto result = co_optimize_fixed_b(table(), row.width, 2, {});
+    expect_within(result.architecture.testing_time, row.paper_time, 0.05,
+                  "W=" + std::to_string(row.width));
+  }
+}
+
+TEST_F(D695Fixture, Table2dThreeTamCoOptimization) {
+  const std::vector<PaperRow> rows = {{16, 42952}, {24, 30032}, {32, 24851},
+                                      {40, 18448}, {48, 17581}, {56, 15510},
+                                      {64, 15442}};
+  for (const auto& row : rows) {
+    const auto result = co_optimize_fixed_b(table(), row.width, 3, {});
+    expect_within(result.architecture.testing_time, row.paper_time, 0.05,
+                  "W=" + std::to_string(row.width));
+  }
+}
+
+TEST_F(D695Fixture, Table2aExhaustiveTwoTams) {
+  const std::vector<PaperRow> rows = {{16, 45055}, {24, 29501}, {32, 25442},
+                                      {40, 21359}, {48, 19938}, {56, 18434},
+                                      {64, 18205}};
+  for (const auto& row : rows) {
+    const auto result = exhaustive_paw(table(), row.width, 2, {});
+    ASSERT_TRUE(result.completed);
+    expect_within(result.best.testing_time, row.paper_time, 0.05,
+                  "W=" + std::to_string(row.width));
+  }
+}
+
+TEST_F(D695Fixture, FinalStepNeverWorseThanHeuristic) {
+  for (int w = 16; w <= 64; w += 8) {
+    const auto result = co_optimize(table(), w, {});
+    EXPECT_LE(result.architecture.testing_time,
+              result.heuristic.best.testing_time)
+        << "W=" << w;
+  }
+}
+
+TEST_F(D695Fixture, HeuristicNeverBeatsExhaustive) {
+  for (int w : {16, 24, 32}) {
+    for (int b : {2, 3}) {
+      const auto exact = exhaustive_paw(table(), w, b, {});
+      ASSERT_TRUE(exact.completed);
+      const auto heuristic = co_optimize_fixed_b(table(), w, b, {});
+      EXPECT_GE(heuristic.architecture.testing_time, exact.best.testing_time)
+          << "W=" << w << " B=" << b;
+    }
+  }
+}
+
+TEST_F(D695Fixture, Table3MoreTamsHelp) {
+  // Table 3: with B free (up to 10), testing times at W >= 48 beat the
+  // best fixed-B<=3 results of Table 2.
+  CoOptimizeOptions options;
+  options.search.max_tams = 10;
+  const auto free_b = co_optimize(table(), 56, options);
+  const auto fixed_2 = co_optimize_fixed_b(table(), 56, 2, {});
+  const auto fixed_3 = co_optimize_fixed_b(table(), 56, 3, {});
+  EXPECT_LE(free_b.architecture.testing_time,
+            fixed_2.architecture.testing_time);
+  EXPECT_LE(free_b.architecture.testing_time,
+            fixed_3.architecture.testing_time);
+  // Paper Table 3 reaches 12941 at W=56 with 5 TAMs; ours should be in
+  // that neighbourhood.
+  expect_within(free_b.architecture.testing_time, 12941, 0.10, "W=56 free B");
+}
+
+TEST_F(D695Fixture, TestingTimeDecreasesWithTotalWidth) {
+  // More TAM wires never hurt the co-optimized architecture.
+  std::int64_t previous = std::numeric_limits<std::int64_t>::max();
+  CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  for (int w = 16; w <= 64; w += 8) {
+    const auto result = co_optimize(table(), w, options);
+    EXPECT_LE(result.architecture.testing_time, previous) << "W=" << w;
+    previous = result.architecture.testing_time;
+  }
+}
+
+TEST_F(D695Fixture, ArchitectureIsWellFormed) {
+  const auto result = co_optimize(table(), 48, {});
+  const auto& arch = result.architecture;
+  EXPECT_EQ(arch.total_width(), 48);
+  ASSERT_EQ(static_cast<int>(arch.assignment.size()), table().core_count());
+  for (const int tam : arch.assignment) {
+    EXPECT_GE(tam, 0);
+    EXPECT_LT(tam, arch.tam_count());
+  }
+}
+
+TEST_F(D695Fixture, HeuristicCpuTimeIsSmall) {
+  // The heuristic flow on d695 takes ~1s in the paper (333 MHz); on any
+  // modern machine it must be well under a second.
+  CoOptimizeOptions options;
+  options.search.max_tams = 10;
+  const auto result = co_optimize(table(), 64, options);
+  EXPECT_LT(result.total_cpu_s(), 5.0);
+}
+
+}  // namespace
+}  // namespace wtam::core

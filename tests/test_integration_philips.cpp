@@ -1,0 +1,140 @@
+// End-to-end checks on the synthetic Philips SOCs. Absolute testing times
+// are not comparable to the paper (the SOCs are reconstructions; see
+// DESIGN.md §3), but the documented *shapes* are:
+//   * p31108 plateaus at exactly 544579 cycles from W=40 / B>=3 onward,
+//     bottlenecked by Core 18 (Tables 11-13);
+//   * p21241 keeps improving with more TAMs (B up to 5-6 at W=56) —
+//     Table 7's headline;
+//   * testing times sit on the paper's cycle scale for all three SOCs.
+
+#include <gtest/gtest.h>
+
+#include "core/co_optimizer.hpp"
+#include "core/exhaustive.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+constexpr std::int64_t kP31108Floor = 544579;
+
+TEST(P31108, PlateauAt544579FromWidth40) {
+  const soc::Soc soc = soc::p31108();
+  const TestTimeTable table(soc, 64);
+  CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  for (int w : {40, 48, 56, 64}) {
+    const auto result = co_optimize(table, w, options);
+    EXPECT_EQ(result.architecture.testing_time, kP31108Floor) << "W=" << w;
+  }
+}
+
+TEST(P31108, AboveFloorBelowWidth40) {
+  const soc::Soc soc = soc::p31108();
+  const TestTimeTable table(soc, 32);
+  CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  for (int w : {16, 24, 32}) {
+    const auto result = co_optimize(table, w, options);
+    EXPECT_GT(result.architecture.testing_time, kP31108Floor) << "W=" << w;
+  }
+}
+
+TEST(P31108, FloorIsCore18MinTime) {
+  const soc::Soc soc = soc::p31108();
+  EXPECT_EQ(soc::min_test_time_bound(soc.cores[17]), kP31108Floor);
+  // No architecture can beat the floor whatever the width.
+  const TestTimeTable table(soc, 64);
+  const auto result = co_optimize(table, 64, {});
+  EXPECT_GE(result.architecture.testing_time, kP31108Floor);
+}
+
+TEST(P31108, Core18AloneOnItsTamAtThePlateau) {
+  // Paper §4.3: at the plateau Core 18 sits on a TAM of >= 10 bits with no
+  // other core assigned to it.
+  const soc::Soc soc = soc::p31108();
+  const TestTimeTable table(soc, 64);
+  CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  const auto result = co_optimize(table, 48, options);
+  ASSERT_EQ(result.architecture.testing_time, kP31108Floor);
+  const int tam18 = result.architecture.assignment[17];
+  EXPECT_GE(result.architecture.widths[static_cast<std::size_t>(tam18)], 10);
+  for (int i = 0; i < soc.core_count(); ++i) {
+    if (i == 17) continue;
+    EXPECT_NE(result.architecture.assignment[static_cast<std::size_t>(i)], tam18)
+        << "core " << i << " shares Core 18's TAM";
+  }
+}
+
+TEST(P31108, TestingTimesOnPaperScale) {
+  // Paper Table 10 (B=2): 1080940 @ W=16 down to 700939 @ W=64.
+  const soc::Soc soc = soc::p31108();
+  const TestTimeTable table(soc, 64);
+  const auto at16 = co_optimize_fixed_b(table, 16, 2, {});
+  EXPECT_GT(at16.architecture.testing_time, 600'000);
+  EXPECT_LT(at16.architecture.testing_time, 2'000'000);
+}
+
+TEST(P21241, MoreTamsKeepHelping) {
+  // Table 7: at W=56 the best architecture uses 5-6 TAMs and is ~40%
+  // faster than the best B<=2 result.
+  const soc::Soc soc = soc::p21241();
+  const TestTimeTable table(soc, 56);
+  CoOptimizeOptions wide;
+  wide.search.max_tams = 8;
+  const auto free_b = co_optimize(table, 56, wide);
+  const auto two = co_optimize_fixed_b(table, 56, 2, {});
+  EXPECT_GE(free_b.heuristic.best_tams, 4);
+  EXPECT_LT(static_cast<double>(free_b.architecture.testing_time),
+            0.75 * static_cast<double>(two.architecture.testing_time));
+}
+
+TEST(P21241, HeuristicRunsInSeconds) {
+  // §3.1: "upto ten TAMs within a few minutes" on a 333 MHz machine; ours
+  // must be far faster even at B <= 10.
+  const soc::Soc soc = soc::p21241();
+  const TestTimeTable table(soc, 40);
+  CoOptimizeOptions options;
+  options.search.max_tams = 10;
+  options.run_final_step = false;
+  const auto result = co_optimize(table, 40, options);
+  EXPECT_LT(result.heuristic_cpu_s, 30.0);
+  EXPECT_GT(result.heuristic.per_b.size(), 8u);
+}
+
+TEST(P93791, TwoAndThreeTamResultsOnPaperScale) {
+  // Tables 16/18: 1.95M..0.47M cycles over W=16..64.
+  const soc::Soc soc = soc::p93791();
+  const TestTimeTable table(soc, 64);
+  const auto at16 = co_optimize_fixed_b(table, 16, 2, {});
+  EXPECT_GT(at16.architecture.testing_time, 1'000'000);
+  EXPECT_LT(at16.architecture.testing_time, 3'000'000);
+  const auto at64 = co_optimize_fixed_b(table, 64, 3, {});
+  EXPECT_GT(at64.architecture.testing_time, 300'000);
+  EXPECT_LT(at64.architecture.testing_time, 700'000);
+  EXPECT_LT(at64.architecture.testing_time, at16.architecture.testing_time);
+}
+
+TEST(P93791, ExhaustiveBeatsOrMatchesHeuristicWhereFeasible) {
+  const soc::Soc soc = soc::p93791();
+  const TestTimeTable table(soc, 24);
+  const auto exact = exhaustive_paw(table, 24, 2, {});
+  ASSERT_TRUE(exact.completed);
+  const auto heuristic = co_optimize_fixed_b(table, 24, 2, {});
+  EXPECT_LE(exact.best.testing_time, heuristic.architecture.testing_time);
+}
+
+TEST(AllPhilipsSocs, FinalStepImprovesOrMatchesHeuristic) {
+  for (const soc::Soc& soc : {soc::p21241(), soc::p31108(), soc::p93791()}) {
+    const TestTimeTable table(soc, 32);
+    const auto result = co_optimize(table, 32, {});
+    EXPECT_LE(result.architecture.testing_time,
+              result.heuristic.best.testing_time)
+        << soc.name;
+  }
+}
+
+}  // namespace
+}  // namespace wtam::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/co_optimizer.hpp"
+#include "core/exhaustive.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+TEST(LowerBounds, BoundsNeverExceedExhaustiveOptimum) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 32);
+  for (int w : {8, 16, 24, 32}) {
+    const auto bounds = testing_time_lower_bounds(table, w);
+    const auto exact = exhaustive_pnpaw(table, w, 3, {});
+    ASSERT_TRUE(exact.completed);
+    EXPECT_LE(bounds.combined(), exact.best.testing_time) << "W=" << w;
+  }
+}
+
+TEST(LowerBounds, P31108PlateauIsTheBottleneckBound) {
+  const soc::Soc soc = soc::p31108();
+  const TestTimeTable table(soc, 64);
+  const auto bounds = testing_time_lower_bounds(table, 64);
+  EXPECT_EQ(bounds.bottleneck_core, 544579);
+  EXPECT_EQ(bounds.bottleneck_core_index, 17);  // Core 18
+  // And the optimizer provably attains it: gap == 0.
+  CoOptimizeOptions options;
+  options.search.max_tams = 6;
+  const auto result = co_optimize(table, 64, options);
+  EXPECT_DOUBLE_EQ(
+      optimality_gap(bounds, result.architecture.testing_time), 0.0);
+}
+
+TEST(LowerBounds, VolumeBoundDominatesAtSmallWidths) {
+  // At small W the volume bound is the binding one for work-heavy SOCs.
+  const soc::Soc soc = soc::p93791();
+  const TestTimeTable table(soc, 64);
+  const auto narrow = testing_time_lower_bounds(table, 16);
+  EXPECT_GT(narrow.volume, narrow.bottleneck_core);
+}
+
+TEST(LowerBounds, BottleneckMatchesTableColumn) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 24);
+  const auto bounds = testing_time_lower_bounds(table, 24);
+  std::int64_t expected = 0;
+  for (int i = 0; i < table.core_count(); ++i)
+    expected = std::max(expected, table.time(i, 24));
+  EXPECT_EQ(bounds.bottleneck_core, expected);
+}
+
+TEST(LowerBounds, MonotoneNonIncreasingInWidth) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 48);
+  std::int64_t previous = std::numeric_limits<std::int64_t>::max();
+  for (int w = 4; w <= 48; w += 4) {
+    const auto bounds = testing_time_lower_bounds(table, w);
+    EXPECT_LE(bounds.combined(), previous) << "W=" << w;
+    previous = bounds.combined();
+  }
+}
+
+TEST(LowerBounds, GapComputation) {
+  LowerBounds bounds;
+  bounds.bottleneck_core = 100;
+  bounds.volume = 80;
+  EXPECT_DOUBLE_EQ(optimality_gap(bounds, 110), 0.10);
+  EXPECT_DOUBLE_EQ(optimality_gap(bounds, 100), 0.0);
+}
+
+TEST(LowerBounds, RejectsBadArguments) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 16);
+  EXPECT_THROW((void)testing_time_lower_bounds(table, 0), std::invalid_argument);
+  EXPECT_THROW((void)testing_time_lower_bounds(table, 17), std::invalid_argument);
+  LowerBounds zero;
+  EXPECT_THROW((void)optimality_gap(zero, 10), std::invalid_argument);
+}
+
+TEST(LowerBounds, D695GapIsSmallAtModerateWidths) {
+  // The co-optimizer should land within ~25% of the information-theoretic
+  // bound on d695 (the bound itself is not tight).
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 48);
+  CoOptimizeOptions options;
+  options.search.max_tams = 8;
+  const auto result = co_optimize(table, 48, options);
+  const auto bounds = testing_time_lower_bounds(table, 48);
+  EXPECT_LT(optimality_gap(bounds, result.architecture.testing_time), 0.40);
+}
+
+}  // namespace
+}  // namespace wtam::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace wtam::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+Row make_row(std::vector<std::pair<int, double>> coeffs, RowSense sense,
+             double rhs) {
+  Row row;
+  row.coeffs = std::move(coeffs);
+  row.sense = sense;
+  row.rhs = rhs;
+  return row;
+}
+
+TEST(Simplex, SolvesBasicTwoVarProblem) {
+  // min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  => x=2, y=2, obj=-6.
+  Problem p = Problem::with_vars(2);
+  p.objective = {-1.0, -2.0};
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::LessEqual, 4.0));
+  p.upper = {3.0, 2.0};
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -6.0, kTol);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.x[1], 2.0, kTol);
+}
+
+TEST(Simplex, HandlesEqualityRows) {
+  // min x + y s.t. x + 2y = 4, x,y >= 0 => y=2, x=0, obj=2.
+  Problem p = Problem::with_vars(2);
+  p.objective = {1.0, 1.0};
+  p.rows.push_back(make_row({{0, 1.0}, {1, 2.0}}, RowSense::Equal, 4.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, HandlesGreaterEqualRows) {
+  // min 2x + 3y s.t. x + y >= 5, x >= 0, y >= 0 => x=5, obj=10.
+  Problem p = Problem::with_vars(2);
+  p.objective = {2.0, 3.0};
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::GreaterEqual, 5.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 10.0, kTol);
+  EXPECT_NEAR(s.x[0], 5.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  Problem p = Problem::with_vars(1);
+  p.objective = {1.0};
+  p.rows.push_back(make_row({{0, 1.0}}, RowSense::LessEqual, 1.0));
+  p.rows.push_back(make_row({{0, 1.0}}, RowSense::GreaterEqual, 2.0));
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x free above.
+  Problem p = Problem::with_vars(1);
+  p.objective = {-1.0};
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, RespectsLowerBoundShift) {
+  // min x with 2 <= x <= 7 => x=2.
+  Problem p = Problem::with_vars(1);
+  p.objective = {1.0};
+  p.lower = {2.0};
+  p.upper = {7.0};
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsRowsAreNormalized) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  Problem p = Problem::with_vars(1);
+  p.objective = {1.0};
+  p.rows.push_back(make_row({{0, -1.0}}, RowSense::LessEqual, -3.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 3.0, kTol);
+}
+
+TEST(Simplex, SolvesDegenerateProblem) {
+  // Klee-Minty-ish degeneracy: several redundant constraints at the optimum.
+  Problem p = Problem::with_vars(2);
+  p.objective = {-1.0, -1.0};
+  p.rows.push_back(make_row({{0, 1.0}}, RowSense::LessEqual, 1.0));
+  p.rows.push_back(make_row({{1, 1.0}}, RowSense::LessEqual, 1.0));
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::LessEqual, 2.0));
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::LessEqual, 2.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, -2.0, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRowsDoNotBreakPhase1) {
+  // Same equality twice: phase 1 leaves one artificial basic at zero.
+  Problem p = Problem::with_vars(2);
+  p.objective = {1.0, 2.0};
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::Equal, 3.0));
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::Equal, 3.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);  // all weight on x0
+}
+
+TEST(Simplex, RepeatedCoefficientsAreSummed) {
+  // Row lists x twice: 0.5x + 0.5x <= 2 => x <= 2.
+  Problem p = Problem::with_vars(1);
+  p.objective = {-1.0};
+  p.rows.push_back(make_row({{0, 0.5}, {0, 0.5}}, RowSense::LessEqual, 2.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+}
+
+TEST(Simplex, ValidatesBadIndices) {
+  Problem p = Problem::with_vars(1);
+  p.rows.push_back(make_row({{5, 1.0}}, RowSense::LessEqual, 1.0));
+  EXPECT_THROW((void)solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, ValidatesNaN) {
+  Problem p = Problem::with_vars(1);
+  p.objective = {std::nan("")};
+  EXPECT_THROW((void)solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, ValidatesInvertedBounds) {
+  Problem p = Problem::with_vars(1);
+  p.lower = {3.0};
+  p.upper = {1.0};
+  EXPECT_THROW((void)solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // Classic 2x2 transportation: supplies {3, 4}, demands {2, 5},
+  // costs {{8, 6}, {9, 5}}; optimum = 2*8 + 1*6 + 4*5 = 16+6+20 = 42?
+  // Check: ship x11=2, x12=1, x22=4 -> cost 16 + 6 + 20 = 42.
+  Problem p = Problem::with_vars(4);  // x11 x12 x21 x22
+  p.objective = {8.0, 6.0, 9.0, 5.0};
+  p.rows.push_back(make_row({{0, 1.0}, {1, 1.0}}, RowSense::Equal, 3.0));
+  p.rows.push_back(make_row({{2, 1.0}, {3, 1.0}}, RowSense::Equal, 4.0));
+  p.rows.push_back(make_row({{0, 1.0}, {2, 1.0}}, RowSense::Equal, 2.0));
+  p.rows.push_back(make_row({{1, 1.0}, {3, 1.0}}, RowSense::Equal, 5.0));
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 42.0, kTol);
+}
+
+/// Property sweep: random feasible LPs — the returned point must satisfy
+/// every constraint, and must be at least as good as a known feasible point.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, OptimalIsFeasibleAndBeatsReference) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.uniform_int(2, 6));
+  const int m = static_cast<int>(rng.uniform_int(1, 5));
+
+  // Construct a random feasible point and rows that admit it.
+  std::vector<double> reference(static_cast<std::size_t>(n));
+  for (auto& v : reference) v = static_cast<double>(rng.uniform_int(0, 5));
+
+  Problem p = Problem::with_vars(n);
+  for (int j = 0; j < n; ++j) {
+    p.objective[static_cast<std::size_t>(j)] =
+        static_cast<double>(rng.uniform_int(-5, 5));
+    p.upper[static_cast<std::size_t>(j)] = 10.0;  // keep bounded
+  }
+  for (int r = 0; r < m; ++r) {
+    Row row;
+    row.sense = RowSense::LessEqual;
+    double lhs_at_reference = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double c = static_cast<double>(rng.uniform_int(-3, 3));
+      if (c != 0.0) row.coeffs.emplace_back(j, c);
+      lhs_at_reference += c * reference[static_cast<std::size_t>(j)];
+    }
+    row.rhs = lhs_at_reference + static_cast<double>(rng.uniform_int(0, 4));
+    p.rows.push_back(std::move(row));
+  }
+
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::Optimal);
+  // Feasibility of the returned point.
+  for (const auto& row : p.rows) {
+    double lhs = 0.0;
+    for (const auto& [idx, val] : row.coeffs)
+      lhs += val * s.x[static_cast<std::size_t>(idx)];
+    EXPECT_LE(lhs, row.rhs + 1e-6);
+  }
+  for (int j = 0; j < n; ++j) {
+    EXPECT_GE(s.x[static_cast<std::size_t>(j)], -1e-9);
+    EXPECT_LE(s.x[static_cast<std::size_t>(j)], 10.0 + 1e-9);
+  }
+  // Optimality vs the known feasible reference point.
+  double reference_obj = 0.0;
+  for (int j = 0; j < n; ++j)
+    reference_obj +=
+        p.objective[static_cast<std::size_t>(j)] * reference[static_cast<std::size_t>(j)];
+  EXPECT_LE(s.objective, reference_obj + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace wtam::lp

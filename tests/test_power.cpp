@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/co_optimizer.hpp"
+#include "core/power.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+class PowerFixture : public ::testing::Test {
+ protected:
+  static const TestTimeTable& table() {
+    static const soc::Soc soc = soc::d695();
+    static const TestTimeTable table(soc, 32);
+    return table;
+  }
+  static TamArchitecture architecture() {
+    return co_optimize_fixed_b(table(), 32, 3, {}).architecture;
+  }
+  static PowerVector power() { return scan_activity_power(table().soc()); }
+};
+
+TEST_F(PowerFixture, ScanActivityModelValues) {
+  const PowerVector p = power();
+  ASSERT_EQ(p.size(), 10u);
+  // c6288: 32+32 I/Os, no scan.
+  EXPECT_EQ(p[0], 64);
+  // s9234: 36+39 I/Os + 212 scan bits.
+  EXPECT_EQ(p[3], 36 + 39 + 212);
+}
+
+TEST_F(PowerFixture, ProfileStepsAreConsistent) {
+  const auto schedule = build_schedule(table(), architecture());
+  const auto profile = power_profile(schedule, power());
+  ASSERT_FALSE(profile.empty());
+  for (const auto& step : profile) {
+    EXPECT_LT(step.start, step.end);
+    EXPECT_GT(step.power, 0);
+  }
+  // Steps are non-overlapping and ordered.
+  for (std::size_t i = 1; i < profile.size(); ++i)
+    EXPECT_LE(profile[i - 1].end, profile[i].start);
+}
+
+TEST_F(PowerFixture, InitialPowerIsSumOfFirstSessions) {
+  // At t=0 every TAM starts its first core, so the first step's power is
+  // the sum of those cores' powers.
+  const auto arch = architecture();
+  const auto schedule = build_schedule(table(), arch);
+  const auto p = power();
+  std::int64_t expected = 0;
+  for (const auto& entry : schedule.entries)
+    if (entry.start == 0) expected += p[static_cast<std::size_t>(entry.core)];
+  const auto profile = power_profile(schedule, p);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.front().start, 0);
+  EXPECT_EQ(profile.front().power, expected);
+}
+
+TEST_F(PowerFixture, PeakBoundsSanity) {
+  const auto schedule = build_schedule(table(), architecture());
+  const auto p = power();
+  const std::int64_t peak = peak_power(schedule, p);
+  const std::int64_t total = std::accumulate(p.begin(), p.end(), std::int64_t{0});
+  const std::int64_t largest = *std::max_element(p.begin(), p.end());
+  EXPECT_GE(peak, largest);  // the largest core is active at some point
+  EXPECT_LE(peak, total);
+}
+
+TEST_F(PowerFixture, UnlimitedBudgetReproducesUnconstrainedSchedule) {
+  const auto arch = architecture();
+  const auto p = power();
+  const std::int64_t total = std::accumulate(p.begin(), p.end(), std::int64_t{0});
+  const auto result = schedule_with_power_limit(table(), arch, p, total);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.idle_cycles, 0);
+  EXPECT_EQ(result.schedule.makespan, arch.testing_time);
+}
+
+TEST_F(PowerFixture, TightBudgetRespectedAtCostOfTime) {
+  const auto arch = architecture();
+  const auto p = power();
+  const std::int64_t unconstrained_peak =
+      peak_power(build_schedule(table(), arch), p);
+  const std::int64_t limit = unconstrained_peak - 1;  // force serialization
+  const auto result = schedule_with_power_limit(table(), arch, p, limit);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.peak, limit);
+  EXPECT_GE(result.schedule.makespan, arch.testing_time);
+  EXPECT_GT(result.idle_cycles, 0);
+}
+
+TEST_F(PowerFixture, BudgetBelowSingleCoreIsInfeasible) {
+  const auto arch = architecture();
+  const auto p = power();
+  const std::int64_t largest = *std::max_element(p.begin(), p.end());
+  const auto result = schedule_with_power_limit(table(), arch, p, largest - 1);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST_F(PowerFixture, MinimalBudgetFullySerializes) {
+  // Budget == largest single power: sessions can never overlap two large
+  // cores; with equality to the max, at least the biggest runs alone.
+  const auto arch = architecture();
+  const auto p = power();
+  const std::int64_t largest = *std::max_element(p.begin(), p.end());
+  const auto result = schedule_with_power_limit(table(), arch, p, largest);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.peak, largest);
+  // Fully or mostly serialized: makespan approaches the serial sum.
+  EXPECT_GT(result.schedule.makespan, arch.testing_time);
+}
+
+TEST_F(PowerFixture, ConstrainedScheduleStillRunsEveryCoreOnce) {
+  const auto arch = architecture();
+  const auto p = power();
+  const std::int64_t largest = *std::max_element(p.begin(), p.end());
+  const auto result = schedule_with_power_limit(table(), arch, p, largest + 500);
+  ASSERT_TRUE(result.feasible);
+  std::vector<int> count(static_cast<std::size_t>(table().core_count()), 0);
+  for (const auto& entry : result.schedule.entries)
+    ++count[static_cast<std::size_t>(entry.core)];
+  for (const int c : count) EXPECT_EQ(c, 1);
+  // Per-TAM sequences stay disjoint.
+  for (int tam = 0; tam < arch.tam_count(); ++tam) {
+    std::int64_t clock = -1;
+    for (const auto& entry : result.schedule.entries) {
+      if (entry.tam != tam) continue;
+      EXPECT_GE(entry.start, clock);
+      clock = entry.end;
+    }
+  }
+}
+
+TEST_F(PowerFixture, PowerVectorSizeChecked) {
+  const auto arch = architecture();
+  PowerVector wrong(3, 10);
+  EXPECT_THROW(
+      (void)schedule_with_power_limit(table(), arch, wrong, 1000),
+      std::invalid_argument);
+}
+
+TEST(PowerProfile, ThrowsOnShortPowerVector) {
+  TestSchedule schedule;
+  schedule.entries.push_back({5, 0, 0, 10});
+  PowerVector p(2, 1);
+  EXPECT_THROW((void)power_profile(schedule, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/lpt.hpp"
+
+namespace wtam::sched {
+namespace {
+
+TEST(Lpt, SingleMachineSumsEverything) {
+  const std::vector<std::int64_t> jobs = {3, 1, 4, 1, 5};
+  const Schedule s = lpt(jobs, 1);
+  EXPECT_EQ(s.makespan, 14);
+  EXPECT_EQ(s.loads.size(), 1u);
+}
+
+TEST(Lpt, ClassicTwoMachineExample) {
+  // {5,4,3,3,3} on 2 machines: LPT -> {5,3,3}=11? No: 5|4, 3->4+3=7,
+  // 3->5+3=8, 3->7+3=10 => loads {8,10}, makespan 10. Optimal is 9.
+  const std::vector<std::int64_t> jobs = {5, 4, 3, 3, 3};
+  const Schedule s = lpt(jobs, 2);
+  EXPECT_EQ(s.makespan, 10);
+  EXPECT_EQ(optimal_makespan(jobs, 2), 9);
+}
+
+TEST(Lpt, AssignmentsCoverAllJobs) {
+  const std::vector<std::int64_t> jobs = {7, 2, 9, 4, 4, 1};
+  const Schedule s = lpt(jobs, 3);
+  ASSERT_EQ(s.machine_of.size(), jobs.size());
+  std::vector<std::int64_t> loads(3, 0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_GE(s.machine_of[i], 0);
+    ASSERT_LT(s.machine_of[i], 3);
+    loads[static_cast<std::size_t>(s.machine_of[i])] += jobs[i];
+  }
+  EXPECT_EQ(loads, s.loads);
+}
+
+TEST(Lpt, MoreMachinesThanJobs) {
+  const std::vector<std::int64_t> jobs = {4, 2};
+  const Schedule s = lpt(jobs, 5);
+  EXPECT_EQ(s.makespan, 4);
+}
+
+TEST(Lpt, EmptyJobList) {
+  const Schedule s = lpt({}, 3);
+  EXPECT_EQ(s.makespan, 0);
+}
+
+TEST(Lpt, RejectsBadArguments) {
+  const std::vector<std::int64_t> one = {1};
+  EXPECT_THROW((void)lpt(one, 0), std::invalid_argument);
+  const std::vector<std::int64_t> negative = {-1};
+  EXPECT_THROW((void)lpt(negative, 1), std::invalid_argument);
+}
+
+TEST(LowerBound, MaxOfLargestJobAndAverage) {
+  const std::vector<std::int64_t> jobs = {9, 1, 1, 1};
+  EXPECT_EQ(makespan_lower_bound(jobs, 2), 9);   // largest job
+  EXPECT_EQ(makespan_lower_bound(jobs, 4), 9);
+  const std::vector<std::int64_t> even = {3, 3, 3, 3};
+  EXPECT_EQ(makespan_lower_bound(even, 2), 6);   // ceil(total/m)
+}
+
+TEST(OptimalMakespan, MatchesHandComputedCases) {
+  EXPECT_EQ(optimal_makespan(std::vector<std::int64_t>{3, 3, 2, 2, 2}, 2), 6);
+  EXPECT_EQ(optimal_makespan(std::vector<std::int64_t>{10}, 4), 10);
+  EXPECT_EQ(optimal_makespan({}, 2), 0);
+}
+
+/// Property sweep: LPT is within 4/3 - 1/(3m) of optimal, and both respect
+/// the lower bound.
+class LptRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LptRandomTest, GuaranteeHolds) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const int machines = static_cast<int>(rng.uniform_int(2, 4));
+  const int n = static_cast<int>(rng.uniform_int(3, 10));
+  std::vector<std::int64_t> jobs(static_cast<std::size_t>(n));
+  for (auto& j : jobs) j = rng.uniform_int(1, 50);
+
+  const std::int64_t lpt_makespan = lpt(jobs, machines).makespan;
+  const std::int64_t opt = optimal_makespan(jobs, machines);
+  const std::int64_t lb = makespan_lower_bound(jobs, machines);
+
+  EXPECT_GE(opt, lb);
+  EXPECT_GE(lpt_makespan, opt);
+  // Graham's bound: LPT <= (4/3 - 1/(3m)) OPT.
+  const double bound = (4.0 / 3.0 - 1.0 / (3.0 * machines)) *
+                       static_cast<double>(opt);
+  EXPECT_LE(static_cast<double>(lpt_makespan), bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LptRandomTest, ::testing::Range(1, 51));
+
+}  // namespace
+}  // namespace wtam::sched

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "soc/benchmarks.hpp"
+#include "soc/generator.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::soc {
+namespace {
+
+TEST(Generator, Deterministic) {
+  const Soc a = p21241();
+  const Soc b = p21241();
+  ASSERT_EQ(a.core_count(), b.core_count());
+  for (int i = 0; i < a.core_count(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(a.cores[idx].test_patterns, b.cores[idx].test_patterns);
+    EXPECT_EQ(a.cores[idx].scan_chains, b.cores[idx].scan_chains);
+  }
+}
+
+struct PublishedRow {
+  Soc soc;
+  int total_cores;
+  int logic_cores;
+  int memory_cores;
+  Range logic_patterns, logic_ios, logic_chains, logic_lengths;
+  Range memory_patterns, memory_ios;
+};
+
+class PublishedRangesTest : public ::testing::TestWithParam<int> {
+ protected:
+  static PublishedRow row(int which) {
+    switch (which) {
+      case 0:  // Table 4
+        return {p21241(), 28, 22, 6,
+                {1, 785},    {37, 1197}, {1, 31}, {1, 400},
+                {222, 12324}, {52, 148}};
+      case 1:  // Table 8
+        return {p31108(), 19, 4, 15,
+                {210, 745},  {109, 428}, {1, 29}, {8, 806},
+                {128, 12236}, {11, 87}};
+      default:  // Table 14
+        return {p93791(), 32, 14, 18,
+                {11, 6127},  {109, 813}, {11, 46}, {1, 521},
+                {42, 3085},  {21, 396}};
+    }
+  }
+};
+
+TEST_P(PublishedRangesTest, CoreCountsMatchPaper) {
+  const PublishedRow expected = row(GetParam());
+  EXPECT_EQ(expected.soc.core_count(), expected.total_cores);
+  const auto logic = core_data_ranges(expected.soc, CoreKind::Logic);
+  const auto memory = core_data_ranges(expected.soc, CoreKind::Memory);
+  EXPECT_EQ(logic.core_count, expected.logic_cores);
+  EXPECT_EQ(memory.core_count, expected.memory_cores);
+}
+
+TEST_P(PublishedRangesTest, LogicRangesMatchPaperExactly) {
+  const PublishedRow expected = row(GetParam());
+  const auto logic = core_data_ranges(expected.soc, CoreKind::Logic);
+  EXPECT_EQ(logic.test_patterns, expected.logic_patterns);
+  EXPECT_EQ(logic.functional_ios, expected.logic_ios);
+  EXPECT_EQ(logic.scan_chain_count, expected.logic_chains);
+  ASSERT_TRUE(logic.scan_lengths.has_value());
+  EXPECT_EQ(*logic.scan_lengths, expected.logic_lengths);
+}
+
+TEST_P(PublishedRangesTest, MemoryRangesMatchPaperExactly) {
+  const PublishedRow expected = row(GetParam());
+  const auto memory = core_data_ranges(expected.soc, CoreKind::Memory);
+  EXPECT_EQ(memory.test_patterns, expected.memory_patterns);
+  EXPECT_EQ(memory.functional_ios, expected.memory_ios);
+  EXPECT_EQ(memory.scan_chain_count, (Range{0, 0}));
+  EXPECT_FALSE(memory.scan_lengths.has_value());
+}
+
+TEST_P(PublishedRangesTest, EveryCoreInsideItsClassRanges) {
+  const PublishedRow expected = row(GetParam());
+  for (const auto& core : expected.soc.cores) {
+    if (core.kind == CoreKind::Logic) {
+      EXPECT_GE(core.test_patterns, expected.logic_patterns.min);
+      EXPECT_LE(core.test_patterns, expected.logic_patterns.max);
+      EXPECT_GE(core.functional_ios(), expected.logic_ios.min);
+      EXPECT_LE(core.functional_ios(), expected.logic_ios.max);
+      for (const int len : core.scan_chains) {
+        EXPECT_GE(len, expected.logic_lengths.min);
+        EXPECT_LE(len, expected.logic_lengths.max);
+      }
+    } else {
+      EXPECT_GE(core.test_patterns, expected.memory_patterns.min);
+      EXPECT_LE(core.test_patterns, expected.memory_patterns.max);
+      EXPECT_TRUE(core.scan_chains.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables4_8_14, PublishedRangesTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Generator, P31108Core18IsThePaperBottleneck) {
+  const Soc soc = p31108();
+  const Core& core18 = soc.cores[17];  // core 18, 1-based
+  EXPECT_EQ(core18.test_patterns, 729);
+  EXPECT_EQ(core18.longest_scan_chain(), 745);
+  // Minimal testing time (1+745)*729 + 745 = 544579, reached at width 10.
+  EXPECT_EQ(min_test_time_bound(core18), 544579);
+  EXPECT_EQ(wrapper::test_time(core18, 10), 544579);
+  EXPECT_GT(wrapper::test_time(core18, 9), 544579);
+  EXPECT_EQ(wrapper::test_time(core18, 32), 544579);
+}
+
+TEST(Generator, P31108OnlyCore18ReachesTheFloor) {
+  const Soc soc = p31108();
+  for (int i = 0; i < soc.core_count(); ++i) {
+    if (i == 17) continue;
+    EXPECT_LT(min_test_time_bound(soc.cores[static_cast<std::size_t>(i)]),
+              544579)
+        << soc.cores[static_cast<std::size_t>(i)].name;
+  }
+}
+
+TEST(Generator, VolumeCalibrationIsClose) {
+  const auto check = [](const Soc& soc, std::int64_t target) {
+    std::int64_t volume = 0;
+    for (const auto& core : soc.cores)
+      volume +=
+          core.test_patterns * (core.functional_ios() + core.total_scan_bits());
+    const double ratio =
+        static_cast<double>(volume) / static_cast<double>(target);
+    EXPECT_GT(ratio, 0.9) << soc.name;
+    EXPECT_LT(ratio, 1.1) << soc.name;
+  };
+  check(p21241(), *p21241_spec().target_volume);
+  check(p93791(), *p93791_spec().target_volume);
+  // p31108's target excludes the hand-built anchor core.
+  Soc p = p31108();
+  p.cores.erase(p.cores.begin() + 17);
+  check(p, *p31108_spec().target_volume);
+}
+
+TEST(Generator, FloorCapHonored) {
+  const auto check = [](const Soc& soc, std::int64_t cap, int skip = -1) {
+    for (int i = 0; i < soc.core_count(); ++i) {
+      if (i == skip) continue;
+      EXPECT_LE(min_test_time_bound(soc.cores[static_cast<std::size_t>(i)]), cap)
+          << soc.name << " core " << i;
+    }
+  };
+  check(p21241(), *p21241_spec().core_floor_time_cap);
+  check(p93791(), *p93791_spec().core_floor_time_cap);
+  check(p31108(), *p31108_spec().core_floor_time_cap, /*skip=*/17);
+}
+
+TEST(Generator, CustomSpecSmall) {
+  SyntheticSpec spec;
+  spec.name = "mini";
+  spec.seed = 99;
+  spec.logic_cores = 4;
+  spec.logic.patterns = {10, 100};
+  spec.logic.ios = {8, 40};
+  spec.logic.chains = {1, 4};
+  spec.logic.chain_len = {5, 50};
+  spec.memory_cores = 2;
+  spec.memory.patterns = {100, 1000};
+  spec.memory.ios = {4, 20};
+  const Soc soc = generate_soc(spec);
+  EXPECT_EQ(soc.core_count(), 6);
+  EXPECT_NO_THROW(soc.validate());
+  const auto logic = core_data_ranges(soc, CoreKind::Logic);
+  EXPECT_EQ(logic.test_patterns, (Range{10, 100}));
+  EXPECT_EQ(logic.functional_ios, (Range{8, 40}));
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.name = "bad";
+  EXPECT_THROW((void)generate_soc(spec), std::invalid_argument);  // 0 cores
+  spec.logic_cores = 1;
+  spec.logic.patterns = {10, 5};  // inverted
+  EXPECT_THROW((void)generate_soc(spec), std::invalid_argument);
+  spec.logic.patterns = {10, 20};
+  spec.logic.chains = {0, 0};  // logic needs scan chains
+  spec.logic.ios = {4, 8};
+  spec.logic.chain_len = {1, 4};
+  EXPECT_THROW((void)generate_soc(spec), std::invalid_argument);
+}
+
+TEST(Generator, DifferentSeedsGiveDifferentSocs) {
+  SyntheticSpec spec = p93791_spec();
+  spec.seed = 1;
+  const Soc a = generate_soc(spec);
+  spec.seed = 2;
+  const Soc b = generate_soc(spec);
+  bool any_difference = false;
+  for (int i = 0; i < a.core_count(); ++i)
+    if (a.cores[static_cast<std::size_t>(i)].test_patterns !=
+        b.cores[static_cast<std::size_t>(i)].test_patterns)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace wtam::soc

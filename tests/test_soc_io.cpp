@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "soc/benchmarks.hpp"
+#include "soc/soc_io.hpp"
+
+namespace wtam::soc {
+namespace {
+
+bool cores_equal(const Core& a, const Core& b) {
+  return a.name == b.name && a.kind == b.kind &&
+         a.test_patterns == b.test_patterns && a.num_inputs == b.num_inputs &&
+         a.num_outputs == b.num_outputs && a.num_bidirs == b.num_bidirs &&
+         a.scan_chains == b.scan_chains;
+}
+
+bool socs_equal(const Soc& a, const Soc& b) {
+  if (a.name != b.name || a.cores.size() != b.cores.size()) return false;
+  for (std::size_t i = 0; i < a.cores.size(); ++i)
+    if (!cores_equal(a.cores[i], b.cores[i])) return false;
+  return true;
+}
+
+TEST(SocIo, RoundTripD695) {
+  const Soc original = d695();
+  const Soc parsed = parse_soc_string(write_soc_string(original));
+  EXPECT_TRUE(socs_equal(original, parsed));
+}
+
+TEST(SocIo, RoundTripSyntheticPhilips) {
+  for (const Soc& original : {p21241(), p31108(), p93791()}) {
+    const Soc parsed = parse_soc_string(write_soc_string(original));
+    EXPECT_TRUE(socs_equal(original, parsed)) << original.name;
+  }
+}
+
+TEST(SocIo, ParsesMinimalDocument) {
+  const Soc soc = parse_soc_string(
+      "# a comment\n"
+      "soc tiny\n"
+      "\n"
+      "core alpha kind=logic patterns=7 inputs=3 outputs=2 bidirs=0 scan=5,6\n"
+      "core beta kind=memory patterns=9 inputs=1 outputs=1 bidirs=0 scan=\n");
+  EXPECT_EQ(soc.name, "tiny");
+  ASSERT_EQ(soc.core_count(), 2);
+  EXPECT_EQ(soc.cores[0].scan_chains, (std::vector<int>{5, 6}));
+  EXPECT_EQ(soc.cores[1].kind, CoreKind::Memory);
+  EXPECT_TRUE(soc.cores[1].scan_chains.empty());
+}
+
+TEST(SocIo, InlineCommentsAreStripped) {
+  const Soc soc = parse_soc_string(
+      "soc s # trailing comment\n"
+      "core a patterns=1 inputs=1 outputs=1 # another\n");
+  EXPECT_EQ(soc.core_count(), 1);
+}
+
+TEST(SocIo, DefaultsKindToLogic) {
+  const Soc soc =
+      parse_soc_string("soc s\ncore a patterns=1 inputs=1 outputs=0\n");
+  EXPECT_EQ(soc.cores[0].kind, CoreKind::Logic);
+}
+
+TEST(SocIo, RejectsMissingSocLine) {
+  EXPECT_THROW((void)parse_soc_string("core a patterns=1 inputs=1 outputs=1\n"),
+               std::runtime_error);
+}
+
+TEST(SocIo, RejectsDuplicateSocLine) {
+  EXPECT_THROW((void)parse_soc_string("soc a\nsoc b\n"), std::runtime_error);
+}
+
+TEST(SocIo, RejectsUnknownKeyword) {
+  EXPECT_THROW((void)parse_soc_string("soc a\nmodule x\n"), std::runtime_error);
+}
+
+TEST(SocIo, RejectsUnknownKey) {
+  EXPECT_THROW(
+      (void)parse_soc_string("soc a\ncore x patterns=1 inputs=1 outputs=1 foo=3\n"),
+      std::runtime_error);
+}
+
+TEST(SocIo, RejectsMissingPatterns) {
+  EXPECT_THROW((void)parse_soc_string("soc a\ncore x inputs=1 outputs=1\n"),
+               std::runtime_error);
+}
+
+TEST(SocIo, RejectsMalformedInteger) {
+  EXPECT_THROW(
+      (void)parse_soc_string("soc a\ncore x patterns=abc inputs=1 outputs=1\n"),
+      std::runtime_error);
+}
+
+TEST(SocIo, RejectsBadKind) {
+  EXPECT_THROW(
+      (void)parse_soc_string("soc a\ncore x kind=dsp patterns=1 inputs=1 outputs=1\n"),
+      std::runtime_error);
+}
+
+TEST(SocIo, RejectsSemanticViolations) {
+  // Memory core with scan chains fails Soc::validate inside the parser.
+  EXPECT_THROW(
+      (void)parse_soc_string(
+          "soc a\ncore x kind=memory patterns=1 inputs=1 outputs=1 scan=4\n"),
+      std::runtime_error);
+}
+
+TEST(SocIo, ErrorMessageCarriesLineNumber) {
+  try {
+    (void)parse_soc_string("soc a\n\ncore x patterns=zz inputs=1 outputs=1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SocIo, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "wtam_test_roundtrip.soc";
+  const Soc original = d695();
+  save_soc_file(path.string(), original);
+  const Soc loaded = load_soc_file(path.string());
+  EXPECT_TRUE(socs_equal(original, loaded));
+  std::filesystem::remove(path);
+}
+
+TEST(SocIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_soc_file("/nonexistent/path/x.soc"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wtam::soc

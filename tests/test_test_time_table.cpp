@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/test_time_table.hpp"
+#include "core/time_provider.hpp"
+#include "soc/benchmarks.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::core {
+namespace {
+
+TEST(TestTimeTable, RejectsBadWidth) {
+  const soc::Soc soc = soc::d695();
+  EXPECT_THROW((void)TestTimeTable(soc, 0), std::invalid_argument);
+}
+
+TEST(TestTimeTable, MonotoneNonIncreasingPerCore) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 64);
+  for (int i = 0; i < table.core_count(); ++i)
+    for (int w = 2; w <= 64; ++w)
+      EXPECT_LE(table.time(i, w), table.time(i, w - 1))
+          << soc.cores[static_cast<std::size_t>(i)].name << " w=" << w;
+}
+
+TEST(TestTimeTable, MatchesBestDesign) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 48);
+  for (int i = 0; i < table.core_count(); ++i) {
+    for (int w : {1, 3, 8, 17, 48}) {
+      EXPECT_EQ(table.time(i, w),
+                wrapper::best_design(soc.cores[static_cast<std::size_t>(i)], w)
+                    .test_time);
+    }
+  }
+}
+
+TEST(TestTimeTable, UsedWidthAttainsTheTime) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 40);
+  for (int i = 0; i < table.core_count(); ++i) {
+    for (int w : {5, 16, 40}) {
+      const int used = table.used_width(i, w);
+      EXPECT_GE(used, 1);
+      EXPECT_LE(used, w);
+      EXPECT_EQ(
+          wrapper::test_time(soc.cores[static_cast<std::size_t>(i)], used),
+          table.time(i, w));
+    }
+  }
+}
+
+TEST(TestTimeTable, IndexChecks) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 16);
+  EXPECT_THROW((void)table.time(-1, 4), std::out_of_range);
+  EXPECT_THROW((void)table.time(10, 4), std::out_of_range);
+  EXPECT_THROW((void)table.time(0, 0), std::out_of_range);
+  EXPECT_THROW((void)table.time(0, 17), std::out_of_range);
+}
+
+TEST(TestTimeTable, TotalTimeIsColumnSum) {
+  const soc::Soc soc = soc::d695();
+  const TestTimeTable table(soc, 16);
+  std::int64_t expected = 0;
+  for (int i = 0; i < table.core_count(); ++i) expected += table.time(i, 8);
+  EXPECT_EQ(table.total_time(8), expected);
+}
+
+TEST(ExplicitTimeMatrix, LooksUpByWidth) {
+  const ExplicitTimeMatrix matrix({8, 16, 32},
+                                  {{200, 100, 50}, {200, 95, 75}});
+  EXPECT_EQ(matrix.core_count(), 2);
+  EXPECT_EQ(matrix.max_width(), 32);
+  EXPECT_EQ(matrix.time(0, 16), 100);
+  EXPECT_EQ(matrix.time(1, 8), 200);
+}
+
+TEST(ExplicitTimeMatrix, RejectsUnknownWidthAndBadCore) {
+  const ExplicitTimeMatrix matrix({8}, {{1}});
+  EXPECT_THROW((void)matrix.time(0, 9), std::out_of_range);
+  EXPECT_THROW((void)matrix.time(2, 8), std::out_of_range);
+}
+
+TEST(ExplicitTimeMatrix, RejectsMalformedConstruction) {
+  EXPECT_THROW(ExplicitTimeMatrix({}, {}), std::invalid_argument);
+  EXPECT_THROW(ExplicitTimeMatrix({4, 4}, {{1, 2}}), std::invalid_argument);
+  EXPECT_THROW(ExplicitTimeMatrix({0}, {{1}}), std::invalid_argument);
+  EXPECT_THROW(ExplicitTimeMatrix({4, 8}, {{1}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::core

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "soc/benchmarks.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::wrapper {
+namespace {
+
+soc::Core make_core(std::string name, std::int64_t patterns, int in, int out,
+                    std::vector<int> chains, int bidirs = 0) {
+  soc::Core core;
+  core.name = std::move(name);
+  core.test_patterns = patterns;
+  core.num_inputs = in;
+  core.num_outputs = out;
+  core.num_bidirs = bidirs;
+  core.scan_chains = std::move(chains);
+  return core;
+}
+
+TEST(TestTimeFormula, MatchesPaperDefinition) {
+  // T = (1 + max(si,so)) * p + min(si,so).
+  EXPECT_EQ(test_time_formula(105, 54, 54), (1 + 54) * 105 + 54);
+  EXPECT_EQ(test_time_formula(10, 3, 7), (1 + 7) * 10 + 3);
+  EXPECT_EQ(test_time_formula(10, 7, 3), (1 + 7) * 10 + 3);
+  EXPECT_EQ(test_time_formula(0, 5, 5), 5);
+  EXPECT_EQ(test_time_formula(7, 0, 0), 7);
+}
+
+TEST(DesignWrapper, RejectsNonPositiveWidth) {
+  const soc::Core core = make_core("x", 1, 1, 1, {});
+  EXPECT_THROW((void)design_wrapper(core, 0), std::invalid_argument);
+}
+
+TEST(DesignWrapper, S9234ReachesKnownMinimum) {
+  // The well-known d695 anchor: s9234 bottoms out at 5829 cycles.
+  const soc::Core s9234 = soc::d695().cores[3];
+  EXPECT_EQ(test_time(s9234, 8), 5829);
+  EXPECT_EQ(test_time(s9234, 16), 5829);
+  EXPECT_EQ(best_design(s9234, 64).test_time, 5829);
+}
+
+TEST(DesignWrapper, CombinationalCoreScalesWithWidth) {
+  const soc::Core c6288 = soc::d695().cores[0];  // 12 patterns, 32 in, 32 out
+  // At width 8: si = so = ceil(32/8) = 4 -> (1+4)*12 + 4 = 64.
+  EXPECT_EQ(test_time(c6288, 8), 64);
+  // At width 32: one cell per chain -> (1+1)*12 + 1 = 25.
+  EXPECT_EQ(test_time(c6288, 32), 25);
+}
+
+TEST(DesignWrapper, SingleChainCoreIsFlat) {
+  // s838: one internal chain of 32 dominates at any width >= 2.
+  const soc::Core s838 = soc::d695().cores[2];
+  const std::int64_t floor_time = soc::min_test_time_bound(s838);
+  EXPECT_EQ(test_time(s838, 8), floor_time);
+  EXPECT_EQ(test_time(s838, 64), floor_time);
+}
+
+TEST(DesignWrapper, ScanInDominatedByLongestChain) {
+  const soc::Core core = make_core("c", 10, 5, 5, {100, 30, 30, 30});
+  for (int w = 1; w <= 8; ++w) {
+    const WrapperDesign design = design_wrapper(core, w);
+    EXPECT_GE(design.scan_in_length, 100) << "w=" << w;
+    EXPECT_GE(design.scan_out_length, 100) << "w=" << w;
+  }
+}
+
+TEST(DesignWrapper, WidthOneConcatenatesEverything) {
+  const soc::Core core = make_core("c", 4, 3, 2, {5, 6});
+  const WrapperDesign design = design_wrapper(core, 1);
+  EXPECT_EQ(design.scan_in_length, 5 + 6 + 3);
+  EXPECT_EQ(design.scan_out_length, 5 + 6 + 2);
+  EXPECT_EQ(design.used_width, 1);
+}
+
+TEST(DesignWrapper, CellsAreConserved) {
+  const soc::Core core = make_core("c", 4, 13, 7, {9, 4, 4}, 3);
+  const WrapperDesign design = design_wrapper(core, 5);
+  std::int64_t in = 0;
+  std::int64_t out = 0;
+  std::int64_t bid = 0;
+  for (const auto& chain : design.chains) {
+    in += chain.input_cells;
+    out += chain.output_cells;
+    bid += chain.bidir_cells;
+  }
+  EXPECT_EQ(in, 13);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(bid, 3);
+}
+
+TEST(DesignWrapper, InternalChainsAssignedExactlyOnce) {
+  const soc::Core core = make_core("c", 4, 2, 2, {9, 4, 4, 7, 1});
+  const WrapperDesign design = design_wrapper(core, 3);
+  std::vector<int> seen;
+  for (const auto& chain : design.chains) {
+    std::int64_t bits = 0;
+    for (const int idx : chain.internal_chain_indices) {
+      seen.push_back(idx);
+      bits += core.scan_chains[static_cast<std::size_t>(idx)];
+    }
+    EXPECT_EQ(bits, chain.scan_bits);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DesignWrapper, SiSoAreTheChainMaxima) {
+  const soc::Core core = make_core("c", 4, 10, 20, {8, 8});
+  const WrapperDesign design = design_wrapper(core, 4);
+  std::int64_t max_in = 0;
+  std::int64_t max_out = 0;
+  for (const auto& chain : design.chains) {
+    max_in = std::max(max_in, chain.scan_in_length());
+    max_out = std::max(max_out, chain.scan_out_length());
+  }
+  EXPECT_EQ(design.scan_in_length, max_in);
+  EXPECT_EQ(design.scan_out_length, max_out);
+}
+
+TEST(DesignWrapper, BidirCellsCountOnBothSides) {
+  const soc::Core core = make_core("c", 1, 0, 0, {}, 12);
+  const WrapperDesign design = design_wrapper(core, 4);
+  EXPECT_EQ(design.scan_in_length, 3);   // ceil(12/4)
+  EXPECT_EQ(design.scan_out_length, 3);
+}
+
+TEST(DesignWrapper, UsedWidthReluctance) {
+  // One long chain and shorter ones that fit under it: few chains needed.
+  const soc::Core core = make_core("c", 10, 0, 0, {100, 30, 30, 30});
+  const WrapperDesign design = design_wrapper(core, 16);
+  EXPECT_EQ(design.scan_in_length, 100);
+  EXPECT_LE(design.used_width, 2);  // {100} and {30+30+30}
+}
+
+TEST(DesignWrapper, UsedWidthNeverExceedsRequested) {
+  const soc::Core core = soc::d695().cores[4];  // s38584
+  for (int w = 1; w <= 40; ++w)
+    EXPECT_LE(design_wrapper(core, w).used_width, w);
+}
+
+TEST(DesignWrapper, ZeroPatternCore) {
+  const soc::Core core = make_core("z", 0, 4, 4, {8});
+  const WrapperDesign design = design_wrapper(core, 2);
+  EXPECT_EQ(design.test_time, design.scan_in_length < design.scan_out_length
+                                  ? design.scan_in_length
+                                  : design.scan_out_length);
+}
+
+TEST(BestDesign, MonotoneEnvelope) {
+  const soc::Core core = soc::d695().cores[5];  // s13207
+  std::int64_t previous = -1;
+  for (int w = 1; w <= 64; ++w) {
+    const std::int64_t t = best_design(core, w).test_time;
+    if (previous >= 0) {
+      EXPECT_LE(t, previous) << "w=" << w;
+    }
+    previous = t;
+  }
+}
+
+TEST(BestDesign, ReachesFloorAtLargeWidth) {
+  // The floor needs enough width for one cell per wrapper chain on the
+  // I/O-heaviest core (c7552 has 207 inputs), so test beyond that.
+  for (const auto& core : soc::d695().cores) {
+    EXPECT_EQ(best_design(core, 300).test_time, soc::min_test_time_bound(core))
+        << core.name;
+  }
+}
+
+TEST(ParetoWidths, StrictlyDecreasingTimes) {
+  const soc::Core core = soc::d695().cores[9];  // s38417
+  const std::vector<int> widths = pareto_widths(core, 64);
+  ASSERT_FALSE(widths.empty());
+  EXPECT_EQ(widths.front(), 1);
+  std::int64_t previous = -1;
+  for (const int w : widths) {
+    const std::int64_t t = test_time(core, w);
+    if (previous >= 0) {
+      EXPECT_LT(t, previous);
+    }
+    previous = t;
+  }
+}
+
+TEST(ParetoWidths, FlatCoreHasSingleEntryAfterSaturation) {
+  // s838 saturates immediately at width 2 (chain 32 + 34 inputs).
+  const soc::Core s838 = soc::d695().cores[2];
+  const std::vector<int> widths = pareto_widths(s838, 64);
+  EXPECT_LE(widths.size(), 4u);
+  EXPECT_LE(widths.back(), 4);
+}
+
+TEST(DesignWrapper, BfdCapacityRelaxation) {
+  // {5,4,3,3,3} into 3 wrapper chains: the scheduling lower bound is
+  // max(5, ceil(18/3)) = 6, but no 3-bin packing with capacity 6 exists
+  // for BFD here — the loop must relax to 7 and still use 3 chains.
+  const soc::Core core = make_core("relax", 10, 0, 0, {5, 4, 3, 3, 3});
+  const WrapperDesign design = design_wrapper(core, 3);
+  EXPECT_EQ(design.scan_in_length, 7);
+  EXPECT_LE(design.used_width, 3);
+  int non_empty = 0;
+  for (const auto& chain : design.chains)
+    if (!chain.empty()) ++non_empty;
+  EXPECT_EQ(non_empty, 3);
+}
+
+TEST(DesignWrapperNaive, NeverBeatsBalancedDesign) {
+  for (const auto& core : soc::d695().cores) {
+    for (const int w : {2, 4, 8, 16}) {
+      EXPECT_GE(design_wrapper_naive(core, w).test_time,
+                design_wrapper(core, w).test_time)
+          << core.name << " w=" << w;
+    }
+  }
+}
+
+TEST(DesignWrapperNaive, RoundRobinShape) {
+  const soc::Core core = make_core("rr", 5, 4, 4, {10, 20, 30});
+  const WrapperDesign design = design_wrapper_naive(core, 2);
+  // Chains 0,2 -> wire 0 (10+30), chain 1 -> wire 1 (20).
+  EXPECT_EQ(design.chains[0].scan_bits, 40);
+  EXPECT_EQ(design.chains[1].scan_bits, 20);
+  // Cells split evenly: 2 inputs + 2 outputs per wire.
+  EXPECT_EQ(design.chains[0].input_cells, 2);
+  EXPECT_EQ(design.chains[1].input_cells, 2);
+  EXPECT_EQ(design.scan_in_length, 42);
+  EXPECT_EQ(design.test_time,
+            test_time_formula(5, 42, 42));
+}
+
+TEST(DesignWrapperNaive, PenaltyOnImbalancedChains) {
+  // One long chain + shorts: round-robin stacks them badly at width 2.
+  const soc::Core core = make_core("imb", 10, 0, 0, {100, 10, 90, 10});
+  const auto balanced = design_wrapper(core, 2);
+  const auto naive = design_wrapper_naive(core, 2);
+  EXPECT_EQ(balanced.scan_in_length, 110);  // {100,10} | {90,10}
+  EXPECT_EQ(naive.scan_in_length, 190);     // {100,90} | {10,10}
+  EXPECT_GT(naive.test_time, balanced.test_time);
+}
+
+TEST(DesignWrapperNaive, RejectsNonPositiveWidth) {
+  const soc::Core core = make_core("x", 1, 1, 1, {});
+  EXPECT_THROW((void)design_wrapper_naive(core, 0), std::invalid_argument);
+}
+
+/// Property sweep over random cores: structural invariants at many widths.
+class WrapperRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapperRandomTest, InvariantsHoldAcrossWidths) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  soc::Core core;
+  core.name = "random";
+  core.test_patterns = rng.uniform_int(1, 500);
+  core.num_inputs = static_cast<int>(rng.uniform_int(0, 120));
+  core.num_outputs = static_cast<int>(rng.uniform_int(0, 120));
+  core.num_bidirs = static_cast<int>(rng.uniform_int(0, 10));
+  const int chains = static_cast<int>(rng.uniform_int(0, 12));
+  for (int c = 0; c < chains; ++c)
+    core.scan_chains.push_back(static_cast<int>(rng.uniform_int(1, 200)));
+  if (core.functional_ios() == 0 && core.scan_chains.empty())
+    core.num_inputs = 1;
+
+  const std::int64_t total_bits = core.total_scan_bits();
+  const int longest = core.longest_scan_chain();
+  for (int w = 1; w <= 24; ++w) {
+    const WrapperDesign design = design_wrapper(core, w);
+    // si/so dominate the longest indivisible chain...
+    EXPECT_GE(design.scan_in_length, longest);
+    EXPECT_GE(design.scan_out_length, longest);
+    // ...and the perfect-balance lower bounds.
+    EXPECT_GE(design.scan_in_length,
+              common::ceil_div(total_bits + core.num_inputs + core.num_bidirs, w));
+    EXPECT_GE(design.scan_out_length,
+              common::ceil_div(total_bits + core.num_outputs + core.num_bidirs, w));
+    EXPECT_EQ(design.test_time,
+              test_time_formula(core.test_patterns, design.scan_in_length,
+                                design.scan_out_length));
+    EXPECT_LE(design.used_width, w);
+    EXPECT_EQ(static_cast<int>(design.chains.size()), w);
+  }
+  // The envelope respects the absolute floor.
+  EXPECT_GE(best_design(core, 24).test_time,
+            std::min(soc::min_test_time_bound(core),
+                     best_design(core, 24).test_time));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WrapperRandomTest, ::testing::Range(1, 41));
+
+}  // namespace
+}  // namespace wtam::wrapper

@@ -1,0 +1,21 @@
+// Writes the four benchmark SOCs to .soc files (the documented text
+// dialect), so downstream users can inspect and modify the workloads.
+// The repository's data/ directory is generated with this tool.
+
+#include <iostream>
+#include <string>
+
+#include "wtam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  for (const soc::Soc& soc :
+       {soc::d695(), soc::p21241(), soc::p31108(), soc::p93791()}) {
+    const std::string path = dir + "/" + soc.name + ".soc";
+    soc::save_soc_file(path, soc);
+    std::cout << "wrote " << path << " (" << soc.core_count() << " cores, "
+              << "complexity " << soc::test_complexity(soc) << ")\n";
+  }
+  return 0;
+}

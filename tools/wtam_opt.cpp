@@ -1,0 +1,157 @@
+// wtam_opt — command-line wrapper/TAM co-optimizer.
+//
+//   wtam_opt --soc d695 --width 32
+//   wtam_opt --soc path/to/design.soc --width 64 --max-tams 8
+//   wtam_opt --soc p93791 --width 48 --fixed-tams 3 --exhaustive --budget 30
+//
+// Options:
+//   --soc NAME|FILE   built-in benchmark (d695, p21241, p31108, p93791) or
+//                     a .soc file in the documented dialect
+//   --width W         total TAM width (required)
+//   --max-tams B      search B in [1, B] (default 10)
+//   --fixed-tams B    pin the number of TAMs (overrides --max-tams)
+//   --no-final-ilp    skip the exact re-optimization step
+//   --exhaustive      also run the exhaustive baseline of [8]
+//   --budget S        wall-clock budget for --exhaustive (default 30)
+//   --gantt           print the test schedule as a Gantt chart
+//   --quiet           only print the testing time (scripting)
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "wtam.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--max-tams B]\n"
+               "                [--fixed-tams B] [--no-final-ilp]\n"
+               "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
+               "built-in SOCs: d695 p21241 p31108 p93791\n";
+  std::exit(2);
+}
+
+wtam::soc::Soc load(const std::string& name) {
+  using namespace wtam::soc;
+  if (name == "d695") return d695();
+  if (name == "p21241") return p21241();
+  if (name == "p31108") return p31108();
+  if (name == "p93791") return p93791();
+  return load_soc_file(name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wtam;
+
+  std::string soc_name;
+  int width = 0;
+  int max_tams = 10;
+  std::optional<int> fixed_tams;
+  bool final_ilp = true;
+  bool exhaustive = false;
+  double budget = 30.0;
+  bool gantt = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--soc") {
+      soc_name = value();
+    } else if (arg == "--width") {
+      width = std::atoi(value());
+    } else if (arg == "--max-tams") {
+      max_tams = std::atoi(value());
+    } else if (arg == "--fixed-tams") {
+      fixed_tams = std::atoi(value());
+    } else if (arg == "--no-final-ilp") {
+      final_ilp = false;
+    } else if (arg == "--exhaustive") {
+      exhaustive = true;
+    } else if (arg == "--budget") {
+      budget = std::atof(value());
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (soc_name.empty()) usage("--soc is required");
+  if (width < 1 || width > 256) usage("--width must be in 1..256");
+  if (fixed_tams && (*fixed_tams < 1 || *fixed_tams > width))
+    usage("--fixed-tams out of range");
+
+  try {
+    const soc::Soc soc = load(soc_name);
+    const core::TestTimeTable table(soc, width);
+
+    core::CoOptimizeOptions options;
+    options.search.max_tams = fixed_tams ? *fixed_tams : max_tams;
+    options.search.min_tams = fixed_tams ? *fixed_tams : 1;
+    options.run_final_step = final_ilp;
+    const auto result = core::co_optimize(table, width, options);
+    const auto& arch = result.architecture;
+
+    if (quiet) {
+      std::cout << arch.testing_time << "\n";
+      return 0;
+    }
+
+    std::cout << "SOC " << soc.name << " (" << soc.core_count()
+              << " cores), total TAM width " << width << "\n"
+              << "architecture: " << arch.tam_count() << " TAMs, partition "
+              << core::format_partition(arch.widths) << "\n"
+              << "assignment:   " << core::format_assignment(arch.assignment)
+              << "\n"
+              << "testing time: " << arch.testing_time << " cycles ("
+              << "heuristic " << result.heuristic.best.testing_time << ", "
+              << common::format_fixed(result.total_cpu_s(), 3) << " s CPU)\n";
+
+    const auto bounds = core::testing_time_lower_bounds(table, width);
+    std::cout << "lower bound:  " << bounds.combined() << " cycles (gap "
+              << common::format_fixed(
+                     core::optimality_gap(bounds, arch.testing_time) * 100.0, 2)
+              << "%)\n";
+
+    if (exhaustive) {
+      core::ExhaustiveOptions ex;
+      ex.time_budget_s = budget;
+      const auto baseline = core::exhaustive_pnpaw(
+          table, width, options.search.max_tams, ex);
+      if (baseline.completed) {
+        std::cout << "exhaustive:   " << baseline.best.testing_time
+                  << " cycles, partition "
+                  << core::format_partition(baseline.best.widths) << " ("
+                  << common::format_fixed(baseline.cpu_s, 3) << " s)\n";
+      } else {
+        std::cout << "exhaustive:   did not complete within "
+                  << common::format_fixed(budget, 0) << " s ("
+                  << baseline.partitions_solved << "/"
+                  << baseline.partitions_total << " partitions)\n";
+      }
+    }
+
+    if (gantt) {
+      const auto schedule = core::build_schedule(
+          table, arch, core::ScheduleOrder::LongestFirst);
+      std::cout << "\n" << core::render_gantt(schedule, soc, 64);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
