@@ -217,5 +217,41 @@ int main() {
     }
     std::cout << out << '\n';
   }
+
+  // --- H: parallel search scaling --------------------------------------------
+  {
+    common::TextTable out(
+        "Ablation H: partition_evaluate worker threads (p21241, W=64, "
+        "B<=6; parallel results are bit-identical to serial by contract)");
+    out.set_header({"threads", "wall (s)", "speedup", "best T", "identical"},
+                   {common::Align::Right, common::Align::Right,
+                    common::Align::Right, common::Align::Right,
+                    common::Align::Right});
+    core::PartitionEvaluateOptions options;
+    options.max_tams = 6;
+    common::Stopwatch serial_watch;
+    const auto serial = core::partition_evaluate(p21241_table, 64, options);
+    const double serial_s = serial_watch.elapsed_s();
+    out.add_row({"1", common::format_fixed(serial_s, 3), "1.00x",
+                 std::to_string(serial.best.testing_time), "yes"});
+    for (const int threads : {2, 4, 8}) {
+      core::PartitionEvaluateOptions parallel_options = options;
+      parallel_options.threads = threads;
+      common::Stopwatch watch;
+      const auto parallel =
+          core::partition_evaluate(p21241_table, 64, parallel_options);
+      const double elapsed = watch.elapsed_s();
+      const bool identical =
+          parallel.best.testing_time == serial.best.testing_time &&
+          parallel.best.widths == serial.best.widths &&
+          parallel.best.assignment == serial.best.assignment;
+      out.add_row({std::to_string(threads), common::format_fixed(elapsed, 3),
+                   common::format_fixed(serial_s / std::max(elapsed, 1e-9), 2) +
+                       "x",
+                   std::to_string(parallel.best.testing_time),
+                   identical ? "yes" : "NO"});
+    }
+    std::cout << out << '\n';
+  }
   return 0;
 }

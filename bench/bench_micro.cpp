@@ -1,14 +1,30 @@
-// Micro benchmarks (google-benchmark) for the paper's CPU-time claims:
+// Micro benchmarks for the paper's CPU-time claims, plus the serial-vs-
+// parallel partition-search throughput that tracks the scaling work:
 //   * Core_assign runs ~2 orders of magnitude faster than an exact solve
 //     of the same P_AW instance (§2);
 //   * Design_wrapper is cheap enough to evaluate thousands of times;
-//   * partition enumeration is negligible next to evaluation.
+//   * partition enumeration is negligible next to evaluation;
+//   * partition_evaluate at 1/2/4/8 threads returns bit-identical results
+//     while the wall clock drops with available cores.
+//
+// Results are printed as a table and written to BENCH_micro.json so the
+// performance trajectory is machine-readable across PRs.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "core/assignment_exact.hpp"
 #include "core/co_optimizer.hpp"
 #include "core/core_assign.hpp"
+#include "core/partition_evaluate.hpp"
 #include "core/test_time_table.hpp"
 #include "lp/simplex.hpp"
 #include "partition/partition.hpp"
@@ -19,110 +35,278 @@ namespace {
 
 using namespace wtam;
 
-const soc::Soc& d695() {
-  static const soc::Soc soc = soc::d695();
-  return soc;
-}
-const soc::Soc& p93791() {
-  static const soc::Soc soc = soc::p93791();
-  return soc;
-}
-const core::TestTimeTable& d695_table() {
-  static const core::TestTimeTable table(d695(), 64);
-  return table;
-}
-const core::TestTimeTable& p93791_table() {
-  static const core::TestTimeTable table(p93791(), 64);
-  return table;
-}
-
-void BM_DesignWrapper(benchmark::State& state) {
-  const auto& core = d695().cores[static_cast<std::size_t>(state.range(0))];
-  for (auto _ : state) {
-    for (int w = 1; w <= 32; ++w)
-      benchmark::DoNotOptimize(wrapper::design_wrapper(core, w).test_time);
+struct Measurement {
+  std::string name;
+  std::int64_t iterations = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double per_iteration_us() const {
+    return iterations == 0 ? 0.0 : seconds / static_cast<double>(iterations) * 1e6;
   }
-}
-BENCHMARK(BM_DesignWrapper)->Arg(3)->Arg(4)->Arg(8);  // s9234, s38584, s35932
+};
 
-void BM_TestTimeTableBuild(benchmark::State& state) {
-  for (auto _ : state) {
-    core::TestTimeTable table(p93791(), static_cast<int>(state.range(0)));
-    benchmark::DoNotOptimize(table.time(0, 1));
+/// Runs `body` repeatedly until at least `min_seconds` of wall clock or
+/// `min_iterations` calls, whichever bound is reached last.
+template <typename Body>
+Measurement measure(const std::string& name, const Body& body,
+                    double min_seconds = 0.2,
+                    std::int64_t min_iterations = 3) {
+  Measurement result;
+  result.name = name;
+  common::Stopwatch watch;
+  do {
+    body();
+    ++result.iterations;
+    result.seconds = watch.elapsed_s();
+  } while (result.seconds < min_seconds ||
+           result.iterations < min_iterations);
+  return result;
+}
+
+struct SearchSample {
+  int threads = 0;
+  double seconds = 0.0;
+  double partitions_per_s = 0.0;
+  double speedup_vs_serial = 1.0;
+  bool identical_to_serial = true;
+};
+
+/// Serial-vs-parallel partition_evaluate on one SOC; verifies the
+/// parallel contract (bit-identical best + per-B stats) while timing it.
+struct SearchComparison {
+  std::string soc;
+  int width = 0;
+  int max_tams = 0;
+  std::uint64_t partitions = 0;
+  std::int64_t best_time = 0;
+  std::vector<SearchSample> samples;  // first entry is serial (threads=1)
+};
+
+bool same_results(const core::PartitionEvaluateResult& a,
+                  const core::PartitionEvaluateResult& b) {
+  if (a.best.widths != b.best.widths ||
+      a.best.assignment != b.best.assignment ||
+      a.best.testing_time != b.best.testing_time || a.best_tams != b.best_tams)
+    return false;
+  if (a.per_b.size() != b.per_b.size()) return false;
+  for (std::size_t i = 0; i < a.per_b.size(); ++i) {
+    const auto& sa = a.per_b[i];
+    const auto& sb = b.per_b[i];
+    if (sa.partitions_unique != sb.partitions_unique ||
+        sa.evaluated_to_completion != sb.evaluated_to_completion ||
+        sa.aborted_by_tau != sb.aborted_by_tau ||
+        sa.best_time != sb.best_time ||
+        sa.best_partition != sb.best_partition)
+      return false;
   }
+  return true;
 }
-BENCHMARK(BM_TestTimeTableBuild)->Arg(16)->Arg(64);
 
-void BM_CoreAssign(benchmark::State& state) {
-  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
-  const std::vector<int> widths = {9, 16, 23};
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        core::core_assign(table, widths).architecture.testing_time);
-}
-BENCHMARK(BM_CoreAssign)->Arg(0)->Arg(1);  // d695, p93791
+SearchComparison compare_search(const std::string& soc_name,
+                                const core::TestTimeTable& table, int width,
+                                int max_tams) {
+  SearchComparison comparison;
+  comparison.soc = soc_name;
+  comparison.width = width;
+  comparison.max_tams = max_tams;
 
-void BM_ExactAssignBranchBound(benchmark::State& state) {
-  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
-  const std::vector<int> widths = {9, 16, 23};
-  for (auto _ : state)
-    benchmark::DoNotOptimize(core::solve_assignment_exact(table, widths, {})
-                                 .architecture.testing_time);
-}
-BENCHMARK(BM_ExactAssignBranchBound)->Arg(0)->Arg(1);
-
-void BM_ExactAssignIlp(benchmark::State& state) {
-  // The paper's lp_solve analogue: the full ILP model through our simplex
-  // branch & bound (d695 only; the Philips instances take seconds each).
-  const std::vector<int> widths = {6, 10};
-  core::ExactOptions options;
-  options.engine = core::ExactEngine::Ilp;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        core::solve_assignment_exact(d695_table(), widths, options)
-            .architecture.testing_time);
-}
-BENCHMARK(BM_ExactAssignIlp);
-
-void BM_PartitionEnumeration(benchmark::State& state) {
-  const int width = 64;
-  const int tams = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    std::uint64_t count = partition::for_each_partition(
-        width, tams, [](std::span<const int>) { return true; });
-    benchmark::DoNotOptimize(count);
-  }
-}
-BENCHMARK(BM_PartitionEnumeration)->Arg(3)->Arg(6)->Arg(8);
-
-void BM_PartitionEvaluate(benchmark::State& state) {
-  const auto& table = d695_table();
   core::PartitionEvaluateOptions options;
-  options.max_tams = static_cast<int>(state.range(0));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        core::partition_evaluate(table, 64, options).best.testing_time);
-}
-BENCHMARK(BM_PartitionEvaluate)->Arg(3)->Arg(6)->Arg(10);
+  options.max_tams = max_tams;
 
-void BM_FullCoOptimize(benchmark::State& state) {
-  const auto& table = state.range(0) == 0 ? d695_table() : p93791_table();
-  core::CoOptimizeOptions options;
-  options.search.max_tams = 6;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        core::co_optimize(table, 48, options).architecture.testing_time);
-}
-BENCHMARK(BM_FullCoOptimize)->Arg(0)->Arg(1);
+  const auto run = [&](int threads) {
+    core::PartitionEvaluateOptions run_options = options;
+    run_options.threads = threads;
+    common::Stopwatch watch;
+    const auto result = core::partition_evaluate(table, width, run_options);
+    const double elapsed = watch.elapsed_s();
+    return std::pair(result, elapsed);
+  };
 
-void BM_Simplex(benchmark::State& state) {
-  // The LP relaxation of the d695 B=2 assignment model.
-  const std::vector<int> widths = {6, 10};
-  const ilp::Problem problem =
-      core::build_assignment_ilp(d695_table(), widths);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(lp::solve(problem.lp).objective);
+  const auto [serial, serial_s] = run(1);
+  comparison.best_time = serial.best.testing_time;
+  for (const auto& stats : serial.per_b)
+    comparison.partitions += stats.partitions_unique;
+
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto [result, elapsed] = threads == 1 ? std::pair(serial, serial_s)
+                                                : run(threads);
+    SearchSample sample;
+    sample.threads = threads;
+    sample.seconds = elapsed;
+    sample.partitions_per_s =
+        elapsed > 0 ? static_cast<double>(comparison.partitions) / elapsed
+                    : 0.0;
+    sample.speedup_vs_serial = elapsed > 0 ? serial_s / elapsed : 0.0;
+    sample.identical_to_serial = same_results(serial, result);
+    comparison.samples.push_back(sample);
+  }
+  return comparison;
 }
-BENCHMARK(BM_Simplex);
 
 }  // namespace
+
+int main() {
+  const soc::Soc d695 = soc::d695();
+  const soc::Soc p93791 = soc::p93791();
+  const core::TestTimeTable d695_table(d695, 64);
+  const core::TestTimeTable p93791_table(p93791, 64);
+
+  // --- kernel micro timings ------------------------------------------------
+  std::vector<Measurement> measurements;
+
+  measurements.push_back(measure("design_wrapper_d695_core4_w1to32", [&] {
+    for (int w = 1; w <= 32; ++w)
+      (void)wrapper::design_wrapper(d695.cores[4], w).test_time;
+  }));
+
+  measurements.push_back(measure("test_time_table_build_p93791_w64", [&] {
+    core::TestTimeTable table(p93791, 64);
+    (void)table.time(0, 1);
+  }));
+
+  const std::vector<int> kWidths916_23 = {9, 16, 23};
+  measurements.push_back(measure("core_assign_d695_B3", [&] {
+    (void)core::core_assign(d695_table, kWidths916_23).architecture
+        .testing_time;
+  }));
+  measurements.push_back(measure("core_assign_p93791_B3", [&] {
+    (void)core::core_assign(p93791_table, kWidths916_23).architecture
+        .testing_time;
+  }));
+
+  measurements.push_back(measure("exact_assign_bb_d695_B3", [&] {
+    (void)core::solve_assignment_exact(d695_table, kWidths916_23, {})
+        .architecture.testing_time;
+  }));
+
+  const std::vector<int> kWidths6_10 = {6, 10};
+  measurements.push_back(measure("exact_assign_ilp_d695_B2", [&] {
+    core::ExactOptions options;
+    options.engine = core::ExactEngine::Ilp;
+    (void)core::solve_assignment_exact(d695_table, kWidths6_10, options)
+        .architecture.testing_time;
+  }));
+
+  measurements.push_back(measure("partition_enumeration_w64_B6", [&] {
+    (void)partition::for_each_partition(
+        64, 6, [](std::span<const int>) { return true; });
+  }));
+
+  // The end-to-end two-step flow (Partition_evaluate + final exact solve),
+  // so regressions in the orchestration glue stay visible in the trend.
+  measurements.push_back(measure("co_optimize_d695_w48_B6", [&] {
+    core::CoOptimizeOptions options;
+    options.search.max_tams = 6;
+    (void)core::co_optimize(d695_table, 48, options).architecture.testing_time;
+  }));
+  measurements.push_back(measure("co_optimize_p93791_w48_B6", [&] {
+    core::CoOptimizeOptions options;
+    options.search.max_tams = 6;
+    (void)core::co_optimize(p93791_table, 48, options)
+        .architecture.testing_time;
+  }));
+
+  measurements.push_back(measure("simplex_lp_relaxation_d695_B2", [&] {
+    const ilp::Problem problem =
+        core::build_assignment_ilp(d695_table, kWidths6_10);
+    (void)lp::solve(problem.lp).objective;
+  }));
+
+  common::TextTable micro_table("Micro benchmarks (per-call wall clock)");
+  micro_table.set_header({"benchmark", "iterations", "total (s)", "per call (us)"},
+                         {common::Align::Left, common::Align::Right,
+                          common::Align::Right, common::Align::Right});
+  for (const auto& m : measurements)
+    micro_table.add_row({m.name, std::to_string(m.iterations),
+                         common::format_fixed(m.seconds, 3),
+                         common::format_fixed(m.per_iteration_us(), 2)});
+  std::cout << micro_table << '\n';
+
+  // --- serial vs parallel partition search ---------------------------------
+  const std::vector<SearchComparison> comparisons = {
+      compare_search("d695", d695_table, 64, 6),
+      compare_search("p93791", p93791_table, 64, 6),
+  };
+
+  for (const auto& comparison : comparisons) {
+    common::TextTable table("partition_evaluate scaling on " + comparison.soc +
+                            " (W=" + std::to_string(comparison.width) +
+                            ", B<=" + std::to_string(comparison.max_tams) +
+                            ", " + std::to_string(comparison.partitions) +
+                            " partitions)");
+    table.set_header(
+        {"threads", "wall (s)", "partitions/s", "speedup", "identical"},
+        {common::Align::Right, common::Align::Right, common::Align::Right,
+         common::Align::Right, common::Align::Right});
+    for (const auto& sample : comparison.samples)
+      table.add_row({std::to_string(sample.threads),
+                     common::format_fixed(sample.seconds, 3),
+                     common::format_fixed(sample.partitions_per_s, 0),
+                     common::format_fixed(sample.speedup_vs_serial, 2) + "x",
+                     sample.identical_to_serial ? "yes" : "NO"});
+    std::cout << table << '\n';
+  }
+
+  // --- machine-readable artifact -------------------------------------------
+  bench::Json document = bench::Json::object();
+  document.set("bench", bench::Json::string("micro"));
+  document.set("hardware_threads",
+               bench::Json::number(static_cast<std::int64_t>(
+                   common::ThreadPool::hardware_threads())));
+
+  bench::Json kernels = bench::Json::array();
+  for (const auto& m : measurements) {
+    bench::Json entry = bench::Json::object();
+    entry.set("name", bench::Json::string(m.name));
+    entry.set("iterations", bench::Json::number(m.iterations));
+    entry.set("total_s", bench::Json::number(m.seconds));
+    entry.set("per_call_us", bench::Json::number(m.per_iteration_us()));
+    kernels.push(std::move(entry));
+  }
+  document.set("kernels", std::move(kernels));
+
+  bench::Json searches = bench::Json::array();
+  for (const auto& comparison : comparisons) {
+    bench::Json entry = bench::Json::object();
+    entry.set("soc", bench::Json::string(comparison.soc));
+    entry.set("width", bench::Json::number(
+                           static_cast<std::int64_t>(comparison.width)));
+    entry.set("max_tams", bench::Json::number(
+                              static_cast<std::int64_t>(comparison.max_tams)));
+    entry.set("partitions",
+              bench::Json::number(
+                  static_cast<std::int64_t>(comparison.partitions)));
+    entry.set("best_testing_time", bench::Json::number(comparison.best_time));
+    bench::Json samples = bench::Json::array();
+    for (const auto& sample : comparison.samples) {
+      bench::Json row = bench::Json::object();
+      row.set("threads", bench::Json::number(
+                             static_cast<std::int64_t>(sample.threads)));
+      row.set("wall_s", bench::Json::number(sample.seconds));
+      row.set("partitions_per_s", bench::Json::number(sample.partitions_per_s));
+      row.set("speedup_vs_serial",
+              bench::Json::number(sample.speedup_vs_serial));
+      row.set("identical_to_serial",
+              bench::Json::boolean(sample.identical_to_serial));
+      samples.push(std::move(row));
+    }
+    entry.set("samples", std::move(samples));
+    searches.push(std::move(entry));
+  }
+  document.set("partition_search", std::move(searches));
+
+  const std::string path = "BENCH_micro.json";
+  bench::write_json_file(path, document);
+  std::cout << "wrote " << path << "\n";
+
+  // Parallel correctness is part of this bench's contract: fail loudly if
+  // any thread count diverged from serial.
+  for (const auto& comparison : comparisons)
+    for (const auto& sample : comparison.samples)
+      if (!sample.identical_to_serial) {
+        std::cerr << "FATAL: parallel result diverged from serial on "
+                  << comparison.soc << " with " << sample.threads
+                  << " threads\n";
+        return 1;
+      }
+  return 0;
+}

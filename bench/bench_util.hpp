@@ -10,8 +10,11 @@
 
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/co_optimizer.hpp"
@@ -25,6 +28,49 @@ namespace wtam::bench {
 /// WTAM_BENCH_BUDGET environment variable (the paper's analogue: runs
 /// were cut off after two days).
 [[nodiscard]] double exhaustive_budget_s(double fallback = 30.0);
+
+/// Worker threads for the table benches' searches; override with the
+/// WTAM_BENCH_THREADS environment variable (0 = one per hardware
+/// thread). Heuristic-search results are thread-count-invariant; the
+/// budgeted exhaustive baselines stay timing-dependent (which partitions
+/// get solved before the WTAM_BENCH_BUDGET deadline can shift with
+/// throughput), exactly as they are serially.
+[[nodiscard]] int bench_threads(int fallback = 1);
+
+/// Minimal JSON document model for machine-readable bench artifacts
+/// (BENCH_*.json). Only what the benches need: objects preserve insertion
+/// order, numbers are int64 or double, no parsing.
+class Json {
+ public:
+  Json() : kind_(Kind::Null) {}
+  static Json boolean(bool value);
+  static Json number(std::int64_t value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json object();
+  static Json array();
+
+  /// Object access: inserts or overwrites `key` (object kind only).
+  Json& set(const std::string& key, Json value);
+  /// Array access: appends (array kind only).
+  Json& push(Json value);
+
+  void dump(std::ostream& out, int indent = 0) const;
+
+ private:
+  enum class Kind { Null, Bool, Int, Double, String, Object, Array };
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// Writes `document` to `path` (pretty-printed, trailing newline).
+/// Throws std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const Json& document);
 
 struct PawComparison {
   std::string soc_label;

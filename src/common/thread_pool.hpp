@@ -1,0 +1,209 @@
+// A deliberately simple fixed-size thread pool plus an ordered chunk
+// pipeline — the concurrency substrate for the parallel partition search.
+//
+// Design notes:
+//   * no work stealing, no per-thread queues: the search dispatches
+//     fixed-size chunks whose cost is large next to one mutex round-trip,
+//     so a single locked deque is not a bottleneck;
+//   * for_each_chunk_ordered() is the pattern both parallel engines share:
+//     a producer enumerates work into chunks, workers process chunks
+//     concurrently, and outcomes are merged strictly in submission order.
+//     In-order merging is what lets the searches reproduce the serial
+//     algorithm's statistics bit for bit (see partition_evaluate.cpp);
+//   * the producer blocks once `max_in_flight` chunks are outstanding, so
+//     enumeration never races ahead of evaluation by more than a bounded
+//     amount of memory.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace wtam::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads) {
+    if (threads < 1) threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw through the pool; wrap
+  /// exception-prone work (for_each_chunk_ordered does this for you).
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  /// Number of hardware threads, never reported as less than 1.
+  [[nodiscard]] static int hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Producer/worker/merger pipeline with strictly ordered merging.
+///
+/// The producer push()es chunks from its own thread; each chunk is
+/// processed concurrently by `process` on the pool, and `merge` sees the
+/// outcomes in exactly the order the chunks were pushed (the merger runs
+/// under an internal lock on whichever thread deposits the next-in-order
+/// outcome). At most `max_in_flight` chunks are unmerged at any time, so
+/// the producer never races ahead by more than bounded memory. Exceptions
+/// from any stage are rethrown from finish() on the producer's thread.
+template <typename Chunk, typename Outcome>
+class OrderedChunkPipeline {
+ public:
+  OrderedChunkPipeline(ThreadPool& pool,
+                       std::function<Outcome(const Chunk&)> process,
+                       std::function<void(Outcome&&)> merge,
+                       std::size_t max_in_flight)
+      : pool_(pool),
+        process_(std::move(process)),
+        merge_(std::move(merge)),
+        max_in_flight_(max_in_flight < 1 ? 1 : max_in_flight) {}
+
+  OrderedChunkPipeline(const OrderedChunkPipeline&) = delete;
+  OrderedChunkPipeline& operator=(const OrderedChunkPipeline&) = delete;
+
+  /// finish() must have run before destruction; it is called here as a
+  /// safety net for exception paths on the producer side.
+  ~OrderedChunkPipeline() {
+    try {
+      finish();
+    } catch (...) {
+      // finish() already ran and rethrew once, or the producer is
+      // unwinding; either way the error has an owner.
+    }
+  }
+
+  /// Submits a chunk; blocks while `max_in_flight` chunks are unmerged.
+  /// Returns false once any stage has failed — the producer should stop.
+  bool push(Chunk chunk) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_or_done_.wait(
+          lock, [&] { return in_flight_ < max_in_flight_ || error_; });
+      if (error_) return false;
+      ++in_flight_;
+    }
+    const std::uint64_t seq = sequence_++;
+    // The chunk is moved into the task; the outcome is deposited under
+    // the lock and merged in order by whichever worker closes the gap.
+    // The task notifies under the lock and touches no member afterwards,
+    // so finish()+destruction cannot race a late member access.
+    pool_.submit([this, seq, work = std::move(chunk)]() mutable {
+      Outcome outcome{};
+      std::exception_ptr process_error;
+      try {
+        outcome = process_(work);
+      } catch (...) {
+        process_error = std::current_exception();
+        // The (empty) outcome slot below still advances the merge order.
+      }
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (process_error && !error_) error_ = process_error;
+      pending_.emplace(seq, std::move(outcome));
+      drain_merges();
+      space_or_done_.notify_all();
+    });
+    return true;
+  }
+
+  /// Waits until every pushed chunk is merged; rethrows the first error.
+  void finish() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_or_done_.wait(lock, [&] { return in_flight_ == 0; });
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;  // rethrow exactly once
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  /// Requires mutex_ held. Merges every ready outcome in submission
+  /// order; merging is expected to be cheap next to processing.
+  void drain_merges() {
+    for (auto it = pending_.find(next_merge_); it != pending_.end();
+         it = pending_.find(next_merge_)) {
+      Outcome outcome = std::move(it->second);
+      pending_.erase(it);
+      if (!error_) {
+        try {
+          merge_(std::move(outcome));
+        } catch (...) {
+          error_ = std::current_exception();
+        }
+      }
+      ++next_merge_;
+      --in_flight_;
+    }
+  }
+
+  ThreadPool& pool_;
+  const std::function<Outcome(const Chunk&)> process_;
+  const std::function<void(Outcome&&)> merge_;
+  const std::size_t max_in_flight_;
+
+  std::mutex mutex_;
+  std::condition_variable space_or_done_;
+  std::map<std::uint64_t, Outcome> pending_;  // processed, not yet merged
+  std::uint64_t next_merge_ = 0;
+  std::size_t in_flight_ = 0;  // pushed, not yet merged
+  std::uint64_t sequence_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace wtam::common

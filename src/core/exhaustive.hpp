@@ -27,6 +27,17 @@ struct ExhaustiveOptions {
   /// prematurely", §2) — so the faithful baseline solves every partition
   /// from scratch; switching this on is the ablation.
   bool share_incumbent = false;
+  /// Worker threads for the enumeration. 1 = serial; 0 = one per hardware
+  /// thread. Partitions are enumerated in canonical order into fixed-size
+  /// chunks solved concurrently; results are merged in enumeration order,
+  /// so an unbudgeted run returns the same best architecture (first
+  /// minimum in enumeration order) regardless of thread count. Under a
+  /// budget, which partitions get solved before expiry is timing-
+  /// dependent — exactly as it is serially.
+  int threads = 1;
+  /// Partitions per dispatched chunk in parallel mode; exact solves are
+  /// expensive, so chunks are small to balance load.
+  int chunk_size = 8;
 };
 
 struct ExhaustiveResult {

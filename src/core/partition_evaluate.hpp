@@ -39,6 +39,22 @@ struct PartitionEvaluateOptions {
   /// bench can carry tau across B values instead (slightly stronger
   /// pruning than the published algorithm).
   bool reset_tau_per_b = true;
+  /// Worker threads for the search. 1 = the serial reference algorithm;
+  /// 0 = one per hardware thread. Parallel runs return results that are
+  /// bit-identical to serial (same best architecture and the same per-B
+  /// statistics, cpu_s aside): partitions are enumerated in the canonical
+  /// order into fixed-size chunks, workers evaluate chunks concurrently
+  /// against a shared atomic tau that only ever holds the merged-prefix
+  /// incumbent (never tighter than the serial tau at any yet-unmerged
+  /// partition), and outcomes are merged in enumeration order, where each
+  /// partition is re-classified exactly as the serial trajectory would
+  /// have: a partition aborts serially iff its full evaluation time is
+  /// >= the serial tau at its position.
+  int threads = 1;
+  /// Partitions per dispatched chunk in parallel mode. The default
+  /// amortizes dispatch overhead while keeping the shared tau fresh;
+  /// exposed mainly so tests can stress the merge logic.
+  int chunk_size = 1024;
 };
 
 /// Per-B statistics (Table 1 columns).

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"           // IWYU pragma: export
 #include "common/table.hpp"         // IWYU pragma: export
+#include "common/thread_pool.hpp"   // IWYU pragma: export
 #include "common/timer.hpp"         // IWYU pragma: export
 #include "core/assignment_exact.hpp"    // IWYU pragma: export
 #include "core/co_optimizer.hpp"        // IWYU pragma: export

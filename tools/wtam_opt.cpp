@@ -10,6 +10,10 @@
 //   --width W         total TAM width (required)
 //   --max-tams B      search B in [1, B] (default 10)
 //   --fixed-tams B    pin the number of TAMs (overrides --max-tams)
+//   --threads N       worker threads for the partition search and the
+//                     exhaustive baseline (default 1 = serial; 0 = one
+//                     per hardware thread); results are identical to
+//                     serial at any thread count
 //   --no-final-ilp    skip the exact re-optimization step
 //   --exhaustive      also run the exhaustive baseline of [8]
 //   --budget S        wall-clock budget for --exhaustive (default 30)
@@ -29,7 +33,7 @@ namespace {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--max-tams B]\n"
-               "                [--fixed-tams B] [--no-final-ilp]\n"
+               "                [--fixed-tams B] [--threads N] [--no-final-ilp]\n"
                "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
                "built-in SOCs: d695 p21241 p31108 p93791\n";
   std::exit(2);
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   int width = 0;
   int max_tams = 10;
   std::optional<int> fixed_tams;
+  int threads = 1;
   bool final_ilp = true;
   bool exhaustive = false;
   double budget = 30.0;
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
       max_tams = std::atoi(value());
     } else if (arg == "--fixed-tams") {
       fixed_tams = std::atoi(value());
+    } else if (arg == "--threads") {
+      threads = std::atoi(value());
     } else if (arg == "--no-final-ilp") {
       final_ilp = false;
     } else if (arg == "--exhaustive") {
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
   if (width < 1 || width > 256) usage("--width must be in 1..256");
   if (fixed_tams && (*fixed_tams < 1 || *fixed_tams > width))
     usage("--fixed-tams out of range");
+  if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
 
   try {
     const soc::Soc soc = load(soc_name);
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
     core::CoOptimizeOptions options;
     options.search.max_tams = fixed_tams ? *fixed_tams : max_tams;
     options.search.min_tams = fixed_tams ? *fixed_tams : 1;
+    options.search.threads = threads;
     options.run_final_step = final_ilp;
     const auto result = core::co_optimize(table, width, options);
     const auto& arch = result.architecture;
@@ -129,6 +138,7 @@ int main(int argc, char** argv) {
     if (exhaustive) {
       core::ExhaustiveOptions ex;
       ex.time_budget_s = budget;
+      ex.threads = threads;
       const auto baseline = core::exhaustive_pnpaw(
           table, width, options.search.max_tams, ex);
       if (baseline.completed) {
