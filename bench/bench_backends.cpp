@@ -1,0 +1,159 @@
+// Backend shoot-out: every registered optimizer backend on every
+// benchmark SOC (the four built-ins plus seeded synthetic SOCs) across
+// total TAM widths 16..64. For each run the testing time, the CPU time,
+// and the gap to the architecture-independent lower bound are recorded;
+// for rectpack the delta against the enumerative flow is reported (the
+// ISSUE-2 acceptance asks it to stay within +5% on d695 at W=32/64 —
+// negative deltas mean rectangle packing reclaimed idle wires the test
+// bus could not). Results are printed as tables and written to
+// BENCH_backends.json so the backend-quality trajectory is
+// machine-readable across PRs.
+//
+// Environment knobs (see bench_util.hpp): WTAM_BENCH_THREADS.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/backend.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "soc/benchmarks.hpp"
+#include "soc/generator.hpp"
+
+namespace {
+
+using namespace wtam;
+
+constexpr int kWidths[] = {16, 24, 32, 40, 48, 56, 64};
+
+struct RunRecord {
+  std::string soc;
+  int width = 0;
+  std::string backend;
+  std::int64_t testing_time = 0;
+  double cpu_s = 0.0;
+  std::int64_t lower_bound = 0;
+  double gap = 0.0;  ///< (T - LB) / LB
+  bool valid = false;
+};
+
+soc::Soc synthetic(std::uint64_t seed) {
+  soc::SyntheticSpec spec;
+  spec.name = "synth" + std::to_string(seed);
+  spec.seed = seed;
+  spec.logic_cores = 10 + static_cast<int>(seed % 5);
+  spec.logic.patterns = {20, 400};
+  spec.logic.ios = {10, 180};
+  spec.logic.chains = {1, 12};
+  spec.logic.chain_len = {20, 180};
+  spec.memory_cores = 4 + static_cast<int>(seed % 3);
+  spec.memory.patterns = {100, 2500};
+  spec.memory.ios = {8, 50};
+  return soc::generate_soc(spec);
+}
+
+}  // namespace
+
+int main() {
+  const int threads = bench::bench_threads();
+
+  std::vector<soc::Soc> socs = {soc::d695(), soc::p21241(), soc::p31108(),
+                                soc::p93791()};
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL})
+    socs.push_back(synthetic(seed));
+
+  const auto backends = core::BackendRegistry::instance().names();
+  std::vector<RunRecord> records;
+
+  for (const soc::Soc& soc : socs) {
+    common::TextTable table("Backends on " + soc.name + " (" +
+                            std::to_string(soc.core_count()) + " cores)");
+    table.set_header({"W", "backend", "T (cycles)", "LB", "gap %", "CPU s",
+                      "vs enum %"},
+                     {common::Align::Right, common::Align::Left,
+                      common::Align::Right, common::Align::Right,
+                      common::Align::Right, common::Align::Right,
+                      common::Align::Right});
+
+    for (const int width : kWidths) {
+      const core::TestTimeTable times(soc, width);
+      const auto bounds = core::testing_time_lower_bounds(times, width);
+
+      std::map<std::string, std::int64_t> per_backend;
+      for (const auto& name : backends) {
+        core::BackendOptions options;
+        options.threads = threads;
+        const auto outcome = core::run_backend(name, times, width, options);
+
+        RunRecord record;
+        record.soc = soc.name;
+        record.width = width;
+        record.backend = name;
+        record.testing_time = outcome.testing_time;
+        record.cpu_s = outcome.cpu_s;
+        record.lower_bound = bounds.combined();
+        record.gap = core::optimality_gap(bounds, outcome.testing_time);
+        record.valid =
+            pack::validate_packed_schedule(times, outcome.schedule).empty();
+        records.push_back(record);
+        per_backend[name] = outcome.testing_time;
+
+        std::string vs_enum = "-";
+        if (name != "enumerative" && per_backend.count("enumerative") != 0) {
+          const auto reference =
+              static_cast<double>(per_backend.at("enumerative"));
+          vs_enum = common::format_signed_percent(
+              (static_cast<double>(outcome.testing_time) - reference) /
+              reference * 100.0);
+        }
+        table.add_row({std::to_string(width), name,
+                       std::to_string(outcome.testing_time),
+                       std::to_string(bounds.combined()),
+                       common::format_fixed(record.gap * 100.0, 2),
+                       common::format_fixed(outcome.cpu_s, 3), vs_enum});
+      }
+      table.add_separator();
+    }
+    std::cout << table << "\n";
+  }
+
+  // ---- machine-readable artifact ----------------------------------------
+  bench::Json document = bench::Json::object();
+  document.set("bench", bench::Json::string("backends"));
+  document.set("threads", bench::Json::number(static_cast<std::int64_t>(threads)));
+  bench::Json backend_names = bench::Json::array();
+  for (const auto& name : backends)
+    backend_names.push(bench::Json::string(name));
+  document.set("backends", std::move(backend_names));
+
+  bench::Json runs = bench::Json::array();
+  bool all_valid = true;
+  for (const auto& record : records) {
+    bench::Json entry = bench::Json::object();
+    entry.set("soc", bench::Json::string(record.soc));
+    entry.set("width", bench::Json::number(static_cast<std::int64_t>(record.width)));
+    entry.set("backend", bench::Json::string(record.backend));
+    entry.set("testing_time", bench::Json::number(record.testing_time));
+    entry.set("cpu_s", bench::Json::number(record.cpu_s));
+    entry.set("lower_bound", bench::Json::number(record.lower_bound));
+    entry.set("gap", bench::Json::number(record.gap));
+    entry.set("schedule_valid", bench::Json::boolean(record.valid));
+    runs.push(std::move(entry));
+    all_valid = all_valid && record.valid;
+  }
+  document.set("runs", std::move(runs));
+
+  bench::write_json_file("BENCH_backends.json", document);
+  std::cout << "wrote BENCH_backends.json (" << records.size() << " runs)\n";
+  if (!all_valid) {
+    std::cerr << "error: at least one backend produced an invalid schedule\n";
+    return 1;
+  }
+  return 0;
+}

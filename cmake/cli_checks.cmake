@@ -1,0 +1,47 @@
+# Exit-status contract of the wtam_opt CLI, exercised as a ctest:
+#   0 — success,
+#   1 — runtime error (unreadable/bad --soc files, ...), with a clean
+#       "error: ..." message instead of std::terminate,
+#   2 — usage error (unknown flags, missing/invalid values).
+# Run via:  cmake -DWTAM_OPT=<binary> -DWORK_DIR=<dir> -P cli_checks.cmake
+
+if(NOT DEFINED WTAM_OPT OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DWTAM_OPT=<binary> -DWORK_DIR=<dir>")
+endif()
+
+function(expect_run expected_code stderr_pattern)
+  execute_process(COMMAND ${WTAM_OPT} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expected_code})
+    message(FATAL_ERROR "wtam_opt ${ARGN}: exit ${code}, expected "
+                        "${expected_code}\nstderr: ${err}")
+  endif()
+  if(NOT "${stderr_pattern}" STREQUAL "" AND NOT err MATCHES "${stderr_pattern}")
+    message(FATAL_ERROR "wtam_opt ${ARGN}: stderr does not match "
+                        "'${stderr_pattern}'\nstderr: ${err}")
+  endif()
+endfunction()
+
+# Usage errors exit 2 and print usage.
+expect_run(2 "unknown option" --bogus)
+expect_run(2 "--soc is required" --width 16)
+expect_run(2 "missing value for --width" --soc d695 --width)
+expect_run(2 "--width must be in" --soc d695 --width 0)
+expect_run(2 "unknown backend" --soc d695 --width 16 --backend annealing)
+
+# Runtime errors exit 1 with a clean "error:" line (no std::terminate).
+expect_run(1 "error: cannot open soc file" --soc ${WORK_DIR}/no_such.soc --width 16)
+file(WRITE ${WORK_DIR}/cli_bad.soc "soc x\ncore y patterns=zz inputs=1 outputs=1\n")
+expect_run(1 "error: soc parse error at line 2" --soc ${WORK_DIR}/cli_bad.soc --width 16)
+
+# Success paths exit 0.
+expect_run(0 "" --list-backends)
+expect_run(0 "" --soc d695 --width 16 --backend rectpack --quiet)
+# A CRLF-saved .soc file (Windows editors) parses fine.
+file(WRITE ${WORK_DIR}/cli_crlf.soc
+     "soc crlf\r\ncore a patterns=5 inputs=2 outputs=2 scan=3,4\r\n")
+expect_run(0 "" --soc ${WORK_DIR}/cli_crlf.soc --width 8 --quiet)
+
+message(STATUS "wtam_opt CLI exit-status contract holds")

@@ -1,0 +1,129 @@
+#include "core/backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/co_optimizer.hpp"
+
+namespace wtam::core {
+
+namespace {
+
+class EnumerativeBackend final : public OptimizerBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "enumerative";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "Partition_evaluate over all width partitions + one exact "
+           "re-optimization (the source paper's two-step flow)";
+  }
+  [[nodiscard]] BackendOutcome optimize(
+      const TestTimeTable& table, int total_width,
+      const BackendOptions& options) const override {
+    CoOptimizeOptions co;
+    co.search.min_tams = options.min_tams;
+    co.search.max_tams = options.max_tams;
+    co.search.threads = options.threads;
+    co.run_final_step = options.run_final_step;
+    const auto result = co_optimize(table, total_width, co);
+
+    BackendOutcome outcome;
+    outcome.backend = std::string(name());
+    outcome.testing_time = result.architecture.testing_time;
+    outcome.schedule = pack::from_architecture(table, result.architecture);
+    outcome.architecture = result.architecture;
+    outcome.cpu_s = result.total_cpu_s();
+    outcome.details.emplace_back(
+        "partition", format_partition(result.architecture.widths));
+    outcome.details.emplace_back(
+        "assignment", format_assignment(result.architecture.assignment));
+    outcome.details.emplace_back(
+        "heuristic time", std::to_string(result.heuristic.best.testing_time));
+    return outcome;
+  }
+};
+
+class RectPackBackend final : public OptimizerBackend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rectpack";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "bottom-left skyline packing of Pareto wrapper rectangles with "
+           "width-adjust-and-repack local search (arXiv:1008.3320 model)";
+  }
+  [[nodiscard]] BackendOutcome optimize(
+      const TestTimeTable& table, int total_width,
+      const BackendOptions& options) const override {
+    const auto result =
+        pack::rectpack_schedule(table, total_width, options.rectpack);
+
+    BackendOutcome outcome;
+    outcome.backend = std::string(name());
+    outcome.testing_time = result.makespan;
+    outcome.schedule = result.schedule;
+    outcome.cpu_s = result.cpu_s;
+    outcome.details.emplace_back("seed ordering", result.seed_ordering);
+    outcome.details.emplace_back("repacks", std::to_string(result.repacks));
+    std::ostringstream utilization;
+    utilization << static_cast<int>(
+                       pack::strip_utilization(result.schedule) * 100.0 + 0.5)
+                << "%";
+    outcome.details.emplace_back("strip utilization", utilization.str());
+    return outcome;
+  }
+};
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  register_backend(std::make_unique<EnumerativeBackend>());
+  register_backend(std::make_unique<RectPackBackend>());
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(
+    std::unique_ptr<OptimizerBackend> backend) {
+  if (backend == nullptr)
+    throw std::invalid_argument("register_backend: null backend");
+  if (find(backend->name()) != nullptr)
+    throw std::invalid_argument("register_backend: duplicate backend '" +
+                                std::string(backend->name()) + "'");
+  backends_.push_back(std::move(backend));
+}
+
+const OptimizerBackend* BackendRegistry::find(std::string_view name) const {
+  for (const auto& backend : backends_)
+    if (backend->name() == name) return backend.get();
+  return nullptr;
+}
+
+const OptimizerBackend& BackendRegistry::at(std::string_view name) const {
+  if (const OptimizerBackend* backend = find(name)) return *backend;
+  std::ostringstream out;
+  out << "unknown backend '" << name << "' (registered:";
+  for (const auto& known : names()) out << " " << known;
+  out << ")";
+  throw std::invalid_argument(out.str());
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(backends_.size());
+  for (const auto& backend : backends_)
+    result.emplace_back(backend->name());
+  return result;
+}
+
+BackendOutcome run_backend(std::string_view name, const TestTimeTable& table,
+                           int total_width, const BackendOptions& options) {
+  return BackendRegistry::instance().at(name).optimize(table, total_width,
+                                                       options);
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,98 @@
+// Pluggable optimizer backends.
+//
+// Every co-optimization engine in the repo is reachable through one seam:
+// an OptimizerBackend turns (testing-time table, total width, options)
+// into a unified BackendOutcome — the makespan, a wire-level
+// PackedSchedule (validator-checkable and Gantt-renderable regardless of
+// which engine produced it), the CPU time, and backend-specific detail
+// lines. The registry maps names to backends so tools, benches, and
+// future engines (simulated annealing, branch & bound over packings, ...)
+// plug in without touching call sites. Two backends ship today:
+//   * "enumerative" — the source paper's flow (Partition_evaluate + one
+//     exact re-optimization), wrapping core::co_optimize;
+//   * "rectpack"    — rectangle packing over Pareto wrapper rectangles
+//     (pack/rectpack.hpp, the arXiv:1008.3320 / arXiv:1008.4448 model).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/tam_types.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "pack/rectpack.hpp"
+
+namespace wtam::core {
+
+struct BackendOptions {
+  /// TAM-count range for architecture-enumerating backends.
+  int min_tams = 1;
+  int max_tams = 10;
+  /// Worker threads (honored by backends with parallel searches).
+  int threads = 1;
+  /// Run the exact re-optimization step (enumerative backend).
+  bool run_final_step = true;
+  /// Options for the rectangle-packing backend.
+  pack::RectPackOptions rectpack;
+};
+
+struct BackendOutcome {
+  std::string backend;
+  std::int64_t testing_time = 0;  ///< makespan of `schedule`
+  /// Unified wire-level schedule; passes pack::validate_packed_schedule
+  /// for every backend.
+  pack::PackedSchedule schedule;
+  /// Present when the backend produced a static test-bus architecture.
+  std::optional<TamArchitecture> architecture;
+  double cpu_s = 0.0;
+  /// Backend-specific key/value lines for human-readable reports.
+  std::vector<std::pair<std::string, std::string>> details;
+};
+
+class OptimizerBackend {
+ public:
+  virtual ~OptimizerBackend() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  [[nodiscard]] virtual BackendOutcome optimize(
+      const TestTimeTable& table, int total_width,
+      const BackendOptions& options) const = 0;
+};
+
+/// Name -> backend registry. The built-in backends are registered on
+/// first access; additional backends may be registered at startup
+/// (registration is not synchronized — do it before spawning threads).
+class BackendRegistry {
+ public:
+  [[nodiscard]] static BackendRegistry& instance();
+
+  /// Throws std::invalid_argument on a duplicate name.
+  void register_backend(std::unique_ptr<OptimizerBackend> backend);
+
+  /// nullptr when `name` is unknown.
+  [[nodiscard]] const OptimizerBackend* find(std::string_view name) const;
+
+  /// Throws std::invalid_argument listing the registered names.
+  [[nodiscard]] const OptimizerBackend& at(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+  std::vector<std::unique_ptr<OptimizerBackend>> backends_;
+};
+
+/// Convenience: BackendRegistry::instance().at(name).optimize(...).
+[[nodiscard]] BackendOutcome run_backend(std::string_view name,
+                                         const TestTimeTable& table,
+                                         int total_width,
+                                         const BackendOptions& options = {});
+
+}  // namespace wtam::core

@@ -1,0 +1,189 @@
+#include "pack/packed_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtam::pack {
+
+namespace {
+
+std::string placement_label(const PackedPlacement& p) {
+  std::ostringstream out;
+  out << "core " << p.core << " (wires [" << p.wire << "," << p.wire + p.width
+      << "), cycles [" << p.start << "," << p.end << "))";
+  return out.str();
+}
+
+}  // namespace
+
+void sort_placements(std::vector<PackedPlacement>& placements) {
+  std::sort(placements.begin(), placements.end(),
+            [](const PackedPlacement& a, const PackedPlacement& b) {
+              return a.start != b.start ? a.start < b.start : a.wire < b.wire;
+            });
+}
+
+std::vector<std::string> validate_packed_schedule(
+    const core::TestTimeTable& table, const PackedSchedule& schedule) {
+  std::vector<std::string> issues;
+  const auto complain = [&issues](const std::string& message) {
+    issues.push_back(message);
+  };
+
+  if (schedule.total_width < 1 || schedule.total_width > table.max_width()) {
+    complain("total_width " + std::to_string(schedule.total_width) +
+             " outside the table's range [1, " +
+             std::to_string(table.max_width()) + "]");
+    return issues;  // nothing else is meaningful
+  }
+
+  std::vector<int> times_placed(static_cast<std::size_t>(table.core_count()), 0);
+  std::int64_t max_end = 0;
+  for (const auto& p : schedule.placements) {
+    if (p.core < 0 || p.core >= table.core_count()) {
+      complain("unknown core index " + std::to_string(p.core));
+      continue;
+    }
+    ++times_placed[static_cast<std::size_t>(p.core)];
+    if (p.width < 1 || p.width > table.max_width())
+      complain(placement_label(p) + ": width outside the table's range");
+    if (p.wire < 0 || p.wire + p.width > schedule.total_width)
+      complain(placement_label(p) + ": wire interval outside the strip");
+    if (p.start < 0 || p.start >= p.end)
+      complain(placement_label(p) + ": empty or negative time interval");
+    if (p.width >= 1 && p.width <= table.max_width() &&
+        p.end - p.start != table.time(p.core, p.width))
+      complain(placement_label(p) + ": duration " +
+               std::to_string(p.end - p.start) + " != T_" +
+               std::to_string(p.core) + "(" + std::to_string(p.width) +
+               ") = " + std::to_string(table.time(p.core, p.width)));
+    max_end = std::max(max_end, p.end);
+  }
+
+  for (int i = 0; i < table.core_count(); ++i) {
+    const int n = times_placed[static_cast<std::size_t>(i)];
+    if (n == 0) complain("core " + std::to_string(i) + " never placed");
+    if (n > 1)
+      complain("core " + std::to_string(i) + " placed " + std::to_string(n) +
+               " times");
+  }
+
+  for (std::size_t a = 0; a < schedule.placements.size(); ++a) {
+    for (std::size_t b = a + 1; b < schedule.placements.size(); ++b) {
+      const auto& pa = schedule.placements[a];
+      const auto& pb = schedule.placements[b];
+      const bool wires_overlap =
+          pa.wire < pb.wire + pb.width && pb.wire < pa.wire + pa.width;
+      const bool time_overlap = pa.start < pb.end && pb.start < pa.end;
+      if (wires_overlap && time_overlap)
+        complain("overlap: " + placement_label(pa) + " and " +
+                 placement_label(pb));
+    }
+  }
+
+  if (schedule.makespan != max_end)
+    complain("makespan " + std::to_string(schedule.makespan) +
+             " != max placement end " + std::to_string(max_end));
+  return issues;
+}
+
+void require_valid(const core::TestTimeTable& table,
+                   const PackedSchedule& schedule) {
+  const auto issues = validate_packed_schedule(table, schedule);
+  if (issues.empty()) return;
+  std::ostringstream out;
+  out << "invalid packed schedule (" << issues.size() << " issue"
+      << (issues.size() == 1 ? "" : "s") << "):";
+  for (const auto& issue : issues) out << "\n  - " << issue;
+  throw std::runtime_error(out.str());
+}
+
+PackedSchedule from_architecture(const core::TestTimeTable& table,
+                                 const core::TamArchitecture& architecture) {
+  PackedSchedule schedule;
+  schedule.total_width = architecture.total_width();
+
+  int lane_start = 0;
+  for (int tam = 0; tam < architecture.tam_count(); ++tam) {
+    const int width = architecture.widths[static_cast<std::size_t>(tam)];
+    std::int64_t clock = 0;
+    for (int i = 0; i < table.core_count(); ++i) {
+      if (architecture.assignment[static_cast<std::size_t>(i)] != tam) continue;
+      const std::int64_t duration = table.time(i, width);
+      schedule.placements.push_back(
+          {i, width, lane_start, clock, clock + duration});
+      clock += duration;
+    }
+    schedule.makespan = std::max(schedule.makespan, clock);
+    lane_start += width;
+  }
+
+  sort_placements(schedule.placements);
+  return schedule;
+}
+
+double strip_utilization(const PackedSchedule& schedule) {
+  if (schedule.makespan <= 0 || schedule.total_width < 1) return 0.0;
+  std::int64_t covered = 0;
+  for (const auto& p : schedule.placements)
+    covered += static_cast<std::int64_t>(p.width) * (p.end - p.start);
+  return static_cast<double>(covered) /
+         (static_cast<double>(schedule.total_width) *
+          static_cast<double>(schedule.makespan));
+}
+
+std::string render_packed_gantt(const PackedSchedule& schedule,
+                                const soc::Soc& soc, int columns) {
+  if (columns < 10) columns = 10;
+  if (schedule.makespan == 0 || schedule.total_width < 1)
+    return "(empty schedule)\n";
+  const double scale =
+      static_cast<double>(columns) / static_cast<double>(schedule.makespan);
+
+  // Paint every wire's row, then collapse runs of identical rows.
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(schedule.total_width),
+      std::string(static_cast<std::size_t>(columns), '.'));
+  for (const auto& p : schedule.placements) {
+    auto from = static_cast<int>(static_cast<double>(p.start) * scale);
+    auto to = static_cast<int>(static_cast<double>(p.end) * scale);
+    from = std::clamp(from, 0, columns - 1);
+    to = std::clamp(to, from + 1, columns);
+    const char label = static_cast<char>('A' + p.core % 26);
+    for (int wire = p.wire; wire < p.wire + p.width; ++wire) {
+      auto& row = rows[static_cast<std::size_t>(wire)];
+      for (int c = from; c < to; ++c) row[static_cast<std::size_t>(c)] = label;
+      row[static_cast<std::size_t>(from)] = '|';
+    }
+  }
+
+  std::ostringstream out;
+  int run_start = 0;
+  for (int wire = 0; wire < schedule.total_width; ++wire) {
+    const bool last = wire + 1 == schedule.total_width;
+    if (!last && rows[static_cast<std::size_t>(wire + 1)] ==
+                     rows[static_cast<std::size_t>(run_start)])
+      continue;
+    if (run_start == wire)
+      out << "wire  " << run_start + 1;
+    else
+      out << "wires " << run_start + 1 << "-" << wire + 1;
+    out << "\t" << rows[static_cast<std::size_t>(run_start)] << "\n";
+    run_start = wire + 1;
+  }
+  out << "makespan " << schedule.makespan << "\nlegend:";
+  std::vector<bool> mentioned(soc.cores.size(), false);
+  for (const auto& p : schedule.placements) {
+    const auto idx = static_cast<std::size_t>(p.core);
+    if (idx < mentioned.size() && !mentioned[idx]) {
+      mentioned[idx] = true;
+      out << ' ' << static_cast<char>('A' + p.core % 26) << '='
+          << soc.cores[idx].name;
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace wtam::pack

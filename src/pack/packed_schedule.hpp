@@ -1,0 +1,80 @@
+// Wire-level test schedules ("packings") and their strict validator.
+//
+// A PackedSchedule places every core's chosen rectangle at an explicit
+// wire interval and time interval of the W x time strip. It generalizes
+// the fixed-TAM schedules of core/schedule.hpp: a test-bus architecture
+// is the special case where the wire intervals are the static TAM lanes
+// (see from_architecture), while rectangle packing reassigns wires over
+// time. The validator is deliberately strict — every geometric and
+// model-consistency property is checked, so optimizer bugs surface as
+// hard errors instead of silently optimistic makespans.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tam_types.hpp"
+#include "core/test_time_table.hpp"
+#include "soc/soc.hpp"
+
+namespace wtam::pack {
+
+/// One core's test session: wires [wire, wire + width) for cycles
+/// [start, end).
+struct PackedPlacement {
+  int core = 0;
+  int width = 0;
+  int wire = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+
+struct PackedSchedule {
+  int total_width = 0;
+  std::vector<PackedPlacement> placements;  ///< sorted by (start, wire)
+  std::int64_t makespan = 0;
+};
+
+/// Sorts `placements` into the canonical (start, wire) order that
+/// PackedSchedule::placements documents; every producer must use this so
+/// schedules from different backends compare field-by-field.
+void sort_placements(std::vector<PackedPlacement>& placements);
+
+/// Checks `schedule` against the model and returns every violation found
+/// (empty = valid):
+///   * total_width within the table's range;
+///   * every core placed exactly once, no unknown core indices;
+///   * each placement inside the strip: wire >= 0, width >= 1,
+///     wire + width <= total_width, 0 <= start < end;
+///   * durations honest: end - start == table.time(core, width);
+///   * no two placements overlap in both wires and time;
+///   * makespan == max end over placements.
+[[nodiscard]] std::vector<std::string> validate_packed_schedule(
+    const core::TestTimeTable& table, const PackedSchedule& schedule);
+
+/// Throws std::runtime_error listing all violations; no-op when valid.
+void require_valid(const core::TestTimeTable& table,
+                   const PackedSchedule& schedule);
+
+/// Lowers a test-bus architecture to a packing: TAM j becomes the static
+/// wire lane [sum of widths before j, +width_j), with its cores placed
+/// sequentially in assignment order. The result has the architecture's
+/// testing time as makespan and always validates.
+[[nodiscard]] PackedSchedule from_architecture(
+    const core::TestTimeTable& table, const core::TamArchitecture& architecture);
+
+/// Fraction of the occupied strip (total_width * makespan wire-cycles)
+/// covered by placements — the rectangle-packing efficiency metric.
+[[nodiscard]] double strip_utilization(const PackedSchedule& schedule);
+
+/// ASCII Gantt chart of the packing: time on the x-axis, one row per wire
+/// (runs of wires with identical occupancy are collapsed into "wires a-b"
+/// rows), `columns` wide. Cores are labeled A..Z cyclically with a legend,
+/// as in core::render_gantt.
+[[nodiscard]] std::string render_packed_gantt(const PackedSchedule& schedule,
+                                              const soc::Soc& soc,
+                                              int columns = 64);
+
+}  // namespace wtam::pack

@@ -1,0 +1,47 @@
+#include "pack/rect_model.hpp"
+
+#include <stdexcept>
+
+namespace wtam::pack {
+
+const Rect& RectModel::min_area_rect(int core) const {
+  const auto& rects = candidates.at(static_cast<std::size_t>(core));
+  const Rect* best = &rects.front();
+  for (const Rect& rect : rects)
+    if (rect.area() < best->area()) best = &rect;
+  return *best;
+}
+
+std::int64_t RectModel::total_min_area() const noexcept {
+  std::int64_t total = 0;
+  for (int i = 0; i < core_count(); ++i) total += min_area_rect(i).area();
+  return total;
+}
+
+RectModel build_rect_model(const core::TestTimeTable& table, int total_width) {
+  if (total_width < 1 || total_width > table.max_width())
+    throw std::invalid_argument(
+        "build_rect_model: total_width outside the table's range");
+
+  RectModel model;
+  model.total_width = total_width;
+  model.candidates.resize(static_cast<std::size_t>(table.core_count()));
+  for (int i = 0; i < table.core_count(); ++i) {
+    auto& rects = model.candidates[static_cast<std::size_t>(i)];
+    // The table's envelope is min over narrower widths of the raw wrapper
+    // time, so its strict-improvement points are exactly
+    // wrapper::pareto_widths — read them off the memoized table instead of
+    // re-running the wrapper-design pass per core and width.
+    std::int64_t last = -1;
+    for (int w = 1; w <= total_width; ++w) {
+      const std::int64_t t = table.time(i, w);
+      if (last < 0 || t < last) {
+        rects.push_back({i, w, t});
+        last = t;
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace wtam::pack

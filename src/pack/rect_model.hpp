@@ -1,0 +1,65 @@
+// Rectangle model of wrapper/TAM co-optimization (follow-on work to the
+// source paper: Islam et al., arXiv:1008.3320 and Babu et al.,
+// arXiv:1008.4448).
+//
+// Instead of committing a core to the full width of a shared TAM, each
+// core i is modeled as a *set of candidate rectangles*: one rectangle
+// (w x T_i(w)) per Pareto-optimal wrapper width w (wrapper::pareto_widths
+// — widths at which the effective testing time strictly improves). A test
+// schedule is then a packing of one rectangle per core into the W-wide
+// strip of TAM wires x time; the strip height reached is the SOC testing
+// time. Widths between Pareto points only waste wires (the source paper's
+// §1 idle-wire argument), so they are never candidates.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/test_time_table.hpp"
+
+namespace wtam::pack {
+
+/// One candidate rectangle: core `core` wrapped at `width` wires tests in
+/// `time` cycles and occupies width * time wire-cycles of the strip.
+struct Rect {
+  int core = 0;
+  int width = 0;
+  std::int64_t time = 0;
+
+  [[nodiscard]] std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(width) * time;
+  }
+};
+
+/// All cores' candidate rectangles for a strip of `total_width` wires.
+struct RectModel {
+  int total_width = 0;
+  /// candidates[i]: core i's rectangles, widths strictly increasing and
+  /// times strictly decreasing (the Pareto front of P_W).
+  std::vector<std::vector<Rect>> candidates;
+
+  [[nodiscard]] int core_count() const noexcept {
+    return static_cast<int>(candidates.size());
+  }
+
+  /// The minimum-area candidate of core `core` (the rectangle a
+  /// test-data-volume argument charges the core for).
+  [[nodiscard]] const Rect& min_area_rect(int core) const;
+
+  /// Sum over cores of min_area_rect().area() — the strip area any
+  /// packing must cover at least (lower-bound LB2 of [8] in rectangle
+  /// terms).
+  [[nodiscard]] std::int64_t total_min_area() const noexcept;
+};
+
+/// Derives the rectangle model from the memoized testing-time table:
+/// candidate widths are the strict-improvement points of the table's
+/// monotone envelope (identical to wrapper::pareto_widths), candidate
+/// times the envelope values (identical to wrapper::best_design's testing
+/// time). Throws std::invalid_argument when total_width is outside
+/// [1, table.max_width()].
+[[nodiscard]] RectModel build_rect_model(const core::TestTimeTable& table,
+                                         int total_width);
+
+}  // namespace wtam::pack

@@ -1,0 +1,306 @@
+#include "pack/rectpack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "pack/skyline.hpp"
+
+namespace wtam::pack {
+
+namespace {
+
+/// A packing decision: the order cores are placed in, plus the smallest
+/// candidate index each core may use (forcing a core to wider/faster
+/// rectangles is the width-adjust move of the local search).
+struct PackState {
+  std::vector<int> order;
+  std::vector<int> min_candidate;
+};
+
+PackedSchedule greedy_pack(const RectModel& model, const PackState& state) {
+  Skyline skyline(model.total_width);
+  PackedSchedule schedule;
+  schedule.total_width = model.total_width;
+  schedule.placements.reserve(state.order.size());
+
+  for (const int core : state.order) {
+    const auto& rects = model.candidates[static_cast<std::size_t>(core)];
+    const int first =
+        std::min(state.min_candidate[static_cast<std::size_t>(core)],
+                 static_cast<int>(rects.size()) - 1);
+    // Among the allowed candidates, take the one that finishes earliest;
+    // break ties toward the smaller footprint (area, then width), which
+    // leaves more skyline for later cores.
+    const Rect* chosen = nullptr;
+    Skyline::Spot chosen_spot{};
+    std::int64_t chosen_finish = 0;
+    for (std::size_t c = static_cast<std::size_t>(first); c < rects.size();
+         ++c) {
+      const Rect& rect = rects[c];
+      const auto spot = skyline.best_spot(rect.width);
+      const std::int64_t finish = spot.start + rect.time;
+      const bool better =
+          chosen == nullptr || finish < chosen_finish ||
+          (finish == chosen_finish &&
+           (rect.area() < chosen->area() ||
+            (rect.area() == chosen->area() && rect.width < chosen->width)));
+      if (better) {
+        chosen = &rect;
+        chosen_spot = spot;
+        chosen_finish = finish;
+      }
+    }
+    skyline.place(chosen_spot.wire, chosen->width, chosen_finish);
+    schedule.placements.push_back({core, chosen->width, chosen_spot.wire,
+                                   chosen_spot.start, chosen_finish});
+    schedule.makespan = std::max(schedule.makespan, chosen_finish);
+  }
+
+  sort_placements(schedule.placements);
+  return schedule;
+}
+
+/// Bottom-left packing *with hole filling*: unlike the skyline, a
+/// rectangle may start below previously raised wires, in any hole large
+/// enough to hold it. Candidate start times are 0 and the end times of
+/// already-placed rectangles (a bottom-left placement always abuts one);
+/// the earliest feasible start with the leftmost fitting wire window
+/// wins. Quadratic in placements, so it is used to compact final
+/// solutions rather than inside the local-search loop.
+PackedSchedule holefill_pack(const RectModel& model, const PackState& state) {
+  PackedSchedule schedule;
+  schedule.total_width = model.total_width;
+  schedule.placements.reserve(state.order.size());
+
+  const int width_total = model.total_width;
+  std::vector<char> wire_free(static_cast<std::size_t>(width_total), 1);
+
+  // Finds the leftmost wire window of `width` free wires during
+  // [start, start + time); returns -1 when none exists.
+  const auto leftmost_window = [&](std::int64_t start, std::int64_t time,
+                                   int width) {
+    std::fill(wire_free.begin(), wire_free.end(), char{1});
+    for (const auto& p : schedule.placements) {
+      if (p.start >= start + time || start >= p.end) continue;
+      for (int w = p.wire; w < p.wire + p.width; ++w)
+        wire_free[static_cast<std::size_t>(w)] = 0;
+    }
+    int run = 0;
+    for (int w = 0; w < width_total; ++w) {
+      run = wire_free[static_cast<std::size_t>(w)] ? run + 1 : 0;
+      if (run >= width) return w - width + 1;
+    }
+    return -1;
+  };
+
+  std::vector<std::int64_t> starts;
+  for (const int core : state.order) {
+    starts.assign(1, 0);
+    for (const auto& p : schedule.placements) starts.push_back(p.end);
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+    const auto& rects = model.candidates[static_cast<std::size_t>(core)];
+    const int first =
+        std::min(state.min_candidate[static_cast<std::size_t>(core)],
+                 static_cast<int>(rects.size()) - 1);
+    PackedPlacement chosen{};
+    bool have_chosen = false;
+    for (std::size_t c = static_cast<std::size_t>(first); c < rects.size();
+         ++c) {
+      const Rect& rect = rects[c];
+      for (const std::int64_t start : starts) {
+        if (have_chosen && start + rect.time > chosen.end) break;
+        const int wire = leftmost_window(start, rect.time, rect.width);
+        if (wire < 0) continue;
+        const PackedPlacement candidate{core, rect.width, wire, start,
+                                        start + rect.time};
+        const bool better =
+            !have_chosen || candidate.end < chosen.end ||
+            (candidate.end == chosen.end && rect.width < chosen.width);
+        if (better) {
+          chosen = candidate;
+          have_chosen = true;
+        }
+        break;  // later starts of the same rectangle only finish later
+      }
+    }
+    schedule.placements.push_back(chosen);
+    schedule.makespan = std::max(schedule.makespan, chosen.end);
+  }
+
+  sort_placements(schedule.placements);
+  return schedule;
+}
+
+/// The deterministic seed orderings of the rectangle-packing literature.
+std::vector<std::pair<std::string, std::vector<int>>> seed_orders(
+    const RectModel& model, const core::TestTimeTable& table) {
+  const int n = model.core_count();
+  std::vector<int> base(static_cast<std::size_t>(n));
+  std::iota(base.begin(), base.end(), 0);
+
+  const auto sorted_by = [&base](auto key_desc) {
+    std::vector<int> order = base;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return key_desc(a) > key_desc(b); });
+    return order;
+  };
+
+  // Normalization for the diagonal ordering: widths against the strip,
+  // times against the area lower bound on the strip height.
+  const double height_scale = std::max<double>(
+      1.0, static_cast<double>(model.total_min_area()) /
+               static_cast<double>(model.total_width));
+
+  std::vector<std::pair<std::string, std::vector<int>>> orders;
+  orders.emplace_back("area-decreasing", sorted_by([&](int c) {
+                        return static_cast<double>(
+                            model.min_area_rect(c).area());
+                      }));
+  orders.emplace_back("diagonal-decreasing", sorted_by([&](int c) {
+                        const Rect& r = model.min_area_rect(c);
+                        const double w = static_cast<double>(r.width) /
+                                         model.total_width;
+                        const double t =
+                            static_cast<double>(r.time) / height_scale;
+                        return w * w + t * t;
+                      }));
+  orders.emplace_back("time-decreasing", sorted_by([&](int c) {
+                        return static_cast<double>(
+                            table.time(c, model.total_width));
+                      }));
+  orders.emplace_back("width-decreasing", sorted_by([&](int c) {
+                        return static_cast<double>(model.min_area_rect(c).width);
+                      }));
+  return orders;
+}
+
+}  // namespace
+
+RectPackResult rectpack_schedule(const core::TestTimeTable& table,
+                                 int total_width,
+                                 const RectPackOptions& options) {
+  common::Stopwatch watch;
+  const RectModel model = build_rect_model(table, total_width);
+  const int n = model.core_count();
+
+  RectPackResult result;
+  const auto offer = [&result](PackedSchedule schedule,
+                               const std::string* seed_name = nullptr) {
+    if (result.schedule.placements.empty() ||
+        schedule.makespan < result.makespan) {
+      result.makespan = schedule.makespan;
+      result.schedule = std::move(schedule);
+      if (seed_name != nullptr) result.seed_ordering = *seed_name;
+    }
+  };
+
+  auto seeds = seed_orders(model, table);
+  const int per_seed =
+      options.local_search_iterations <= 0
+          ? 0
+          : std::max(25, options.local_search_iterations /
+                             static_cast<int>(seeds.size()));
+
+  // One independent hill-climbing walker per seed ordering (multi-start
+  // beats a single longer walk on these small, plateau-heavy landscapes).
+  // Each walker draws from its own RNG stream, so a larger iteration
+  // budget only ever extends trajectories and the best schedule seen
+  // during the walks is monotone in the budget. (The final hole-fill
+  // compaction runs on the budget-dependent end state, so overall
+  // monotonicity is near-certain rather than a hard guarantee.) The
+  // walker accepts sideways moves; the best schedule seen anywhere is
+  // tracked separately.
+  std::uint64_t seed_state = options.seed;
+  for (const auto& [seed_name, seed_order] : seeds) {
+    common::Rng rng(common::splitmix64(seed_state));
+    PackState current{seed_order,
+                      std::vector<int>(static_cast<std::size_t>(n), 0)};
+    PackedSchedule walker_schedule = greedy_pack(model, current);
+    ++result.repacks;
+    offer(walker_schedule, &seed_name);
+
+    for (int iter = 0; iter < per_seed; ++iter) {
+      PackState trial = current;
+
+      std::vector<int> critical;
+      for (const auto& p : walker_schedule.placements)
+        if (p.end == walker_schedule.makespan) critical.push_back(p.core);
+      const int pick_critical =
+          critical[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(critical.size()) - 1))];
+
+      switch (rng.uniform_int(0, 4)) {
+        case 0: {  // force a critical core to a wider (faster) rectangle
+          auto& floor =
+              trial.min_candidate[static_cast<std::size_t>(pick_critical)];
+          const int last = static_cast<int>(
+              model.candidates[static_cast<std::size_t>(pick_critical)]
+                  .size() -
+              1);
+          floor = std::min(floor + 1, last);
+          break;
+        }
+        case 1: {  // promote a critical core to the front of the order
+          auto& order = trial.order;
+          order.erase(std::find(order.begin(), order.end(), pick_critical));
+          order.insert(order.begin(), pick_critical);
+          break;
+        }
+        case 2: {  // relax a random core back to its full candidate set
+          const auto core =
+              static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+          trial.min_candidate[core] = 0;
+          break;
+        }
+        case 3: {  // swap two random order positions
+          const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+          const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+          std::swap(trial.order[a], trial.order[b]);
+          break;
+        }
+        case 4: {  // compaction: re-place in the walker's start-time order
+          std::vector<int> order;
+          order.reserve(static_cast<std::size_t>(n));
+          for (const auto& p : walker_schedule.placements)
+            order.push_back(p.core);
+          trial.order = std::move(order);
+          break;
+        }
+      }
+
+      PackedSchedule schedule = greedy_pack(model, trial);
+      ++result.repacks;
+      if (schedule.makespan <= walker_schedule.makespan) {  // accept sideways
+        current = std::move(trial);
+        walker_schedule = std::move(schedule);
+        offer(walker_schedule, &seed_name);
+      }
+    }
+
+    // Per-walker compaction: repack the walker's final state and its
+    // start-time order with hole filling, which can reclaim strip area
+    // the skyline had to write off.
+    PackState by_start = current;
+    by_start.order.clear();
+    for (const auto& p : walker_schedule.placements)
+      by_start.order.push_back(p.core);
+    for (const PackState& state : {current, by_start}) {
+      PackedSchedule schedule = holefill_pack(model, state);
+      ++result.repacks;
+      offer(std::move(schedule), &seed_name);
+    }
+  }
+
+  result.cpu_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace wtam::pack

@@ -1,0 +1,50 @@
+// Rectangle-packing wrapper/TAM co-optimizer (the arXiv:1008.3320 /
+// arXiv:1008.4448 line of follow-on work to the source paper).
+//
+// Each core contributes one rectangle chosen from its Pareto candidates
+// (rect_model.hpp); rectangles are packed bottom-left onto the W-wide
+// skyline (skyline.hpp). The packer is seeded with several deterministic
+// orderings from the rectangle-packing literature (area-decreasing,
+// normalized-diagonal-decreasing, bottleneck-time-decreasing,
+// width-decreasing), each packed greedily with the candidate that
+// finishes earliest, and the best seed is refined by a
+// width-adjust-and-repack local search: cores on the critical path are
+// forced to wider (faster) candidates, promoted to the front of the
+// packing order, or swapped with seeded-random peers, and the whole strip
+// is repacked after every move. Fully deterministic for a fixed seed.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "pack/rect_model.hpp"
+
+namespace wtam::pack {
+
+struct RectPackOptions {
+  /// Total local-search repack budget, split evenly across the seed
+  /// orderings' walkers (each walker runs at least 25 iterations).
+  int local_search_iterations = 2000;
+  /// Seed for the perturbation stream (results are deterministic per seed).
+  std::uint64_t seed = 1;
+};
+
+struct RectPackResult {
+  PackedSchedule schedule;
+  std::int64_t makespan = 0;
+  std::string seed_ordering;  ///< seed ordering of the walker that found it
+  int repacks = 0;            ///< greedy packs performed in total
+  double cpu_s = 0.0;
+};
+
+/// Packs `table`'s cores into a strip of `total_width` wires. Throws
+/// std::invalid_argument when total_width is outside the table's range.
+/// The returned schedule always passes validate_packed_schedule.
+[[nodiscard]] RectPackResult rectpack_schedule(
+    const core::TestTimeTable& table, int total_width,
+    const RectPackOptions& options = {});
+
+}  // namespace wtam::pack

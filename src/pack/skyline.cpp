@@ -1,0 +1,60 @@
+#include "pack/skyline.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace wtam::pack {
+
+Skyline::Skyline(int total_width) {
+  if (total_width < 1)
+    throw std::invalid_argument("Skyline: total_width must be >= 1");
+  free_time_.assign(static_cast<std::size_t>(total_width), 0);
+}
+
+Skyline::Spot Skyline::best_spot(int width) const {
+  if (width < 1 || width > total_width())
+    throw std::invalid_argument("Skyline::best_spot: width outside strip");
+
+  // Sliding-window maximum of the per-wire free times (monotone deque of
+  // wire indices whose free times decrease), minimized over windows.
+  Spot best{0, 0};
+  bool have_best = false;
+  std::deque<int> window;  // candidate maxima, front = current max
+  for (int wire = 0; wire < total_width(); ++wire) {
+    while (!window.empty() &&
+           free_time_[static_cast<std::size_t>(window.back())] <=
+               free_time_[static_cast<std::size_t>(wire)])
+      window.pop_back();
+    window.push_back(wire);
+    const int left = wire - width + 1;
+    if (left < 0) continue;
+    if (window.front() < left) window.pop_front();
+    const std::int64_t start =
+        free_time_[static_cast<std::size_t>(window.front())];
+    if (!have_best || start < best.start) {
+      best = {left, start};
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+void Skyline::place(int wire, int width, std::int64_t end) {
+  if (wire < 0 || width < 1 || wire + width > total_width())
+    throw std::invalid_argument("Skyline::place: window outside strip");
+  for (int w = wire; w < wire + width; ++w) {
+    auto& t = free_time_[static_cast<std::size_t>(w)];
+    t = std::max(t, end);
+  }
+}
+
+std::int64_t Skyline::makespan() const noexcept {
+  return *std::max_element(free_time_.begin(), free_time_.end());
+}
+
+void Skyline::clear() noexcept {
+  std::fill(free_time_.begin(), free_time_.end(), 0);
+}
+
+}  // namespace wtam::pack

@@ -1,0 +1,55 @@
+// Skyline (bottom-left) placement engine for strip packing.
+//
+// The strip has `total_width` wires on the x-axis and time growing
+// upward. The skyline tracks, per wire, the earliest cycle at which the
+// wire is free. Placing a w-wide rectangle means choosing a contiguous
+// window of w wires; the rectangle must start at the window's maximum
+// free time (rectangles never float below the skyline, so placements can
+// never overlap — at the cost of leaving holes, the classic skyline
+// trade-off). best_spot returns the bottom-left-justified choice: the
+// window with the minimum start time, ties broken to the leftmost wire.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wtam::pack {
+
+class Skyline {
+ public:
+  /// Throws std::invalid_argument for total_width < 1.
+  explicit Skyline(int total_width);
+
+  [[nodiscard]] int total_width() const noexcept {
+    return static_cast<int>(free_time_.size());
+  }
+
+  /// Earliest free cycle of a single wire.
+  [[nodiscard]] std::int64_t free_time(int wire) const {
+    return free_time_[static_cast<std::size_t>(wire)];
+  }
+
+  struct Spot {
+    int wire = 0;            ///< leftmost wire of the chosen window
+    std::int64_t start = 0;  ///< earliest cycle the rectangle can start
+  };
+
+  /// Bottom-left spot for a `width`-wide rectangle. Throws
+  /// std::invalid_argument when width is outside [1, total_width].
+  [[nodiscard]] Spot best_spot(int width) const;
+
+  /// Marks wires [wire, wire + width) busy until `end`. The caller places
+  /// at a spot from best_spot, so free times only ever grow.
+  void place(int wire, int width, std::int64_t end);
+
+  /// Highest skyline point — the makespan of everything placed so far.
+  [[nodiscard]] std::int64_t makespan() const noexcept;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<std::int64_t> free_time_;
+};
+
+}  // namespace wtam::pack

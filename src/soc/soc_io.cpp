@@ -87,6 +87,12 @@ Soc parse_soc(std::istream& in) {
   int line = 0;
   while (std::getline(in, raw)) {
     ++line;
+    // Tolerate files edited on Windows: a UTF-8 BOM on the first line,
+    // CRLF line endings, and trailing spaces/tabs.
+    if (line == 1 && raw.rfind("\xef\xbb\xbf", 0) == 0) raw.erase(0, 3);
+    while (!raw.empty() &&
+           (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t'))
+      raw.pop_back();
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
     std::istringstream tokens(raw);

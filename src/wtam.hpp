@@ -8,6 +8,7 @@
 #include "common/thread_pool.hpp"   // IWYU pragma: export
 #include "common/timer.hpp"         // IWYU pragma: export
 #include "core/assignment_exact.hpp"    // IWYU pragma: export
+#include "core/backend.hpp"             // IWYU pragma: export
 #include "core/co_optimizer.hpp"        // IWYU pragma: export
 #include "core/core_assign.hpp"         // IWYU pragma: export
 #include "core/daisy_chain.hpp"         // IWYU pragma: export
@@ -21,6 +22,10 @@
 #include "core/time_provider.hpp"       // IWYU pragma: export
 #include "ilp/branch_and_bound.hpp"     // IWYU pragma: export
 #include "lp/simplex.hpp"               // IWYU pragma: export
+#include "pack/packed_schedule.hpp"     // IWYU pragma: export
+#include "pack/rect_model.hpp"          // IWYU pragma: export
+#include "pack/rectpack.hpp"            // IWYU pragma: export
+#include "pack/skyline.hpp"             // IWYU pragma: export
 #include "partition/partition.hpp"      // IWYU pragma: export
 #include "sched/lpt.hpp"                // IWYU pragma: export
 #include "soc/benchmarks.hpp"           // IWYU pragma: export

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+#include "core/co_optimizer.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+TEST(BackendRegistry, BuiltInsAreRegistered) {
+  const auto names = BackendRegistry::instance().names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "enumerative");
+  EXPECT_EQ(names[1], "rectpack");
+  for (const auto& name : names) {
+    const auto* backend = BackendRegistry::instance().find(name);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_FALSE(backend->description().empty());
+  }
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingKnownOnes) {
+  EXPECT_EQ(BackendRegistry::instance().find("annealing"), nullptr);
+  try {
+    (void)BackendRegistry::instance().at("annealing");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("annealing"), std::string::npos);
+    EXPECT_NE(what.find("enumerative"), std::string::npos);
+    EXPECT_NE(what.find("rectpack"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, RejectsDuplicateAndNullRegistration) {
+  class Dummy final : public OptimizerBackend {
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "enumerative";  // collides with the built-in
+    }
+    [[nodiscard]] std::string_view description() const noexcept override {
+      return "dup";
+    }
+    [[nodiscard]] BackendOutcome optimize(const TestTimeTable&, int,
+                                          const BackendOptions&) const override {
+      return {};
+    }
+  };
+  EXPECT_THROW(
+      BackendRegistry::instance().register_backend(std::make_unique<Dummy>()),
+      std::invalid_argument);
+  EXPECT_THROW(BackendRegistry::instance().register_backend(nullptr),
+               std::invalid_argument);
+}
+
+TEST(BackendRegistry, EnumerativeOutcomeMatchesCoOptimize) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 32);
+  const auto outcome = run_backend("enumerative", table, 32);
+  const auto reference = co_optimize(table, 32, {});
+
+  EXPECT_EQ(outcome.backend, "enumerative");
+  EXPECT_EQ(outcome.testing_time, reference.architecture.testing_time);
+  ASSERT_TRUE(outcome.architecture.has_value());
+  EXPECT_EQ(outcome.architecture->widths, reference.architecture.widths);
+  EXPECT_EQ(outcome.architecture->assignment,
+            reference.architecture.assignment);
+  // The unified schedule reproduces the architecture's makespan and is
+  // geometry-clean.
+  EXPECT_EQ(outcome.schedule.makespan, outcome.testing_time);
+  EXPECT_TRUE(pack::validate_packed_schedule(table, outcome.schedule).empty());
+}
+
+TEST(BackendRegistry, EveryBackendProducesAValidScheduleAboveTheBound) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 24);
+  const auto bound = testing_time_lower_bounds(table, 24).combined();
+  for (const auto& name : BackendRegistry::instance().names()) {
+    const auto outcome = run_backend(name, table, 24);
+    EXPECT_EQ(outcome.backend, name);
+    EXPECT_TRUE(pack::validate_packed_schedule(table, outcome.schedule).empty())
+        << name;
+    EXPECT_EQ(outcome.schedule.makespan, outcome.testing_time) << name;
+    EXPECT_GE(outcome.testing_time, bound) << name;
+    EXPECT_GE(outcome.cpu_s, 0.0);
+    EXPECT_FALSE(outcome.details.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wtam::core

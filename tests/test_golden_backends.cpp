@@ -1,0 +1,55 @@
+// Golden pins for the two optimizer backends on d695 (the paper's public
+// benchmark). Both engines are fully deterministic, so exact testing
+// times are pinned; a change here means the optimizer's behavior changed
+// and the numbers must be re-justified, not silently re-recorded.
+
+#include <gtest/gtest.h>
+
+#include "core/backend.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+struct GoldenCase {
+  int width;
+  std::int64_t enumerative;
+  std::int64_t rectpack;
+};
+
+// ISSUE 2 acceptance: rectpack within 5% of enumerative (or better) on
+// d695 at W=32 and W=64.
+constexpr GoldenCase kGolden[] = {
+    {32, 21566, 22270},
+    {64, 11035, 11050},
+};
+
+TEST(GoldenBackends, D695TestingTimesArePinned) {
+  const soc::Soc soc = soc::d695();
+  for (const auto& golden : kGolden) {
+    const TestTimeTable table(soc, golden.width);
+    const auto enumerative = run_backend("enumerative", table, golden.width);
+    const auto rectpack = run_backend("rectpack", table, golden.width);
+
+    EXPECT_EQ(enumerative.testing_time, golden.enumerative)
+        << "W=" << golden.width;
+    EXPECT_EQ(rectpack.testing_time, golden.rectpack) << "W=" << golden.width;
+
+    // Both schedules are geometry-clean.
+    EXPECT_TRUE(
+        pack::validate_packed_schedule(table, enumerative.schedule).empty());
+    EXPECT_TRUE(
+        pack::validate_packed_schedule(table, rectpack.schedule).empty());
+
+    // The acceptance margin, asserted from the live numbers rather than
+    // the pins so a future better rectpack cannot rot this check.
+    EXPECT_LE(static_cast<double>(rectpack.testing_time),
+              static_cast<double>(enumerative.testing_time) * 1.05)
+        << "W=" << golden.width;
+  }
+}
+
+}  // namespace
+}  // namespace wtam::core

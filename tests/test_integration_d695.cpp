@@ -134,11 +134,17 @@ TEST_F(D695Fixture, ArchitectureIsWellFormed) {
 
 TEST_F(D695Fixture, HeuristicCpuTimeIsSmall) {
   // The heuristic flow on d695 takes ~1s in the paper (333 MHz); on any
-  // modern machine it must be well under a second.
+  // modern machine it must be well under a second. Sanitizer builds pay
+  // an order-of-magnitude slowdown, so the wall-clock assertion is
+  // skipped there (the correctness of the result is still checked
+  // everywhere else).
   CoOptimizeOptions options;
   options.search.max_tams = 10;
   const auto result = co_optimize(table(), 64, options);
+#if !defined(WTAM_UNDER_SANITIZERS)
   EXPECT_LT(result.total_cpu_s(), 5.0);
+#endif
+  EXPECT_GT(result.architecture.testing_time, 0);
 }
 
 }  // namespace

@@ -100,7 +100,11 @@ TEST(P21241, HeuristicRunsInSeconds) {
   options.search.max_tams = 10;
   options.run_final_step = false;
   const auto result = co_optimize(table, 40, options);
+  // Sanitizer builds pay an order-of-magnitude slowdown, so the
+  // wall-clock assertion is skipped there (as in test_integration_d695).
+#if !defined(WTAM_UNDER_SANITIZERS)
   EXPECT_LT(result.heuristic_cpu_s, 30.0);
+#endif
   EXPECT_GT(result.heuristic.per_b.size(), 8u);
 }
 

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/co_optimizer.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::pack {
+namespace {
+
+/// A tiny hand-valid schedule on d695 at W=8: every core full-width,
+/// strictly sequential (one placement at a time can never overlap).
+PackedSchedule sequential_schedule(const core::TestTimeTable& table,
+                                   int width) {
+  PackedSchedule schedule;
+  schedule.total_width = width;
+  std::int64_t clock = 0;
+  for (int i = 0; i < table.core_count(); ++i) {
+    const std::int64_t duration = table.time(i, width);
+    schedule.placements.push_back({i, width, 0, clock, clock + duration});
+    clock += duration;
+  }
+  schedule.makespan = clock;
+  return schedule;
+}
+
+TEST(PackedSchedule, SequentialScheduleValidates) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 8);
+  const auto schedule = sequential_schedule(table, 8);
+  EXPECT_TRUE(validate_packed_schedule(table, schedule).empty());
+  EXPECT_NO_THROW(require_valid(table, schedule));
+  EXPECT_NEAR(strip_utilization(schedule), 1.0, 1e-12);
+}
+
+TEST(PackedSchedule, ValidatorCatchesEveryCorruption) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 8);
+  const auto good = sequential_schedule(table, 8);
+
+  {  // overlap in wires and time
+    auto bad = good;
+    bad.placements[1].start = bad.placements[0].start;
+    bad.placements[1].end =
+        bad.placements[1].start + table.time(1, bad.placements[1].width);
+    const auto issues = validate_packed_schedule(table, bad);
+    EXPECT_TRUE(std::any_of(issues.begin(), issues.end(), [](const auto& m) {
+      return m.find("overlap") != std::string::npos;
+    })) << "issues: " << issues.size();
+  }
+  {  // wire interval escaping the strip
+    auto bad = good;
+    bad.placements[0].wire = 1;
+    EXPECT_FALSE(validate_packed_schedule(table, bad).empty());
+  }
+  {  // dishonest duration
+    auto bad = good;
+    bad.placements[0].end -= 1;
+    EXPECT_FALSE(validate_packed_schedule(table, bad).empty());
+  }
+  {  // missing core / duplicated core
+    auto bad = good;
+    bad.placements[0].core = bad.placements[1].core;
+    const auto issues = validate_packed_schedule(table, bad);
+    EXPECT_TRUE(std::any_of(issues.begin(), issues.end(), [](const auto& m) {
+      return m.find("never placed") != std::string::npos;
+    }));
+    EXPECT_TRUE(std::any_of(issues.begin(), issues.end(), [](const auto& m) {
+      return m.find("placed 2 times") != std::string::npos;
+    }));
+  }
+  {  // lying makespan
+    auto bad = good;
+    bad.makespan -= 1;
+    EXPECT_FALSE(validate_packed_schedule(table, bad).empty());
+  }
+  {  // width outside the table's range
+    auto bad = good;
+    bad.total_width = 9;
+    EXPECT_FALSE(validate_packed_schedule(table, bad).empty());
+    EXPECT_THROW(require_valid(table, bad), std::runtime_error);
+  }
+  {  // placement width beyond the table's range must not throw
+    auto bad = good;
+    bad.placements[0].width = 300;
+    const auto issues = validate_packed_schedule(table, bad);
+    EXPECT_TRUE(std::any_of(issues.begin(), issues.end(), [](const auto& m) {
+      return m.find("width outside the table's range") != std::string::npos;
+    }));
+  }
+}
+
+TEST(PackedSchedule, FromArchitectureMatchesTestBusSemantics) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 24);
+  const auto arch = core::co_optimize(table, 24, {}).architecture;
+  const auto schedule = from_architecture(table, arch);
+
+  EXPECT_TRUE(validate_packed_schedule(table, schedule).empty());
+  EXPECT_EQ(schedule.makespan, arch.testing_time);
+  EXPECT_EQ(schedule.total_width, 24);
+  ASSERT_EQ(static_cast<int>(schedule.placements.size()), table.core_count());
+
+  // Every placement sits inside its TAM's static wire lane at the TAM's
+  // width.
+  std::vector<int> lane_start(arch.widths.size(), 0);
+  for (std::size_t t = 1; t < arch.widths.size(); ++t)
+    lane_start[t] = lane_start[t - 1] + arch.widths[t - 1];
+  for (const auto& p : schedule.placements) {
+    const int tam = arch.assignment[static_cast<std::size_t>(p.core)];
+    EXPECT_EQ(p.width, arch.widths[static_cast<std::size_t>(tam)]);
+    EXPECT_EQ(p.wire, lane_start[static_cast<std::size_t>(tam)]);
+  }
+}
+
+TEST(PackedSchedule, GanttRendersAndCollapsesWireRuns) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 8);
+  const auto schedule = sequential_schedule(table, 8);
+  const std::string gantt =
+      render_packed_gantt(schedule, soc::d695(), 40);
+  // All 8 wires carry the same sequence, so they collapse to one row.
+  EXPECT_NE(gantt.find("wires 1-8"), std::string::npos);
+  EXPECT_NE(gantt.find("legend:"), std::string::npos);
+  EXPECT_NE(gantt.find("makespan"), std::string::npos);
+
+  PackedSchedule empty;
+  empty.total_width = 8;
+  EXPECT_EQ(render_packed_gantt(empty, soc::d695(), 40), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace wtam::pack

@@ -14,6 +14,8 @@
 #include "core/power.hpp"
 #include "core/schedule.hpp"
 #include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "pack/rectpack.hpp"
 #include "soc/generator.hpp"
 #include "soc/soc_io.hpp"
 
@@ -131,6 +133,27 @@ TEST_P(RandomSocTest, ScheduleAndPowerInvariants) {
     EXPECT_LE(tight.peak, largest);
     EXPECT_GE(tight.schedule.makespan, schedule.makespan);
   }
+}
+
+TEST_P(RandomSocTest, RectPackScheduleValidAndAboveLowerBound) {
+  const soc::Soc soc = random_soc(static_cast<std::uint64_t>(GetParam()));
+  const int width = 8 + GetParam() % 9;  // sweep strip widths 8..16
+  const core::TestTimeTable table(soc, width);
+
+  pack::RectPackOptions options;
+  options.local_search_iterations = 200;  // keep the fuzz sweep fast
+  options.seed = static_cast<std::uint64_t>(GetParam());
+  const auto result = pack::rectpack_schedule(table, width, options);
+
+  // The strict geometric validator accepts the packing...
+  const auto issues = pack::validate_packed_schedule(table, result.schedule);
+  EXPECT_TRUE(issues.empty()) << soc.name << " W=" << width << ": "
+                              << (issues.empty() ? "" : issues.front());
+
+  // ...and the makespan respects the §3 architecture-independent bound
+  // LB = max(max_c T_c(W), ceil(sum_c area_c / W)).
+  const auto bounds = core::testing_time_lower_bounds(table, width);
+  EXPECT_GE(result.makespan, bounds.combined()) << soc.name << " W=" << width;
 }
 
 TEST_P(RandomSocTest, PartitionEvaluateStatsConsistent) {

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/test_time_table.hpp"
+#include "pack/rect_model.hpp"
+#include "soc/benchmarks.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace wtam::pack {
+namespace {
+
+TEST(RectModel, MatchesParetoWidthsAndTableTimes) {
+  const soc::Soc soc = soc::d695();
+  const core::TestTimeTable table(soc, 32);
+  const RectModel model = build_rect_model(table, 32);
+
+  ASSERT_EQ(model.core_count(), soc.core_count());
+  EXPECT_EQ(model.total_width, 32);
+  for (int i = 0; i < soc.core_count(); ++i) {
+    const auto expected =
+        wrapper::pareto_widths(soc.cores[static_cast<std::size_t>(i)], 32);
+    const auto& rects = model.candidates[static_cast<std::size_t>(i)];
+    ASSERT_EQ(rects.size(), expected.size()) << "core " << i;
+    for (std::size_t c = 0; c < rects.size(); ++c) {
+      EXPECT_EQ(rects[c].core, i);
+      EXPECT_EQ(rects[c].width, expected[c]);
+      EXPECT_EQ(rects[c].time, table.time(i, expected[c]));
+      // best_design at the candidate width agrees with the table envelope.
+      EXPECT_EQ(rects[c].time,
+                wrapper::best_design(soc.cores[static_cast<std::size_t>(i)],
+                                     expected[c])
+                    .test_time);
+    }
+  }
+}
+
+TEST(RectModel, CandidatesAreAStrictParetoFront) {
+  const soc::Soc soc_data = soc::p31108();
+  const core::TestTimeTable table(soc_data, 48);
+  const RectModel model = build_rect_model(table, 48);
+  for (const auto& rects : model.candidates) {
+    ASSERT_FALSE(rects.empty());
+    EXPECT_EQ(rects.front().width, 1);
+    for (std::size_t c = 1; c < rects.size(); ++c) {
+      EXPECT_LT(rects[c - 1].width, rects[c].width);
+      EXPECT_GT(rects[c - 1].time, rects[c].time);  // strictly improving
+    }
+  }
+}
+
+TEST(RectModel, MinAreaRectAndTotalArea) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 24);
+  const RectModel model = build_rect_model(table, 24);
+  std::int64_t total = 0;
+  for (int i = 0; i < model.core_count(); ++i) {
+    const Rect& best = model.min_area_rect(i);
+    for (const Rect& rect : model.candidates[static_cast<std::size_t>(i)])
+      EXPECT_LE(best.area(), rect.area());
+    total += best.area();
+  }
+  EXPECT_EQ(model.total_min_area(), total);
+  EXPECT_GT(total, 0);
+}
+
+TEST(RectModel, RejectsWidthOutsideTableRange) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 16);
+  EXPECT_THROW((void)build_rect_model(table, 0), std::invalid_argument);
+  EXPECT_THROW((void)build_rect_model(table, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::pack

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "pack/rectpack.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::pack {
+namespace {
+
+TEST(RectPack, ValidAndBoundedOnAllBuiltInSocs) {
+  for (const soc::Soc& soc :
+       {soc::d695(), soc::p21241(), soc::p31108(), soc::p93791()}) {
+    for (const int width : {16, 32}) {
+      const core::TestTimeTable table(soc, width);
+      const auto result = rectpack_schedule(table, width);
+      EXPECT_TRUE(validate_packed_schedule(table, result.schedule).empty())
+          << soc.name << " W=" << width;
+      EXPECT_EQ(result.makespan, result.schedule.makespan);
+      EXPECT_GE(result.makespan,
+                core::testing_time_lower_bounds(table, width).combined())
+          << soc.name << " W=" << width;
+      EXPECT_FALSE(result.seed_ordering.empty());
+      EXPECT_GT(result.repacks, 0);
+    }
+  }
+}
+
+TEST(RectPack, DeterministicForAFixedSeed) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 32);
+  const auto a = rectpack_schedule(table, 32);
+  const auto b = rectpack_schedule(table, 32);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.schedule.placements.size(), b.schedule.placements.size());
+  for (std::size_t i = 0; i < a.schedule.placements.size(); ++i) {
+    EXPECT_EQ(a.schedule.placements[i].core, b.schedule.placements[i].core);
+    EXPECT_EQ(a.schedule.placements[i].wire, b.schedule.placements[i].wire);
+    EXPECT_EQ(a.schedule.placements[i].start, b.schedule.placements[i].start);
+  }
+}
+
+TEST(RectPack, LargerSearchBudgetNeverHurts) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 32);
+  RectPackOptions small;
+  small.local_search_iterations = 100;
+  RectPackOptions large;
+  large.local_search_iterations = 2000;
+  // Walkers use per-seed RNG streams, so a bigger budget only extends
+  // trajectories and the walk-phase best is monotone; this deterministic
+  // pair of budgets pins that the end-of-walk hole-fill compaction does
+  // not break it here.
+  EXPECT_GE(rectpack_schedule(table, 32, small).makespan,
+            rectpack_schedule(table, 32, large).makespan);
+}
+
+TEST(RectPack, GreedyOnlyModeStillValid) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 24);
+  RectPackOptions options;
+  options.local_search_iterations = 0;
+  const auto result = rectpack_schedule(table, 24, options);
+  EXPECT_TRUE(validate_packed_schedule(table, result.schedule).empty());
+}
+
+TEST(RectPack, NarrowStripDegeneratesGracefully) {
+  // W=1: every rectangle is 1 wide; the packing is a single serial lane.
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 1);
+  const auto result = rectpack_schedule(table, 1);
+  EXPECT_TRUE(validate_packed_schedule(table, result.schedule).empty());
+  std::int64_t serial = 0;
+  for (int i = 0; i < table.core_count(); ++i) serial += table.time(i, 1);
+  EXPECT_EQ(result.makespan, serial);
+}
+
+TEST(RectPack, RejectsWidthOutsideTableRange) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 16);
+  EXPECT_THROW((void)rectpack_schedule(table, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::pack

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "pack/skyline.hpp"
+
+namespace wtam::pack {
+namespace {
+
+TEST(Skyline, StartsFlatAtZero) {
+  const Skyline sky(8);
+  EXPECT_EQ(sky.total_width(), 8);
+  EXPECT_EQ(sky.makespan(), 0);
+  const auto spot = sky.best_spot(8);
+  EXPECT_EQ(spot.wire, 0);
+  EXPECT_EQ(spot.start, 0);
+}
+
+TEST(Skyline, BottomLeftPrefersLowestThenLeftmost) {
+  Skyline sky(6);
+  sky.place(0, 2, 100);  // wires 0-1 busy until 100
+  sky.place(4, 2, 50);   // wires 4-5 busy until 50
+
+  // A 2-wide rectangle fits at time 0 only on wires 2-3.
+  auto spot = sky.best_spot(2);
+  EXPECT_EQ(spot.wire, 2);
+  EXPECT_EQ(spot.start, 0);
+
+  // A 3-wide rectangle: windows are [0,3)=100, [1,4)=100, [2,5)=50,
+  // [3,6)=50 — lowest is 50, leftmost such window starts at wire 2.
+  spot = sky.best_spot(3);
+  EXPECT_EQ(spot.wire, 2);
+  EXPECT_EQ(spot.start, 50);
+
+  // Full width must wait for the tallest wire.
+  spot = sky.best_spot(6);
+  EXPECT_EQ(spot.wire, 0);
+  EXPECT_EQ(spot.start, 100);
+}
+
+TEST(Skyline, PlaceRaisesOnlyTheWindow) {
+  Skyline sky(4);
+  sky.place(1, 2, 10);
+  EXPECT_EQ(sky.free_time(0), 0);
+  EXPECT_EQ(sky.free_time(1), 10);
+  EXPECT_EQ(sky.free_time(2), 10);
+  EXPECT_EQ(sky.free_time(3), 0);
+  EXPECT_EQ(sky.makespan(), 10);
+
+  // Placing below an already-raised wire never lowers it.
+  sky.place(1, 1, 5);
+  EXPECT_EQ(sky.free_time(1), 10);
+}
+
+TEST(Skyline, ClearResets) {
+  Skyline sky(3);
+  sky.place(0, 3, 7);
+  sky.clear();
+  EXPECT_EQ(sky.makespan(), 0);
+}
+
+TEST(Skyline, RejectsBadArguments) {
+  EXPECT_THROW(Skyline(0), std::invalid_argument);
+  Skyline sky(4);
+  EXPECT_THROW((void)sky.best_spot(0), std::invalid_argument);
+  EXPECT_THROW((void)sky.best_spot(5), std::invalid_argument);
+  EXPECT_THROW(sky.place(2, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtam::pack

@@ -116,6 +116,45 @@ TEST(SocIo, ErrorMessageCarriesLineNumber) {
   }
 }
 
+TEST(SocIo, ToleratesCrlfLineEndings) {
+  // Files edited on Windows arrive with \r\n line endings; they must
+  // parse identically to their Unix twins.
+  const Soc soc = parse_soc_string(
+      "soc tiny\r\n"
+      "core alpha kind=logic patterns=7 inputs=3 outputs=2 bidirs=0 "
+      "scan=5,6\r\n"
+      "core beta kind=memory patterns=9 inputs=1 outputs=1 bidirs=0 scan=\r\n");
+  EXPECT_EQ(soc.name, "tiny");
+  ASSERT_EQ(soc.core_count(), 2);
+  EXPECT_EQ(soc.cores[0].scan_chains, (std::vector<int>{5, 6}));
+  EXPECT_TRUE(soc.cores[1].scan_chains.empty());
+}
+
+TEST(SocIo, ToleratesTrailingWhitespace) {
+  const Soc soc = parse_soc_string(
+      "soc padded  \t \n"
+      "core a patterns=1 inputs=1 outputs=1 scan=4 \t\n");
+  EXPECT_EQ(soc.name, "padded");
+  ASSERT_EQ(soc.core_count(), 1);
+  EXPECT_EQ(soc.cores[0].scan_chains, (std::vector<int>{4}));
+}
+
+TEST(SocIo, ToleratesUtf8ByteOrderMark) {
+  const Soc soc = parse_soc_string(
+      "\xef\xbb\xbfsoc bom\r\ncore a patterns=1 inputs=1 outputs=1\r\n");
+  EXPECT_EQ(soc.name, "bom");
+  EXPECT_EQ(soc.core_count(), 1);
+}
+
+TEST(SocIo, CrlfErrorsKeepAccurateLineNumbers) {
+  try {
+    (void)parse_soc_string("soc a\r\n\r\ncore x patterns=zz inputs=1 outputs=1\r\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
 TEST(SocIo, FileRoundTrip) {
   const auto path =
       std::filesystem::temp_directory_path() / "wtam_test_roundtrip.soc";

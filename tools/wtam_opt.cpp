@@ -1,6 +1,7 @@
 // wtam_opt — command-line wrapper/TAM co-optimizer.
 //
 //   wtam_opt --soc d695 --width 32
+//   wtam_opt --soc d695 --width 32 --backend rectpack --gantt
 //   wtam_opt --soc path/to/design.soc --width 64 --max-tams 8
 //   wtam_opt --soc p93791 --width 48 --fixed-tams 3 --exhaustive --budget 30
 //
@@ -8,6 +9,9 @@
 //   --soc NAME|FILE   built-in benchmark (d695, p21241, p31108, p93791) or
 //                     a .soc file in the documented dialect
 //   --width W         total TAM width (required)
+//   --backend NAME    optimizer backend (default enumerative); see
+//                     --list-backends
+//   --list-backends   print the registered backends and exit
 //   --max-tams B      search B in [1, B] (default 10)
 //   --fixed-tams B    pin the number of TAMs (overrides --max-tams)
 //   --threads N       worker threads for the partition search and the
@@ -19,12 +23,17 @@
 //   --budget S        wall-clock budget for --exhaustive (default 30)
 //   --gantt           print the test schedule as a Gantt chart
 //   --quiet           only print the testing time (scripting)
+//
+// Exit status: 0 on success, 1 on runtime errors (bad .soc files, ...),
+// 2 on usage errors (unknown flags, missing/invalid values).
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "wtam.hpp"
 
@@ -32,11 +41,20 @@ namespace {
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::cerr << "error: " << error << "\n\n";
-  std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--max-tams B]\n"
-               "                [--fixed-tams B] [--threads N] [--no-final-ilp]\n"
-               "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
+  std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--backend NAME]\n"
+               "                [--list-backends] [--max-tams B] [--fixed-tams B]\n"
+               "                [--threads N] [--no-final-ilp] [--exhaustive]\n"
+               "                [--budget S] [--gantt] [--quiet]\n"
                "built-in SOCs: d695 p21241 p31108 p93791\n";
   std::exit(2);
+}
+
+[[noreturn]] void list_backends() {
+  for (const auto& name : wtam::core::BackendRegistry::instance().names()) {
+    const auto* backend = wtam::core::BackendRegistry::instance().find(name);
+    std::cout << name << "\t" << backend->description() << "\n";
+  }
+  std::exit(0);
 }
 
 wtam::soc::Soc load(const std::string& name) {
@@ -54,6 +72,7 @@ int main(int argc, char** argv) {
   using namespace wtam;
 
   std::string soc_name;
+  std::string backend = "enumerative";
   int width = 0;
   int max_tams = 10;
   std::optional<int> fixed_tams;
@@ -63,6 +82,9 @@ int main(int argc, char** argv) {
   double budget = 30.0;
   bool gantt = false;
   bool quiet = false;
+  // Flags only the enumerative backend honors; remembered so selecting
+  // another backend warns instead of silently ignoring them.
+  std::vector<std::string> enumerative_flags;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,14 +96,22 @@ int main(int argc, char** argv) {
       soc_name = value();
     } else if (arg == "--width") {
       width = std::atoi(value());
+    } else if (arg == "--backend") {
+      backend = value();
+    } else if (arg == "--list-backends") {
+      list_backends();
     } else if (arg == "--max-tams") {
       max_tams = std::atoi(value());
+      enumerative_flags.push_back(arg);
     } else if (arg == "--fixed-tams") {
       fixed_tams = std::atoi(value());
+      enumerative_flags.push_back(arg);
     } else if (arg == "--threads") {
       threads = std::atoi(value());
+      enumerative_flags.push_back(arg);
     } else if (arg == "--no-final-ilp") {
       final_ilp = false;
+      enumerative_flags.push_back(arg);
     } else if (arg == "--exhaustive") {
       exhaustive = true;
     } else if (arg == "--budget") {
@@ -101,66 +131,89 @@ int main(int argc, char** argv) {
   if (fixed_tams && (*fixed_tams < 1 || *fixed_tams > width))
     usage("--fixed-tams out of range");
   if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
+  if (core::BackendRegistry::instance().find(backend) == nullptr)
+    usage(("unknown backend " + backend + " (see --list-backends)").c_str());
+  if (backend != "enumerative")
+    for (const auto& flag : enumerative_flags) {
+      // --threads/--max-tams/--fixed-tams still drive the --exhaustive
+      // baseline; only --no-final-ilp is enumerative-only regardless.
+      if (exhaustive && flag != "--no-final-ilp") continue;
+      std::cerr << "warning: " << flag << " is ignored by the " << backend
+                << " backend\n";
+    }
 
   try {
     const soc::Soc soc = load(soc_name);
     const core::TestTimeTable table(soc, width);
 
-    core::CoOptimizeOptions options;
-    options.search.max_tams = fixed_tams ? *fixed_tams : max_tams;
-    options.search.min_tams = fixed_tams ? *fixed_tams : 1;
-    options.search.threads = threads;
+    core::BackendOptions options;
+    options.max_tams = fixed_tams ? *fixed_tams : max_tams;
+    options.min_tams = fixed_tams ? *fixed_tams : 1;
+    options.threads = threads;
     options.run_final_step = final_ilp;
-    const auto result = core::co_optimize(table, width, options);
-    const auto& arch = result.architecture;
+    const auto outcome = core::run_backend(backend, table, width, options);
+    pack::require_valid(table, outcome.schedule);
 
     if (quiet) {
-      std::cout << arch.testing_time << "\n";
+      std::cout << outcome.testing_time << "\n";
       return 0;
     }
 
+    // Align every "key: value" line on the longest key the backend emits
+    // ("testing time" is the longest fixed label).
+    std::size_t key_width = std::string("testing time").size();
+    for (const auto& [key, detail] : outcome.details)
+      key_width = std::max(key_width, key.size());
+    const auto label = [key_width](std::string key) {
+      key += ':';
+      key.resize(key_width + 2, ' ');
+      return key;
+    };
+
     std::cout << "SOC " << soc.name << " (" << soc.core_count()
               << " cores), total TAM width " << width << "\n"
-              << "architecture: " << arch.tam_count() << " TAMs, partition "
-              << core::format_partition(arch.widths) << "\n"
-              << "assignment:   " << core::format_assignment(arch.assignment)
-              << "\n"
-              << "testing time: " << arch.testing_time << " cycles ("
-              << "heuristic " << result.heuristic.best.testing_time << ", "
-              << common::format_fixed(result.total_cpu_s(), 3) << " s CPU)\n";
+              << label("backend") << outcome.backend << "\n";
+    if (outcome.architecture)
+      std::cout << label("architecture") << outcome.architecture->tam_count()
+                << " TAMs\n";
+    for (const auto& [key, detail] : outcome.details)
+      std::cout << label(key) << detail << "\n";
+    std::cout << label("testing time") << outcome.testing_time << " cycles ("
+              << common::format_fixed(outcome.cpu_s, 3) << " s CPU)\n";
 
     const auto bounds = core::testing_time_lower_bounds(table, width);
-    std::cout << "lower bound:  " << bounds.combined() << " cycles (gap "
+    std::cout << label("lower bound") << bounds.combined() << " cycles (gap "
               << common::format_fixed(
-                     core::optimality_gap(bounds, arch.testing_time) * 100.0, 2)
+                     core::optimality_gap(bounds, outcome.testing_time) * 100.0,
+                     2)
               << "%)\n";
 
     if (exhaustive) {
       core::ExhaustiveOptions ex;
       ex.time_budget_s = budget;
       ex.threads = threads;
-      const auto baseline = core::exhaustive_pnpaw(
-          table, width, options.search.max_tams, ex);
+      const auto baseline =
+          core::exhaustive_pnpaw(table, width, options.max_tams, ex);
       if (baseline.completed) {
-        std::cout << "exhaustive:   " << baseline.best.testing_time
+        std::cout << label("exhaustive") << baseline.best.testing_time
                   << " cycles, partition "
                   << core::format_partition(baseline.best.widths) << " ("
                   << common::format_fixed(baseline.cpu_s, 3) << " s)\n";
       } else {
-        std::cout << "exhaustive:   did not complete within "
+        std::cout << label("exhaustive") << "did not complete within "
                   << common::format_fixed(budget, 0) << " s ("
                   << baseline.partitions_solved << "/"
                   << baseline.partitions_total << " partitions)\n";
       }
     }
 
-    if (gantt) {
-      const auto schedule = core::build_schedule(
-          table, arch, core::ScheduleOrder::LongestFirst);
-      std::cout << "\n" << core::render_gantt(schedule, soc, 64);
-    }
+    if (gantt)
+      std::cout << "\n" << pack::render_packed_gantt(outcome.schedule, soc, 64);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "error: unknown exception\n";
     return 1;
   }
   return 0;
