@@ -1,15 +1,19 @@
 // Backend shoot-out: every registered optimizer backend on every
 // benchmark SOC (the four built-ins plus seeded synthetic SOCs) across
-// total TAM widths 16..64. For each run the testing time, the CPU time,
-// and the gap to the architecture-independent lower bound are recorded;
-// for rectpack the delta against the enumerative flow is reported (the
-// ISSUE-2 acceptance asks it to stay within +5% on d695 at W=32/64 —
-// negative deltas mean rectangle packing reclaimed idle wires the test
-// bus could not). Results are printed as tables and written to
-// BENCH_backends.json so the backend-quality trajectory is
-// machine-readable across PRs.
+// total TAM widths 16..64 — now a thin client of the job-oriented
+// api::Solver: one SolveRequest per (SOC, width, backend), executed as a
+// parallel batch with deterministic result ordering. For each run the
+// testing time, the CPU time, and the gap to the architecture-independent
+// lower bound are recorded; for rectpack the delta against the
+// enumerative flow is reported (the ISSUE-2 acceptance asks it to stay
+// within +5% on d695 at W=32/64 — negative deltas mean rectangle packing
+// reclaimed idle wires the test bus could not). Results are printed as
+// tables and written to BENCH_backends.json so the backend-quality
+// trajectory is machine-readable across PRs.
 //
-// Environment knobs (see bench_util.hpp): WTAM_BENCH_THREADS.
+// Environment knobs (see bench_util.hpp): WTAM_BENCH_THREADS — here the
+// number of concurrently executing jobs (each job runs its engine
+// serially, so results are identical at any thread count).
 
 #include <cstdint>
 #include <iostream>
@@ -17,12 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/backend.hpp"
-#include "core/lower_bounds.hpp"
-#include "core/test_time_table.hpp"
-#include "pack/packed_schedule.hpp"
 #include "soc/benchmarks.hpp"
 #include "soc/generator.hpp"
 
@@ -31,17 +33,6 @@ namespace {
 using namespace wtam;
 
 constexpr int kWidths[] = {16, 24, 32, 40, 48, 56, 64};
-
-struct RunRecord {
-  std::string soc;
-  int width = 0;
-  std::string backend;
-  std::int64_t testing_time = 0;
-  double cpu_s = 0.0;
-  std::int64_t lower_bound = 0;
-  double gap = 0.0;  ///< (T - LB) / LB
-  bool valid = false;
-};
 
 soc::Soc synthetic(std::uint64_t seed) {
   soc::SyntheticSpec spec;
@@ -69,8 +60,27 @@ int main() {
     socs.push_back(synthetic(seed));
 
   const auto backends = core::BackendRegistry::instance().names();
-  std::vector<RunRecord> records;
 
+  // One job per (SOC, width, backend), in the order the report tables
+  // iterate — solve_batch returns results in exactly this order.
+  std::vector<api::SolveRequest> jobs;
+  for (const soc::Soc& soc : socs)
+    for (const int width : kWidths)
+      for (const auto& name : backends) {
+        api::SolveRequest request;
+        request.id = soc.name + "-w" + std::to_string(width) + "-" + name;
+        request.soc_value = soc;
+        request.width = width;
+        request.backend = name;
+        jobs.push_back(std::move(request));
+      }
+
+  const api::Solver solver({threads});
+  const std::vector<api::SolveResult> results = solver.solve_batch(jobs);
+
+  std::size_t next = 0;
+  bool all_ok = true;
+  bench::Json runs = bench::Json::array();
   for (const soc::Soc& soc : socs) {
     common::TextTable table("Backends on " + soc.name + " (" +
                             std::to_string(soc.core_count()) + " cores)");
@@ -82,27 +92,32 @@ int main() {
                       common::Align::Right});
 
     for (const int width : kWidths) {
-      const core::TestTimeTable times(soc, width);
-      const auto bounds = core::testing_time_lower_bounds(times, width);
-
       std::map<std::string, std::int64_t> per_backend;
       for (const auto& name : backends) {
-        core::BackendOptions options;
-        options.threads = threads;
-        const auto outcome = core::run_backend(name, times, width, options);
-
-        RunRecord record;
-        record.soc = soc.name;
-        record.width = width;
-        record.backend = name;
-        record.testing_time = outcome.testing_time;
-        record.cpu_s = outcome.cpu_s;
-        record.lower_bound = bounds.combined();
-        record.gap = core::optimality_gap(bounds, outcome.testing_time);
-        record.valid =
-            pack::validate_packed_schedule(times, outcome.schedule).empty();
-        records.push_back(record);
+        const api::SolveResult& result = results[next++];
+        if (result.status != api::Status::Ok || !result.has_outcome()) {
+          std::cerr << "error: job " << result.id << " ended "
+                    << api::to_string(result.status) << " " << result.error
+                    << "\n";
+          all_ok = false;
+          // Keep the runs array positionally complete — downstream
+          // tooling aligns runs across PRs by (soc, width, backend).
+          bench::Json entry = bench::Json::object();
+          entry.set("soc", bench::Json::string(soc.name));
+          entry.set("width",
+                    bench::Json::number(static_cast<std::int64_t>(width)));
+          entry.set("backend", bench::Json::string(name));
+          entry.set("status", bench::Json::string(
+                                  std::string(api::to_string(result.status))));
+          entry.set("error", bench::Json::string(result.error));
+          entry.set("schedule_valid", bench::Json::boolean(false));
+          runs.push(std::move(entry));
+          continue;
+        }
+        const core::BackendOutcome& outcome = *result.outcome;
+        const double gap = result.optimality_gap();
         per_backend[name] = outcome.testing_time;
+        all_ok = all_ok && result.schedule_valid;
 
         std::string vs_enum = "-";
         if (name != "enumerative" && per_backend.count("enumerative") != 0) {
@@ -114,9 +129,22 @@ int main() {
         }
         table.add_row({std::to_string(width), name,
                        std::to_string(outcome.testing_time),
-                       std::to_string(bounds.combined()),
-                       common::format_fixed(record.gap * 100.0, 2),
+                       std::to_string(result.lower_bound),
+                       common::format_fixed(gap * 100.0, 2),
                        common::format_fixed(outcome.cpu_s, 3), vs_enum});
+
+        bench::Json entry = bench::Json::object();
+        entry.set("soc", bench::Json::string(soc.name));
+        entry.set("width",
+                  bench::Json::number(static_cast<std::int64_t>(width)));
+        entry.set("backend", bench::Json::string(name));
+        entry.set("testing_time", bench::Json::number(outcome.testing_time));
+        entry.set("cpu_s", bench::Json::number(outcome.cpu_s));
+        entry.set("lower_bound", bench::Json::number(result.lower_bound));
+        entry.set("gap", bench::Json::number(gap));
+        entry.set("schedule_valid",
+                  bench::Json::boolean(result.schedule_valid));
+        runs.push(std::move(entry));
       }
       table.add_separator();
     }
@@ -126,33 +154,19 @@ int main() {
   // ---- machine-readable artifact ----------------------------------------
   bench::Json document = bench::Json::object();
   document.set("bench", bench::Json::string("backends"));
-  document.set("threads", bench::Json::number(static_cast<std::int64_t>(threads)));
+  document.set("threads",
+               bench::Json::number(static_cast<std::int64_t>(threads)));
   bench::Json backend_names = bench::Json::array();
   for (const auto& name : backends)
     backend_names.push(bench::Json::string(name));
   document.set("backends", std::move(backend_names));
-
-  bench::Json runs = bench::Json::array();
-  bool all_valid = true;
-  for (const auto& record : records) {
-    bench::Json entry = bench::Json::object();
-    entry.set("soc", bench::Json::string(record.soc));
-    entry.set("width", bench::Json::number(static_cast<std::int64_t>(record.width)));
-    entry.set("backend", bench::Json::string(record.backend));
-    entry.set("testing_time", bench::Json::number(record.testing_time));
-    entry.set("cpu_s", bench::Json::number(record.cpu_s));
-    entry.set("lower_bound", bench::Json::number(record.lower_bound));
-    entry.set("gap", bench::Json::number(record.gap));
-    entry.set("schedule_valid", bench::Json::boolean(record.valid));
-    runs.push(std::move(entry));
-    all_valid = all_valid && record.valid;
-  }
   document.set("runs", std::move(runs));
 
   bench::write_json_file("BENCH_backends.json", document);
-  std::cout << "wrote BENCH_backends.json (" << records.size() << " runs)\n";
-  if (!all_valid) {
-    std::cerr << "error: at least one backend produced an invalid schedule\n";
+  std::cout << "wrote BENCH_backends.json (" << results.size() << " runs)\n";
+  if (!all_ok) {
+    std::cerr << "error: at least one job failed or produced an invalid "
+                 "schedule\n";
     return 1;
   }
   return 0;

@@ -22,29 +22,6 @@ std::string seconds(double s) {
   return common::format_fixed(s, 3);
 }
 
-void dump_json_string(std::ostream& out, const std::string& text) {
-  out << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      case '\r': out << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(c));
-          out << buffer;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
 }  // namespace
 
 double exhaustive_budget_s(double fallback) {
@@ -67,128 +44,6 @@ int bench_threads(int fallback) {
               << "\" (want an integer >= 0)\n";
   }
   return fallback;
-}
-
-Json Json::boolean(bool value) {
-  Json json;
-  json.kind_ = Kind::Bool;
-  json.bool_ = value;
-  return json;
-}
-
-Json Json::number(std::int64_t value) {
-  Json json;
-  json.kind_ = Kind::Int;
-  json.int_ = value;
-  return json;
-}
-
-Json Json::number(double value) {
-  Json json;
-  json.kind_ = Kind::Double;
-  json.double_ = value;
-  return json;
-}
-
-Json Json::string(std::string value) {
-  Json json;
-  json.kind_ = Kind::String;
-  json.string_ = std::move(value);
-  return json;
-}
-
-Json Json::object() {
-  Json json;
-  json.kind_ = Kind::Object;
-  return json;
-}
-
-Json Json::array() {
-  Json json;
-  json.kind_ = Kind::Array;
-  return json;
-}
-
-Json& Json::set(const std::string& key, Json value) {
-  if (kind_ != Kind::Object)
-    throw std::logic_error("Json::set on a non-object");
-  for (auto& [existing_key, existing_value] : members_) {
-    if (existing_key == key) {
-      existing_value = std::move(value);
-      return *this;
-    }
-  }
-  members_.emplace_back(key, std::move(value));
-  return *this;
-}
-
-Json& Json::push(Json value) {
-  if (kind_ != Kind::Array)
-    throw std::logic_error("Json::push on a non-array");
-  elements_.push_back(std::move(value));
-  return *this;
-}
-
-void Json::dump(std::ostream& out, int indent) const {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
-  switch (kind_) {
-    case Kind::Null:
-      out << "null";
-      break;
-    case Kind::Bool:
-      out << (bool_ ? "true" : "false");
-      break;
-    case Kind::Int:
-      out << int_;
-      break;
-    case Kind::Double: {
-      // JSON has no inf/nan; the benches only emit finite values, but
-      // degrade to null rather than produce an unparsable file.
-      if (double_ != double_ || double_ > 1.7e308 || double_ < -1.7e308) {
-        out << "null";
-        break;
-      }
-      std::ostringstream formatted;
-      formatted.precision(12);
-      formatted << double_;
-      out << formatted.str();
-      break;
-    }
-    case Kind::String:
-      dump_json_string(out, string_);
-      break;
-    case Kind::Object: {
-      if (members_.empty()) {
-        out << "{}";
-        break;
-      }
-      out << "{\n";
-      for (std::size_t i = 0; i < members_.size(); ++i) {
-        out << inner_pad;
-        dump_json_string(out, members_[i].first);
-        out << ": ";
-        members_[i].second.dump(out, indent + 1);
-        out << (i + 1 < members_.size() ? ",\n" : "\n");
-      }
-      out << pad << '}';
-      break;
-    }
-    case Kind::Array: {
-      if (elements_.empty()) {
-        out << "[]";
-        break;
-      }
-      out << "[\n";
-      for (std::size_t i = 0; i < elements_.size(); ++i) {
-        out << inner_pad;
-        elements_[i].dump(out, indent + 1);
-        out << (i + 1 < elements_.size() ? ",\n" : "\n");
-      }
-      out << pad << ']';
-      break;
-    }
-  }
 }
 
 void write_json_file(const std::string& path, const Json& document) {

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/json_value.hpp"
 #include "core/co_optimizer.hpp"
 #include "core/exhaustive.hpp"
 #include "core/test_time_table.hpp"
@@ -37,36 +38,12 @@ namespace wtam::bench {
 /// throughput), exactly as they are serially.
 [[nodiscard]] int bench_threads(int fallback = 1);
 
-/// Minimal JSON document model for machine-readable bench artifacts
-/// (BENCH_*.json). Only what the benches need: objects preserve insertion
-/// order, numbers are int64 or double, no parsing.
-class Json {
- public:
-  Json() : kind_(Kind::Null) {}
-  static Json boolean(bool value);
-  static Json number(std::int64_t value);
-  static Json number(double value);
-  static Json string(std::string value);
-  static Json object();
-  static Json array();
-
-  /// Object access: inserts or overwrites `key` (object kind only).
-  Json& set(const std::string& key, Json value);
-  /// Array access: appends (array kind only).
-  Json& push(Json value);
-
-  void dump(std::ostream& out, int indent = 0) const;
-
- private:
-  enum class Kind { Null, Bool, Int, Double, String, Object, Array };
-  Kind kind_;
-  bool bool_ = false;
-  std::int64_t int_ = 0;
-  double double_ = 0.0;
-  std::string string_;
-  std::vector<std::pair<std::string, Json>> members_;
-  std::vector<Json> elements_;
-};
+/// JSON document model for machine-readable bench artifacts
+/// (BENCH_*.json) — the library's api::JsonValue (objects preserve
+/// insertion order, deterministic two-space dump, full parser). One
+/// writer means the bench artifacts and the Solver's jobs/results files
+/// can never drift apart in serialization policy.
+using Json = wtam::api::JsonValue;
 
 /// Writes `document` to `path` (pretty-printed, trailing newline).
 /// Throws std::runtime_error when the file cannot be written.

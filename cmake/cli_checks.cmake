@@ -44,4 +44,63 @@ file(WRITE ${WORK_DIR}/cli_crlf.soc
      "soc crlf\r\ncore a patterns=5 inputs=2 outputs=2 scan=3,4\r\n")
 expect_run(0 "" --soc ${WORK_DIR}/cli_crlf.soc --width 8 --quiet)
 
-message(STATUS "wtam_opt CLI exit-status contract holds")
+# ---- batch mode (api::Solver round trip) -----------------------------------
+
+# Usage/runtime errors first.
+expect_run(2 "cannot be combined" --batch x.json --soc d695 --width 8)
+expect_run(2 "requires --batch" --soc d695 --width 8 --out x.json)
+expect_run(1 "error: cannot open jobs file" --batch ${WORK_DIR}/no_such_jobs.json)
+file(WRITE ${WORK_DIR}/cli_bad_jobs.json "{\"jobs\": [{\"soc\": \"d695\", \"width\": 8, \"bogus\": 1}]}")
+expect_run(1 "unknown field 'bogus'" --batch ${WORK_DIR}/cli_bad_jobs.json)
+
+# Round trip: submit 3 jobs, check the results JSON parses and every
+# status is "ok" — then re-run at another thread count and require the
+# byte-identical artifact the batch determinism contract promises.
+file(WRITE ${WORK_DIR}/cli_jobs.json "{\"jobs\": [
+  {\"id\": \"a\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"},
+  {\"id\": \"b\", \"soc\": \"d695\", \"width\": 24, \"backend\": \"enumerative\", \"max_tams\": 4},
+  {\"id\": \"c\", \"soc\": \"d695\", \"width\": 16, \"width_max\": 20, \"backend\": \"enumerative\", \"max_tams\": 3}
+]}")
+expect_run(0 "" --batch ${WORK_DIR}/cli_jobs.json --threads 4
+             --out ${WORK_DIR}/cli_results.json --quiet)
+file(READ ${WORK_DIR}/cli_results.json results)
+string(JSON result_count LENGTH "${results}" results)
+if(NOT result_count EQUAL 3)
+  message(FATAL_ERROR "expected 3 results, got ${result_count}")
+endif()
+math(EXPR last "${result_count} - 1")
+foreach(i RANGE ${last})
+  string(JSON status GET "${results}" results ${i} status)
+  if(NOT status STREQUAL "ok")
+    message(FATAL_ERROR "result ${i}: status '${status}', expected 'ok'")
+  endif()
+  string(JSON valid GET "${results}" results ${i} schedule_valid)
+  if(NOT valid STREQUAL "ON")  # CMake renders JSON true as ON
+    message(FATAL_ERROR "result ${i}: schedule_valid '${valid}'")
+  endif()
+endforeach()
+expect_run(0 "" --batch ${WORK_DIR}/cli_jobs.json --threads 1
+             --out ${WORK_DIR}/cli_results_serial.json --quiet)
+file(READ ${WORK_DIR}/cli_results_serial.json results_serial)
+if(NOT results STREQUAL results_serial)
+  message(FATAL_ERROR "batch results differ between --threads 4 and --threads 1")
+endif()
+
+# A deadline-bound job on p93791 comes back deadline_exceeded with a
+# validator-clean best-so-far schedule (not an error).
+file(WRITE ${WORK_DIR}/cli_deadline_jobs.json "{\"jobs\": [
+  {\"id\": \"slow\", \"soc\": \"p93791\", \"width\": 48, \"max_tams\": 16, \"deadline_s\": 0.01}
+]}")
+expect_run(0 "" --batch ${WORK_DIR}/cli_deadline_jobs.json
+             --out ${WORK_DIR}/cli_deadline_results.json --quiet)
+file(READ ${WORK_DIR}/cli_deadline_results.json deadline_results)
+string(JSON status GET "${deadline_results}" results 0 status)
+if(NOT status STREQUAL "deadline_exceeded")
+  message(FATAL_ERROR "deadline job: status '${status}', expected 'deadline_exceeded'")
+endif()
+string(JSON valid GET "${deadline_results}" results 0 schedule_valid)
+if(NOT valid STREQUAL "ON")
+  message(FATAL_ERROR "deadline job: best-so-far schedule did not validate")
+endif()
+
+message(STATUS "wtam_opt CLI exit-status contract holds (incl. --batch)")

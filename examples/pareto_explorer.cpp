@@ -16,16 +16,11 @@ int main(int argc, char** argv) {
 
   const std::string which = argc > 1 ? argv[1] : "d695";
   soc::Soc soc;
-  if (which == "d695") {
-    soc = soc::d695();
-  } else if (which == "p21241") {
-    soc = soc::p21241();
-  } else if (which == "p31108") {
-    soc = soc::p31108();
-  } else if (which == "p93791") {
-    soc = soc::p93791();
-  } else {
-    std::cerr << "usage: pareto_explorer [d695|p21241|p31108|p93791]\n";
+  try {
+    soc = soc::load_by_name_or_path(which);
+  } catch (const std::exception& e) {
+    std::cerr << "usage: pareto_explorer [d695|p21241|p31108|p93791|FILE.soc]\n"
+              << e.what() << "\n";
     return 1;
   }
 

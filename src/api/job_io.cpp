@@ -1,0 +1,265 @@
+#include "api/job_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtam::api {
+
+namespace {
+
+[[noreturn]] void bad_job(const std::string& what) {
+  throw std::runtime_error("jobs json: " + what);
+}
+
+int as_bounded_int(const JsonValue& value, const char* key, std::int64_t lo,
+                   std::int64_t hi) {
+  std::int64_t parsed = 0;
+  try {
+    parsed = value.as_int();
+  } catch (const std::exception&) {
+    bad_job(std::string("field '") + key + "' must be an integer");
+  }
+  if (parsed < lo || parsed > hi)
+    bad_job(std::string("field '") + key + "' out of range [" +
+            std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return static_cast<int>(parsed);
+}
+
+std::string as_string_field(const JsonValue& value, const char* key) {
+  try {
+    return value.as_string();
+  } catch (const std::exception&) {
+    bad_job(std::string("field '") + key + "' must be a string");
+  }
+}
+
+/// Non-negative 64-bit value (for RNG seeds). JSON integers cap at
+/// int64, so seeds above 2^63-1 are not representable in a jobs file —
+/// job_to_json enforces the same bound on the writing side.
+std::uint64_t as_seed(const JsonValue& value, const char* key) {
+  std::int64_t parsed = 0;
+  try {
+    parsed = value.as_int();
+  } catch (const std::exception&) {
+    bad_job(std::string("field '") + key + "' must be an integer");
+  }
+  if (parsed < 0)
+    bad_job(std::string("field '") + key + "' must be >= 0");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+JsonValue job_to_json(const SolveRequest& request) {
+  if (request.soc_value.has_value())
+    throw std::invalid_argument(
+        "job_to_json: in-memory soc_value is not serializable; use soc or "
+        "soc_inline");
+  JsonValue job = JsonValue::object();
+  if (!request.id.empty()) job.set("id", JsonValue::string(request.id));
+  if (!request.soc.empty()) job.set("soc", JsonValue::string(request.soc));
+  if (!request.soc_inline.empty())
+    job.set("soc_inline", JsonValue::string(request.soc_inline));
+  job.set("width", JsonValue::number(static_cast<std::int64_t>(request.width)));
+  if (request.width_max != 0)
+    job.set("width_max",
+            JsonValue::number(static_cast<std::int64_t>(request.width_max)));
+  job.set("backend", JsonValue::string(request.backend));
+  const core::BackendOptions defaults;
+  if (request.options.min_tams != defaults.min_tams)
+    job.set("min_tams", JsonValue::number(
+                            static_cast<std::int64_t>(request.options.min_tams)));
+  if (request.options.max_tams != defaults.max_tams)
+    job.set("max_tams", JsonValue::number(
+                            static_cast<std::int64_t>(request.options.max_tams)));
+  if (request.options.threads != defaults.threads)
+    job.set("threads", JsonValue::number(
+                           static_cast<std::int64_t>(request.options.threads)));
+  if (request.options.run_final_step != defaults.run_final_step)
+    job.set("run_final_step",
+            JsonValue::boolean(request.options.run_final_step));
+  if (request.options.rectpack.local_search_iterations !=
+      defaults.rectpack.local_search_iterations)
+    job.set("rectpack_iterations",
+            JsonValue::number(static_cast<std::int64_t>(
+                request.options.rectpack.local_search_iterations)));
+  if (request.options.rectpack.seed != defaults.rectpack.seed) {
+    if (request.options.rectpack.seed >
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+      throw std::invalid_argument(
+          "job_to_json: rectpack seed exceeds the JSON integer range "
+          "(2^63-1)");
+    job.set("rectpack_seed",
+            JsonValue::number(
+                static_cast<std::int64_t>(request.options.rectpack.seed)));
+  }
+  if (request.deadline_s.has_value())
+    job.set("deadline_s", JsonValue::number(*request.deadline_s));
+  if (request.priority != 0)
+    job.set("priority",
+            JsonValue::number(static_cast<std::int64_t>(request.priority)));
+  if (!request.tag.empty()) job.set("tag", JsonValue::string(request.tag));
+  return job;
+}
+
+SolveRequest job_from_json(const JsonValue& value) {
+  if (!value.is_object()) bad_job("each job must be an object");
+  SolveRequest request;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "id") {
+      request.id = as_string_field(field, "id");
+    } else if (key == "soc") {
+      request.soc = as_string_field(field, "soc");
+    } else if (key == "soc_inline") {
+      request.soc_inline = as_string_field(field, "soc_inline");
+    } else if (key == "width") {
+      request.width = as_bounded_int(field, "width", 1, 256);
+    } else if (key == "width_max") {
+      request.width_max = as_bounded_int(field, "width_max", 0, 256);
+    } else if (key == "backend") {
+      request.backend = as_string_field(field, "backend");
+    } else if (key == "min_tams") {
+      request.options.min_tams = as_bounded_int(field, "min_tams", 1, 256);
+    } else if (key == "max_tams") {
+      request.options.max_tams = as_bounded_int(field, "max_tams", 1, 256);
+    } else if (key == "threads") {
+      request.options.threads = as_bounded_int(field, "threads", 0, 4096);
+    } else if (key == "run_final_step") {
+      try {
+        request.options.run_final_step = field.as_bool();
+      } catch (const std::exception&) {
+        bad_job("field 'run_final_step' must be a boolean");
+      }
+    } else if (key == "rectpack_iterations") {
+      request.options.rectpack.local_search_iterations = as_bounded_int(
+          field, "rectpack_iterations", 0, std::numeric_limits<int>::max());
+    } else if (key == "rectpack_seed") {
+      request.options.rectpack.seed = as_seed(field, "rectpack_seed");
+    } else if (key == "deadline_s") {
+      double deadline = 0.0;
+      try {
+        deadline = field.as_double();
+      } catch (const std::exception&) {
+        bad_job("field 'deadline_s' must be a number");
+      }
+      if (!(deadline > 0.0)) bad_job("field 'deadline_s' must be > 0");
+      request.deadline_s = deadline;
+    } else if (key == "priority") {
+      request.priority = as_bounded_int(field, "priority", -1'000'000,
+                                        1'000'000);
+    } else if (key == "tag") {
+      request.tag = as_string_field(field, "tag");
+    } else {
+      bad_job("unknown field '" + key + "'");
+    }
+  }
+  if (request.width == 0) bad_job("field 'width' is required");
+  return request;
+}
+
+std::vector<SolveRequest> parse_jobs(const std::string& text) {
+  const JsonValue document = JsonValue::parse(text);
+  const JsonValue* jobs = &document;
+  if (document.is_object()) {
+    jobs = document.find("jobs");
+    if (jobs == nullptr) bad_job("top-level object must have a 'jobs' array");
+  }
+  if (!jobs->is_array()) bad_job("'jobs' must be an array");
+  std::vector<SolveRequest> requests;
+  requests.reserve(jobs->elements().size());
+  for (std::size_t i = 0; i < jobs->elements().size(); ++i) {
+    try {
+      requests.push_back(job_from_json(jobs->elements()[i]));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("job " + std::to_string(i + 1) + ": " +
+                               e.what());
+    }
+  }
+  return requests;
+}
+
+std::vector<SolveRequest> load_jobs_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open jobs file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_jobs(text.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::string jobs_to_json(const std::vector<SolveRequest>& jobs) {
+  JsonValue array = JsonValue::array();
+  for (const SolveRequest& job : jobs) array.push(job_to_json(job));
+  JsonValue document = JsonValue::object();
+  document.set("jobs", std::move(array));
+  return document.dump_string();
+}
+
+JsonValue result_to_json(const SolveResult& result,
+                         const ResultsWriteOptions& options) {
+  JsonValue entry = JsonValue::object();
+  entry.set("id", JsonValue::string(result.id));
+  if (!result.tag.empty()) entry.set("tag", JsonValue::string(result.tag));
+  entry.set("status", JsonValue::string(std::string(to_string(result.status))));
+  if (!result.error.empty())
+    entry.set("error", JsonValue::string(result.error));
+  if (!result.soc_name.empty()) {
+    entry.set("soc", JsonValue::string(result.soc_name));
+    entry.set("core_count",
+              JsonValue::number(static_cast<std::int64_t>(result.core_count)));
+  }
+  entry.set("backend", JsonValue::string(result.backend));
+  if (result.has_outcome()) {
+    const core::BackendOutcome& outcome = *result.outcome;
+    entry.set("width",
+              JsonValue::number(static_cast<std::int64_t>(result.width)));
+    entry.set("widths_tried", JsonValue::number(static_cast<std::int64_t>(
+                                  result.widths_tried)));
+    entry.set("testing_time", JsonValue::number(outcome.testing_time));
+    entry.set("lower_bound", JsonValue::number(result.lower_bound));
+    if (result.lower_bound > 0)
+      entry.set("gap", JsonValue::number(result.optimality_gap()));
+    if (outcome.architecture.has_value())
+      entry.set("tam_count", JsonValue::number(static_cast<std::int64_t>(
+                                 outcome.architecture->tam_count())));
+    entry.set("schedule_valid", JsonValue::boolean(result.schedule_valid));
+    JsonValue details = JsonValue::object();
+    for (const auto& [key, detail] : outcome.details)
+      details.set(key, JsonValue::string(detail));
+    entry.set("details", std::move(details));
+    if (options.include_timing)
+      entry.set("cpu_s", JsonValue::number(outcome.cpu_s));
+  }
+  if (options.include_timing)
+    entry.set("wall_s", JsonValue::number(result.wall_s));
+  return entry;
+}
+
+std::string results_to_json(const std::vector<SolveResult>& results,
+                            const ResultsWriteOptions& options) {
+  JsonValue document = JsonValue::object();
+  document.set("schema", JsonValue::string("wtam-batch-results-v1"));
+  document.set("jobs",
+               JsonValue::number(static_cast<std::int64_t>(results.size())));
+  JsonValue array = JsonValue::array();
+  for (const SolveResult& result : results)
+    array.push(result_to_json(result, options));
+  document.set("results", std::move(array));
+  return document.dump_string();
+}
+
+void write_results_file(const std::string& path,
+                        const std::vector<SolveResult>& results,
+                        const ResultsWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << results_to_json(results, options) << '\n';
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+}  // namespace wtam::api

@@ -1,0 +1,59 @@
+// JSON serialization for Solver jobs and results.
+//
+// A jobs file is `{"jobs": [ {...}, ... ]}` (or a bare top-level array);
+// each job object mirrors SolveRequest with flattened backend options:
+//
+//   { "id": "d695-w32", "soc": "d695", "width": 32,
+//     "backend": "enumerative",            // optional, default enumerative
+//     "width_max": 48,                     // optional width sweep
+//     "min_tams": 1, "max_tams": 10,       // optional (enumerative)
+//     "threads": 1, "run_final_step": true,
+//     "rectpack_iterations": 2000, "rectpack_seed": 1,
+//     "deadline_s": 5.0, "priority": 0, "tag": "nightly",
+//     "soc_inline": "soc x\ncore ..." }    // instead of "soc"
+//
+// Unknown keys are rejected (typos should fail loudly, not silently run
+// a default). Results serialize deterministically — timing fields are
+// opt-in — so a batch's results JSON is byte-identical across runs and
+// thread counts whenever every job is deterministic.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/json_value.hpp"
+#include "api/solver.hpp"
+
+namespace wtam::api {
+
+/// One job <-> JSON object. job_to_json throws std::invalid_argument for
+/// requests carrying an in-memory soc_value (not serializable);
+/// job_from_json throws std::runtime_error on malformed/unknown fields.
+[[nodiscard]] JsonValue job_to_json(const SolveRequest& request);
+[[nodiscard]] SolveRequest job_from_json(const JsonValue& value);
+
+/// Whole jobs documents. parse_jobs throws std::runtime_error with
+/// context on malformed JSON or jobs.
+[[nodiscard]] std::vector<SolveRequest> parse_jobs(const std::string& text);
+[[nodiscard]] std::vector<SolveRequest> load_jobs_file(const std::string& path);
+[[nodiscard]] std::string jobs_to_json(const std::vector<SolveRequest>& jobs);
+
+struct ResultsWriteOptions {
+  /// Include cpu_s/wall_s. Off by default so results files are
+  /// byte-identical across runs (the `--batch` reproducibility contract).
+  bool include_timing = false;
+};
+
+[[nodiscard]] JsonValue result_to_json(const SolveResult& result,
+                                       const ResultsWriteOptions& options = {});
+[[nodiscard]] std::string results_to_json(
+    const std::vector<SolveResult>& results,
+    const ResultsWriteOptions& options = {});
+/// Writes results_to_json(...) to `path` with a trailing newline; throws
+/// std::runtime_error on I/O failure.
+void write_results_file(const std::string& path,
+                        const std::vector<SolveResult>& results,
+                        const ResultsWriteOptions& options = {});
+
+}  // namespace wtam::api

@@ -1,0 +1,442 @@
+#include "api/json_value.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <locale>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace wtam::api {
+
+namespace {
+
+void dump_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Recursive-descent parser over the full JSON grammar. Depth-limited so
+/// adversarial inputs fail cleanly instead of overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::runtime_error("json parse error at " + std::to_string(line) +
+                             ":" + std::to_string(column) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t length = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue{};
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      if (object.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      object.set(key, parse_value(depth + 1));
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push(parse_value(depth + 1));
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+            else if (hex >= 'a' && hex <= 'f')
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            else if (hex >= 'A' && hex <= 'F')
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            else
+              fail("invalid \\u escape");
+          }
+          // UTF-8-encode the code point (surrogate pairs are passed
+          // through as two 3-byte sequences — the jobs/results files only
+          // carry names and messages, not astral-plane text).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_number() {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — the format rejects typos loudly everywhere else, so `.5`, `1.`,
+    // and `01` (which jq/Python/CMake all refuse) are errors here too.
+    const std::size_t start = pos_;
+    const auto digits = [&] {
+      std::size_t count = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail("invalid number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1)
+      fail("invalid number (leading zero)");
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (digits() == 0) fail("invalid number (digits required after '.')");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (digits() == 0) fail("invalid number (digits required in exponent)");
+    }
+    // std::from_chars is locale-independent — an embedding application
+    // running under e.g. a de_DE LC_NUMERIC must not change how jobs and
+    // results files parse.
+    const char* const first = text_.data() + start;
+    const char* const last = text_.data() + pos_;
+    if (!is_double) {
+      std::int64_t parsed = 0;
+      const auto [end, ec] = std::from_chars(first, last, parsed);
+      if (ec == std::errc{} && end == last) return JsonValue::number(parsed);
+      // Out-of-range integers fall through to double precision.
+    }
+    double parsed = 0.0;
+    const auto [end, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc{} || end != last || !std::isfinite(parsed))
+      fail("invalid number");
+    return JsonValue::number(parsed);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue json;
+  json.kind_ = Kind::Bool;
+  json.bool_ = value;
+  return json;
+}
+
+JsonValue JsonValue::number(std::int64_t value) {
+  JsonValue json;
+  json.kind_ = Kind::Int;
+  json.int_ = value;
+  return json;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue json;
+  json.kind_ = Kind::Double;
+  json.double_ = value;
+  return json;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue json;
+  json.kind_ = Kind::String;
+  json.string_ = std::move(value);
+  return json;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue json;
+  json.kind_ = Kind::Object;
+  return json;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue json;
+  json.kind_ = Kind::Array;
+  return json;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::runtime_error("json: not a boolean");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::Int) throw std::runtime_error("json: not an integer");
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ != Kind::Double) throw std::runtime_error("json: not a number");
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [existing_key, value] : members_)
+    if (existing_key == key) return &value;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::Object) throw std::runtime_error("json: not an object");
+  return members_;
+}
+
+const std::vector<JsonValue>& JsonValue::elements() const {
+  if (kind_ != Kind::Array) throw std::runtime_error("json: not an array");
+  return elements_;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::Object) throw std::logic_error("JsonValue::set on a non-object");
+  for (auto& [existing_key, existing_value] : members_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ != Kind::Array) throw std::logic_error("JsonValue::push on a non-array");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::dump(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::Null:
+      out << "null";
+      break;
+    case Kind::Bool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::Int: {
+      // to_chars, not operator<<: a grouping locale on the caller's
+      // stream would print 1,234,567.
+      char buffer[24];
+      const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer,
+                                           int_);
+      out.write(buffer, end - buffer);
+      break;
+    }
+    case Kind::Double: {
+      // JSON has no inf/nan; degrade to null rather than produce an
+      // unparsable file (same policy as bench::Json).
+      if (!std::isfinite(double_)) {
+        out << "null";
+        break;
+      }
+      std::ostringstream formatted;
+      // The classic locale keeps '.' as the decimal separator whatever
+      // the host application set globally — the output must stay JSON.
+      formatted.imbue(std::locale::classic());
+      formatted.precision(12);
+      formatted << double_;
+      out << formatted.str();
+      break;
+    }
+    case Kind::String:
+      dump_json_string(out, string_);
+      break;
+    case Kind::Object: {
+      if (members_.empty()) {
+        out << "{}";
+        break;
+      }
+      out << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out << inner_pad;
+        dump_json_string(out, members_[i].first);
+        out << ": ";
+        members_[i].second.dump(out, indent + 1);
+        out << (i + 1 < members_.size() ? ",\n" : "\n");
+      }
+      out << pad << '}';
+      break;
+    }
+    case Kind::Array: {
+      if (elements_.empty()) {
+        out << "[]";
+        break;
+      }
+      out << "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out << inner_pad;
+        elements_[i].dump(out, indent + 1);
+        out << (i + 1 < elements_.size() ? ",\n" : "\n");
+      }
+      out << pad << ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump_string() const {
+  std::ostringstream out;
+  dump(out);
+  return out.str();
+}
+
+}  // namespace wtam::api

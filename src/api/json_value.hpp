@@ -1,0 +1,78 @@
+// A small JSON document model with both a parser and a writer — the
+// read/write counterpart of the write-only bench::Json the benches emit.
+// Objects preserve insertion order (so serialization is deterministic),
+// numbers distinguish int64 from double, and dump() matches the benches'
+// pretty-printed two-space style so BENCH_*.json and the Solver's
+// jobs/results files look like one family.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wtam::api {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Object, Array };
+
+  JsonValue() : kind_(Kind::Null) {}
+
+  static JsonValue boolean(bool value);
+  static JsonValue number(std::int64_t value);
+  static JsonValue number(double value);
+  static JsonValue string(std::string value);
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Parses a complete JSON document (one value, trailing whitespace
+  /// allowed). Throws std::runtime_error with a line:column position on
+  /// malformed input.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch
+  /// (as_double additionally accepts Int, as JSON does not distinguish).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+  /// Object members in insertion order. Throws on non-objects.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+  /// Array elements. Throws on non-arrays.
+  [[nodiscard]] const std::vector<JsonValue>& elements() const;
+
+  /// Object access: inserts or overwrites `key` (object kind only).
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Array access: appends (array kind only).
+  JsonValue& push(JsonValue value);
+
+  /// Pretty-prints in the bench JSON style (two-space indent, ordered
+  /// members, non-finite doubles degrade to null).
+  void dump(std::ostream& out, int indent = 0) const;
+  [[nodiscard]] std::string dump_string() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+}  // namespace wtam::api

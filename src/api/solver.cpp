@@ -1,0 +1,295 @@
+#include "api/solver.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "soc/load.hpp"
+#include "soc/soc_io.hpp"
+
+namespace wtam::api {
+
+namespace {
+
+constexpr int kMaxWidth = 256;  ///< same ceiling the CLI enforces
+
+Status status_from_interrupt(SolveInterrupt interrupt) noexcept {
+  switch (interrupt) {
+    case SolveInterrupt::Cancelled: return Status::Cancelled;
+    case SolveInterrupt::DeadlineExceeded: return Status::DeadlineExceeded;
+    case SolveInterrupt::None: break;
+  }
+  return Status::Ok;
+}
+
+/// Resolves the request's SOC source. Throws on unreadable/malformed
+/// files or inline text; the caller maps that to InvalidRequest.
+soc::Soc resolve_soc(const SolveRequest& request) {
+  if (request.soc_value.has_value()) return *request.soc_value;
+  if (!request.soc_inline.empty())
+    return soc::parse_soc_string(request.soc_inline);
+  return soc::load_by_name_or_path(request.soc);
+}
+
+/// Runs one validated-or-not request start to finish. Catches everything;
+/// the only way out is a SolveResult.
+SolveResult execute(const SolveRequest& request, std::size_t index,
+                    const CancelToken& cancel) {
+  common::Stopwatch watch;
+  SolveResult result;
+  result.id = request.id.empty() ? "job-" + std::to_string(index + 1)
+                                 : request.id;
+  result.tag = request.tag;
+  result.backend = request.backend;
+
+  const std::string problem = validate(request);
+  if (!problem.empty()) {
+    result.status = Status::InvalidRequest;
+    result.error = problem;
+    result.wall_s = watch.elapsed_s();
+    return result;
+  }
+
+  SolveContext context;
+  context.cancel = cancel;
+  if (request.deadline_s.has_value())
+    context.deadline = SolveContext::deadline_after(*request.deadline_s);
+
+  // A batch-wide cancel may land before this job ever starts.
+  if (context.poll() == SolveInterrupt::Cancelled) {
+    result.status = Status::Cancelled;
+    result.wall_s = watch.elapsed_s();
+    return result;
+  }
+
+  soc::Soc soc;
+  try {
+    soc = resolve_soc(request);
+  } catch (const std::exception& e) {
+    result.status = Status::InvalidRequest;
+    result.error = e.what();
+    result.wall_s = watch.elapsed_s();
+    return result;
+  }
+  result.soc_name = soc.name;
+  result.core_count = soc.core_count();
+
+  try {
+    const core::OptimizerBackend& backend =
+        core::BackendRegistry::instance().at(request.backend);
+    const int width_last =
+        request.width_max == 0 ? request.width : request.width_max;
+
+    std::optional<core::BackendOutcome> best;
+    std::optional<core::TestTimeTable> best_table;
+    int best_width = 0;
+    SolveInterrupt interrupt = SolveInterrupt::None;
+    for (int w = request.width; w <= width_last; ++w) {
+      core::TestTimeTable table(soc, w);
+      core::BackendOutcome outcome =
+          backend.optimize(table, w, request.options, context);
+      const SolveInterrupt fired = outcome.interrupt;
+      ++result.widths_tried;
+      if (!best.has_value() || outcome.testing_time < best->testing_time) {
+        best = std::move(outcome);
+        best_table.emplace(std::move(table));
+        best_width = w;
+      }
+      if (fired != SolveInterrupt::None) {
+        interrupt = fired;
+        break;
+      }
+      if (w < width_last) {
+        // Sweep boundary poll: the next width would start a whole new
+        // search, so check the clock/token before committing to it.
+        const SolveInterrupt between = context.poll();
+        if (between != SolveInterrupt::None) {
+          interrupt = between;
+          break;
+        }
+      }
+    }
+
+    if (best.has_value()) {
+      result.width = best_width;
+      result.lower_bound =
+          core::testing_time_lower_bounds(*best_table, best_width).combined();
+      result.schedule_valid =
+          pack::validate_packed_schedule(*best_table, best->schedule).empty();
+      result.outcome = std::move(best);
+    }
+    result.status = status_from_interrupt(interrupt);
+  } catch (const std::exception& e) {
+    result.status = Status::InternalError;
+    result.error = e.what();
+  } catch (...) {
+    result.status = Status::InternalError;
+    result.error = "unknown exception";
+  }
+  result.wall_s = watch.elapsed_s();
+  return result;
+}
+
+/// Serialized progress dispatch; a throwing callback must not take down
+/// a worker thread, so failures are swallowed here.
+class ProgressSink {
+ public:
+  explicit ProgressSink(const ProgressFn& fn) : fn_(fn) {}
+
+  void started(std::size_t index, std::size_t total,
+               const SolveRequest& request) {
+    emit(ProgressEvent{ProgressEvent::Phase::Started, index, total, &request,
+                       nullptr});
+  }
+
+  void finished(std::size_t index, std::size_t total,
+                const SolveRequest& request, const SolveResult& result) {
+    emit(ProgressEvent{ProgressEvent::Phase::Finished, index, total, &request,
+                       &result});
+  }
+
+ private:
+  void emit(const ProgressEvent& event) {
+    if (!fn_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    try {
+      fn_(event);
+    } catch (...) {
+    }
+  }
+
+  const ProgressFn& fn_;
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+std::string_view to_string(Status status) noexcept {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::InvalidRequest: return "invalid_request";
+    case Status::DeadlineExceeded: return "deadline_exceeded";
+    case Status::Cancelled: return "cancelled";
+    case Status::InternalError: break;
+  }
+  return "internal_error";
+}
+
+std::optional<Status> parse_status(std::string_view text) noexcept {
+  for (const Status status :
+       {Status::Ok, Status::InvalidRequest, Status::DeadlineExceeded,
+        Status::Cancelled, Status::InternalError})
+    if (to_string(status) == text) return status;
+  return std::nullopt;
+}
+
+std::string validate(const SolveRequest& request) {
+  const int sources = (request.soc.empty() ? 0 : 1) +
+                      (request.soc_inline.empty() ? 0 : 1) +
+                      (request.soc_value.has_value() ? 1 : 0);
+  if (sources == 0)
+    return "no SOC given (set soc, soc_inline, or soc_value)";
+  if (sources > 1)
+    return "ambiguous SOC (set exactly one of soc, soc_inline, soc_value)";
+  if (request.width < 1 || request.width > kMaxWidth)
+    return "width must be in 1..256";
+  if (request.width_max != 0 &&
+      (request.width_max < request.width || request.width_max > kMaxWidth))
+    return "width_max must be 0 or in [width, 256]";
+  if (request.backend.empty() ||
+      core::BackendRegistry::instance().find(request.backend) == nullptr) {
+    std::string known;
+    for (const auto& name : core::BackendRegistry::instance().names())
+      known += " " + name;
+    return "unknown backend '" + request.backend + "' (registered:" + known +
+           ")";
+  }
+  if (request.deadline_s.has_value() && !(*request.deadline_s > 0.0))
+    return "deadline_s must be > 0";
+  if (request.options.threads < 0)
+    return "options.threads must be >= 0 (0 = hardware threads)";
+  if (request.options.min_tams < 1 ||
+      request.options.max_tams < request.options.min_tams)
+    return "bad TAM range (need 1 <= min_tams <= max_tams)";
+  if (request.options.rectpack.local_search_iterations < 0)
+    return "rectpack.local_search_iterations must be >= 0";
+  return {};
+}
+
+Solver::Solver(SolverOptions options) : options_(std::move(options)) {
+  if (options_.threads < 0)
+    throw std::invalid_argument("Solver: threads must be >= 0");
+}
+
+SolveResult Solver::solve(const SolveRequest& request, CancelToken cancel,
+                          const ProgressFn& progress) const {
+  ProgressSink sink(progress);
+  sink.started(0, 1, request);
+  SolveResult result = execute(request, 0, cancel);
+  sink.finished(0, 1, request, result);
+  return result;
+}
+
+std::vector<SolveResult> Solver::solve_batch(
+    const std::vector<SolveRequest>& requests, CancelToken cancel,
+    const ProgressFn& progress) const {
+  std::vector<SolveResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Execution order: priority descending, request order within a
+  // priority. Results stay in request order either way.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].priority > requests[b].priority;
+                   });
+
+  ProgressSink sink(progress);
+  const auto run_job = [&](std::size_t index) {
+    sink.started(index, requests.size(), requests[index]);
+    results[index] = execute(requests[index], index, cancel);
+    sink.finished(index, requests.size(), requests[index], results[index]);
+  };
+
+  const int threads = options_.threads == 0
+                          ? common::ThreadPool::hardware_threads()
+                          : options_.threads;
+  if (threads <= 1) {
+    for (const std::size_t index : order) run_job(index);
+    return results;
+  }
+
+  // Declared before the pool so that even on an exceptional unwind the
+  // pool's joining destructor runs first — no worker can touch the
+  // condition variable after it is destroyed. Notifying under the lock
+  // closes the same hole on the normal path: the waiter cannot wake,
+  // observe done == N, and destroy the CV while a worker is mid-notify.
+  std::mutex done_mutex;
+  std::condition_variable all_done;
+  std::size_t done = 0;
+  common::ThreadPool pool(
+      std::min(threads, static_cast<int>(requests.size())));
+  for (const std::size_t index : order) {
+    pool.submit([&, index] {
+      run_job(index);  // execute() never throws
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+      all_done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  all_done.wait(lock, [&] { return done == requests.size(); });
+  lock.unlock();  // pool joins below; waiters are gone before the CV dies
+  return results;
+}
+
+}  // namespace wtam::api

@@ -1,0 +1,164 @@
+// Job-oriented solver API — the one public entry point for running
+// optimizer backends.
+//
+// A SolveRequest names a SOC (built-in name, .soc file path, inline .soc
+// text, or an already-loaded value), a total TAM width (optionally a
+// width range to sweep), a backend, its options, and job metadata
+// (deadline, priority, tag). The Solver executes one request or a batch
+// of requests and returns SolveResults: a Status instead of
+// exception-or-die control flow, the unified BackendOutcome, the lower
+// bound, and timing. Deadlines and cancellation are cooperative (see
+// core/solve_context.hpp); a timed-out job returns its best-so-far
+// incumbent with Status::DeadlineExceeded rather than running unbounded.
+//
+// Batches run on common::ThreadPool with deterministic result ordering:
+// results come back in request order regardless of thread count, and —
+// because every engine is deterministic — with identical contents at any
+// concurrency. Execution order is (priority descending, request order),
+// so high-priority jobs start first when workers are scarce.
+//
+// New code should drive engines through this API; direct core::run_backend
+// use is deprecated outside the library itself.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/solve_context.hpp"
+#include "soc/soc.hpp"
+
+namespace wtam::api {
+
+using core::CancelToken;
+using core::SolveContext;
+using core::SolveInterrupt;
+
+enum class Status {
+  Ok,                ///< ran to completion
+  InvalidRequest,    ///< malformed request; never executed
+  DeadlineExceeded,  ///< stopped at the deadline; best-so-far outcome
+  Cancelled,         ///< stopped by the cancel token; best-so-far outcome
+  InternalError,     ///< an engine threw; `error` carries the message
+};
+
+[[nodiscard]] std::string_view to_string(Status status) noexcept;
+/// Inverse of to_string; nullopt for unknown text.
+[[nodiscard]] std::optional<Status> parse_status(std::string_view text) noexcept;
+
+struct SolveRequest {
+  /// Job identifier echoed into the result; defaults to "job-<index>"
+  /// inside a batch when empty.
+  std::string id;
+  /// SOC source — exactly one of the three must be set: a built-in
+  /// benchmark name or .soc file path, inline .soc dialect text, or an
+  /// in-memory value (takes precedence; not serializable to JSON).
+  std::string soc;
+  std::string soc_inline;
+  std::optional<soc::Soc> soc_value;
+  /// Total TAM width, in [1, 256]. When width_max > width, the solver
+  /// sweeps every width in [width, width_max] and reports the best
+  /// (lowest testing time; ties to the narrowest width).
+  int width = 0;
+  int width_max = 0;  ///< 0 = single width
+  std::string backend = "enumerative";
+  core::BackendOptions options;
+  /// Wall-clock budget for the whole job (sweep included), measured from
+  /// the moment the job starts executing.
+  std::optional<double> deadline_s;
+  /// Batch scheduling hint: higher-priority jobs start earlier. Does not
+  /// affect result ordering.
+  int priority = 0;
+  /// Free-form label echoed into the result.
+  std::string tag;
+};
+
+/// Validates `request` without executing it; empty string = valid,
+/// otherwise the reason (what SolveResult::error would say).
+[[nodiscard]] std::string validate(const SolveRequest& request);
+
+struct SolveResult {
+  Status status = Status::InternalError;
+  std::string id;
+  std::string tag;
+  std::string soc_name;
+  int core_count = 0;
+  std::string backend;
+  /// Reason for InvalidRequest / InternalError; empty otherwise.
+  std::string error;
+  /// Width of `outcome` (the best width of a sweep). 0 when absent.
+  int width = 0;
+  /// Widths actually searched before the job finished or was interrupted.
+  int widths_tried = 0;
+  /// Present for Ok and for interrupted jobs that reached an incumbent;
+  /// absent for InvalidRequest and most InternalErrors.
+  std::optional<core::BackendOutcome> outcome;
+  /// Architecture-independent lower bound at `width` (0 when absent).
+  std::int64_t lower_bound = 0;
+  /// True when `outcome`'s schedule passed the strict validator.
+  bool schedule_valid = false;
+  double wall_s = 0.0;  ///< queued-to-finished wall clock of this job
+
+  [[nodiscard]] bool has_outcome() const noexcept {
+    return outcome.has_value();
+  }
+
+  /// (testing_time - lower_bound) / lower_bound, the shared gap metric;
+  /// 0 when there is no outcome or no positive bound (never divides by
+  /// zero).
+  [[nodiscard]] double optimality_gap() const noexcept {
+    if (!outcome.has_value() || lower_bound <= 0) return 0.0;
+    return (static_cast<double>(outcome->testing_time) -
+            static_cast<double>(lower_bound)) /
+           static_cast<double>(lower_bound);
+  }
+};
+
+/// Progress callback events, delivered serialized (never concurrently).
+struct ProgressEvent {
+  enum class Phase { Started, Finished };
+  Phase phase = Phase::Started;
+  std::size_t index = 0;            ///< request index within the batch
+  std::size_t total = 1;            ///< batch size
+  const SolveRequest* request = nullptr;
+  const SolveResult* result = nullptr;  ///< non-null for Finished only
+};
+
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+struct SolverOptions {
+  /// Worker threads for batch execution. 1 = run jobs sequentially;
+  /// 0 = one per hardware thread. Per-job engine threads are a separate
+  /// knob (SolveRequest::options.threads).
+  int threads = 1;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  /// Executes one request. Never throws for request-level problems —
+  /// they come back as a Status. `cancel` may be signalled from another
+  /// thread; the job stops at its next poll point.
+  [[nodiscard]] SolveResult solve(const SolveRequest& request,
+                                  CancelToken cancel = {},
+                                  const ProgressFn& progress = {}) const;
+
+  /// Executes a batch concurrently (SolverOptions::threads workers).
+  /// Results are in request order and identical at any thread count.
+  /// `cancel` cancels the whole batch: running jobs stop at their next
+  /// poll point, unstarted jobs come back Cancelled without outcome.
+  [[nodiscard]] std::vector<SolveResult> solve_batch(
+      const std::vector<SolveRequest>& requests, CancelToken cancel = {},
+      const ProgressFn& progress = {}) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace wtam::api

@@ -74,7 +74,10 @@ class CombinatorialSearch {
   void dfs(std::size_t depth, std::int64_t& nodes) {
     if (limit_hit_) return;
     if (++nodes >= options_.max_nodes ||
-        ((nodes & 0x3ff) == 0 && watch_.elapsed_s() > options_.time_limit_s)) {
+        ((nodes & 0x3ff) == 0 &&
+         (watch_.elapsed_s() > options_.time_limit_s ||
+          (options_.context != nullptr &&
+           options_.context->poll() != SolveInterrupt::None)))) {
       limit_hit_ = true;
       return;
     }
@@ -247,6 +250,10 @@ ExactResult solve_assignment_exact(const TestTimeProvider& table,
   ilp_options.time_limit_s = options.time_limit_s;
   ilp_options.max_nodes = options.max_nodes;
   ilp_options.objective_is_integral = true;
+  if (options.context != nullptr)
+    ilp_options.interrupt = [context = options.context] {
+      return context->poll() != SolveInterrupt::None;
+    };
   std::vector<double> hint(static_cast<std::size_t>(n * b + 1), 0.0);
   for (int i = 0; i < n; ++i) {
     const int j = heuristic.architecture.assignment[static_cast<std::size_t>(i)];

@@ -24,6 +24,7 @@
 #include <span>
 
 #include "core/core_assign.hpp"
+#include "core/solve_context.hpp"
 #include "core/tam_types.hpp"
 #include "core/time_provider.hpp"
 #include "ilp/branch_and_bound.hpp"
@@ -36,6 +37,10 @@ struct ExactOptions {
   ExactEngine engine = ExactEngine::BranchAndBound;
   double time_limit_s = std::numeric_limits<double>::infinity();
   std::int64_t max_nodes = 500'000'000;
+  /// Cooperative cancellation/deadline, checked at the same cadence as
+  /// the node/time limits; when it fires the solve stops like a limit
+  /// (proven_optimal = false, incumbent returned). nullptr = limits only.
+  const SolveContext* context = nullptr;
   /// External upper bound: search only for strictly better assignments.
   /// When it is tighter than this partition's optimum the heuristic
   /// assignment is returned unchanged. Lets the exhaustive-baseline

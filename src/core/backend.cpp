@@ -20,11 +20,13 @@ class EnumerativeBackend final : public OptimizerBackend {
   }
   [[nodiscard]] BackendOutcome optimize(
       const TestTimeTable& table, int total_width,
-      const BackendOptions& options) const override {
+      const BackendOptions& options,
+      const SolveContext& context) const override {
     CoOptimizeOptions co;
     co.search.min_tams = options.min_tams;
     co.search.max_tams = options.max_tams;
     co.search.threads = options.threads;
+    co.search.context = &context;
     co.run_final_step = options.run_final_step;
     const auto result = co_optimize(table, total_width, co);
 
@@ -34,6 +36,7 @@ class EnumerativeBackend final : public OptimizerBackend {
     outcome.schedule = pack::from_architecture(table, result.architecture);
     outcome.architecture = result.architecture;
     outcome.cpu_s = result.total_cpu_s();
+    outcome.interrupt = result.interrupt;
     outcome.details.emplace_back(
         "partition", format_partition(result.architecture.widths));
     outcome.details.emplace_back(
@@ -55,15 +58,18 @@ class RectPackBackend final : public OptimizerBackend {
   }
   [[nodiscard]] BackendOutcome optimize(
       const TestTimeTable& table, int total_width,
-      const BackendOptions& options) const override {
-    const auto result =
-        pack::rectpack_schedule(table, total_width, options.rectpack);
+      const BackendOptions& options,
+      const SolveContext& context) const override {
+    pack::RectPackOptions rectpack = options.rectpack;
+    rectpack.context = &context;
+    const auto result = pack::rectpack_schedule(table, total_width, rectpack);
 
     BackendOutcome outcome;
     outcome.backend = std::string(name());
     outcome.testing_time = result.makespan;
     outcome.schedule = result.schedule;
     outcome.cpu_s = result.cpu_s;
+    outcome.interrupt = result.interrupt;
     outcome.details.emplace_back("seed ordering", result.seed_ordering);
     outcome.details.emplace_back("repacks", std::to_string(result.repacks));
     std::ostringstream utilization;
@@ -87,14 +93,22 @@ BackendRegistry& BackendRegistry::instance() {
   return registry;
 }
 
-void BackendRegistry::register_backend(
+bool BackendRegistry::register_backend(
     std::unique_ptr<OptimizerBackend> backend) {
   if (backend == nullptr)
     throw std::invalid_argument("register_backend: null backend");
-  if (find(backend->name()) != nullptr)
-    throw std::invalid_argument("register_backend: duplicate backend '" +
-                                std::string(backend->name()) + "'");
+  if (const OptimizerBackend* existing = find(backend->name())) {
+    // Same name + same description: idempotent re-registration (tests and
+    // plugins may register unconditionally). A different backend under an
+    // existing name is a programming error worth naming precisely.
+    if (existing->description() == backend->description()) return false;
+    throw std::invalid_argument(
+        "register_backend: backend '" + std::string(backend->name()) +
+        "' is already registered as \"" + std::string(existing->description()) +
+        "\"");
+  }
   backends_.push_back(std::move(backend));
+  return true;
 }
 
 const OptimizerBackend* BackendRegistry::find(std::string_view name) const {
@@ -120,10 +134,18 @@ std::vector<std::string> BackendRegistry::names() const {
   return result;
 }
 
+std::vector<const OptimizerBackend*> BackendRegistry::backends() const {
+  std::vector<const OptimizerBackend*> result;
+  result.reserve(backends_.size());
+  for (const auto& backend : backends_) result.push_back(backend.get());
+  return result;
+}
+
 BackendOutcome run_backend(std::string_view name, const TestTimeTable& table,
-                           int total_width, const BackendOptions& options) {
+                           int total_width, const BackendOptions& options,
+                           const SolveContext& context) {
   return BackendRegistry::instance().at(name).optimize(table, total_width,
-                                                       options);
+                                                       options, context);
 }
 
 }  // namespace wtam::core

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/solve_context.hpp"
 #include "core/tam_types.hpp"
 #include "core/test_time_table.hpp"
 #include "pack/packed_schedule.hpp"
@@ -51,6 +52,9 @@ struct BackendOutcome {
   /// Present when the backend produced a static test-bus architecture.
   std::optional<TamArchitecture> architecture;
   double cpu_s = 0.0;
+  /// None when the search ran to completion; otherwise the context fired
+  /// and this outcome is the best-so-far incumbent (still validator-clean).
+  SolveInterrupt interrupt = SolveInterrupt::None;
   /// Backend-specific key/value lines for human-readable reports.
   std::vector<std::pair<std::string, std::string>> details;
 };
@@ -60,9 +64,20 @@ class OptimizerBackend {
   virtual ~OptimizerBackend() = default;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  /// Runs the engine. `context` is polled cooperatively: on cancellation
+  /// or deadline expiry the backend stops at its next poll point and
+  /// returns its best-so-far outcome with `interrupt` set; every backend
+  /// completes at least one candidate first, so the returned schedule is
+  /// always valid.
   [[nodiscard]] virtual BackendOutcome optimize(
       const TestTimeTable& table, int total_width,
-      const BackendOptions& options) const = 0;
+      const BackendOptions& options, const SolveContext& context) const = 0;
+  /// Convenience: optimize with an inert context (never interrupts).
+  [[nodiscard]] BackendOutcome optimize(const TestTimeTable& table,
+                                        int total_width,
+                                        const BackendOptions& options) const {
+    return optimize(table, total_width, options, SolveContext{});
+  }
 };
 
 /// Name -> backend registry. The built-in backends are registered on
@@ -72,8 +87,14 @@ class BackendRegistry {
  public:
   [[nodiscard]] static BackendRegistry& instance();
 
-  /// Throws std::invalid_argument on a duplicate name.
-  void register_backend(std::unique_ptr<OptimizerBackend> backend);
+  /// Registers `backend` under its name. Returns true when newly
+  /// registered; returns false (a no-op) when a backend with the same
+  /// name AND description is already present, making repeated
+  /// registration from tests idempotent. Throws std::invalid_argument on
+  /// a null backend or on a name collision with a *different* backend —
+  /// the message quotes the existing backend's description. The registry
+  /// is unchanged on every failure path.
+  bool register_backend(std::unique_ptr<OptimizerBackend> backend);
 
   /// nullptr when `name` is unknown.
   [[nodiscard]] const OptimizerBackend* find(std::string_view name) const;
@@ -84,15 +105,23 @@ class BackendRegistry {
   /// Registered names, in registration order.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Registered backends, in registration order (for listings — one
+  /// scan yields both names and descriptions).
+  [[nodiscard]] std::vector<const OptimizerBackend*> backends() const;
+
  private:
   BackendRegistry();
   std::vector<std::unique_ptr<OptimizerBackend>> backends_;
 };
 
 /// Convenience: BackendRegistry::instance().at(name).optimize(...).
+/// NOTE: prefer the job-oriented api::Solver (src/api/solver.hpp) in new
+/// code — it adds request validation, status reporting, deadlines,
+/// cancellation, and parallel batches on top of this seam.
 [[nodiscard]] BackendOutcome run_backend(std::string_view name,
                                          const TestTimeTable& table,
                                          int total_width,
-                                         const BackendOptions& options = {});
+                                         const BackendOptions& options = {},
+                                         const SolveContext& context = {});
 
 }  // namespace wtam::core

@@ -1,17 +1,33 @@
 #include "core/co_optimizer.hpp"
 
+#include <algorithm>
+
 namespace wtam::core {
 
 CoOptimizeResult co_optimize(const TestTimeProvider& table, int total_width,
                              const CoOptimizeOptions& options) {
+  const SolveContext* context = options.search.context;
   CoOptimizeResult result;
   result.heuristic = partition_evaluate(table, total_width, options.search);
   result.heuristic_cpu_s = result.heuristic.cpu_s;
-  if (options.run_final_step) {
-    result.final_step = solve_assignment_exact(
-        table, result.heuristic.best.widths, options.final_step);
+  result.interrupt = result.heuristic.interrupt;
+  if (options.run_final_step &&
+      result.interrupt == SolveInterrupt::None) {
+    // The exact step polls the context at its node cadence and is
+    // additionally clamped to the remaining deadline, so the flow as a
+    // whole returns on time with the (never worse than heuristic)
+    // incumbent.
+    ExactOptions exact = options.final_step;
+    if (context != nullptr) {
+      exact.time_limit_s = std::min(exact.time_limit_s, context->remaining_s());
+      exact.context = context;
+    }
+    result.final_step =
+        solve_assignment_exact(table, result.heuristic.best.widths, exact);
     result.final_cpu_s = result.final_step.cpu_s;
     result.architecture = result.final_step.architecture;
+    if (context != nullptr && !result.final_step.proven_optimal)
+      result.interrupt = context->poll();
   } else {
     result.architecture = result.heuristic.best;
   }

@@ -31,6 +31,11 @@ struct CoOptimizeResult {
   ExactResult final_step;             ///< step-2 outcome (on heuristic.best)
   /// The architecture to ship: final if run, else heuristic best.
   TamArchitecture architecture;
+  /// None when both steps ran to completion. When search.context fires
+  /// (cancellation or deadline), the flow stops early — step 2 is skipped
+  /// or time-limited to the remaining deadline — and `architecture` is
+  /// the best-so-far incumbent.
+  SolveInterrupt interrupt = SolveInterrupt::None;
   double heuristic_cpu_s = 0.0;
   double final_cpu_s = 0.0;
   [[nodiscard]] double total_cpu_s() const noexcept {

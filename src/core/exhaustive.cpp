@@ -19,6 +19,26 @@ namespace {
 constexpr std::int64_t kNoIncumbent =
     std::numeric_limits<std::int64_t>::max();
 
+/// True once the wall-clock budget is spent or the caller's context fired
+/// (cancellation/deadline) — the two stop conditions behave identically.
+bool budget_expired(const common::Stopwatch& watch,
+                    const ExhaustiveOptions& options) {
+  if (watch.elapsed_s() > options.time_budget_s) return true;
+  return options.context != nullptr &&
+         options.context->poll() != SolveInterrupt::None;
+}
+
+/// Remaining per-solve time: the budget remainder clamped by the
+/// context's deadline, never negative (see the clamp note below).
+double remaining_budget_s(const common::Stopwatch& watch,
+                          const ExhaustiveOptions& options) {
+  double remaining =
+      std::max(0.0, options.time_budget_s - watch.elapsed_s());
+  if (options.context != nullptr)
+    remaining = std::min(remaining, options.context->remaining_s());
+  return remaining;
+}
+
 void solve_all_partitions_serial(const TestTimeProvider& table,
                                  int total_width, int tams,
                                  const ExhaustiveOptions& options,
@@ -26,17 +46,16 @@ void solve_all_partitions_serial(const TestTimeProvider& table,
                                  ExhaustiveResult& result) {
   partition::for_each_partition(
       total_width, tams, [&](std::span<const int> widths) {
-        if (watch.elapsed_s() > options.time_budget_s) return false;
+        if (budget_expired(watch, options)) return false;
         ExactOptions exact;
         exact.engine = options.engine;
+        exact.context = options.context;
         // Leave the per-partition solve unbounded in nodes; the outer
         // budget is the only cutoff, like the original runs. The budget
         // check above ran on an earlier clock reading, so clamp the
         // remainder: a solver handed a (slightly) negative limit near the
         // deadline would misbehave.
-        const double remaining =
-            std::max(0.0, options.time_budget_s - watch.elapsed_s());
-        exact.time_limit_s = remaining;
+        exact.time_limit_s = remaining_budget_s(watch, options);
         if (options.share_incumbent && !result.best.widths.empty())
           exact.upper_bound_hint = result.best.testing_time;
         ExactResult solved = solve_assignment_exact(table, widths, exact);
@@ -70,7 +89,7 @@ void solve_all_partitions_parallel(const TestTimeProvider& table,
   // best (first minimum in enumeration order) is unchanged.
   std::atomic<std::int64_t> shared_incumbent{
       result.best.widths.empty() ? kNoIncumbent : result.best.testing_time};
-  bool budget_expired = false;
+  bool merge_hit_cutoff = false;
 
   const auto process = [&](const SolveChunk& chunk) {
     SolveOutcome out;
@@ -78,7 +97,7 @@ void solve_all_partitions_parallel(const TestTimeProvider& table,
     const std::size_t count = chunk.widths.size() / parts;
     out.solved.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      if (watch.elapsed_s() > options.time_budget_s) {
+      if (budget_expired(watch, options)) {
         // Default ExactResult: proven_optimal = false. The ordered merge
         // treats it as the budget cutoff, exactly like the serial loop.
         out.solved.resize(count);
@@ -88,8 +107,8 @@ void solve_all_partitions_parallel(const TestTimeProvider& table,
                                         parts);
       ExactOptions exact;
       exact.engine = options.engine;
-      exact.time_limit_s =
-          std::max(0.0, options.time_budget_s - watch.elapsed_s());
+      exact.context = options.context;
+      exact.time_limit_s = remaining_budget_s(watch, options);
       if (options.share_incumbent) {
         const std::int64_t hint =
             shared_incumbent.load(std::memory_order_acquire);
@@ -102,9 +121,9 @@ void solve_all_partitions_parallel(const TestTimeProvider& table,
 
   const auto merge = [&](SolveOutcome&& outcome) {
     for (ExactResult& solved : outcome.solved) {
-      if (budget_expired) return;
+      if (merge_hit_cutoff) return;
       if (!solved.proven_optimal) {
-        budget_expired = true;
+        merge_hit_cutoff = true;
         return;
       }
       ++result.partitions_solved;
@@ -128,7 +147,7 @@ void solve_all_partitions_parallel(const TestTimeProvider& table,
   current.widths.reserve(chunk_capacity);
   partition::for_each_partition(
       total_width, tams, [&](std::span<const int> widths) {
-        if (watch.elapsed_s() > options.time_budget_s) return false;
+        if (budget_expired(watch, options)) return false;
         current.widths.insert(current.widths.end(), widths.begin(),
                               widths.end());
         if (current.widths.size() < chunk_capacity) return true;

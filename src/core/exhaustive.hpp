@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/assignment_exact.hpp"
+#include "core/solve_context.hpp"
 #include "core/tam_types.hpp"
 #include "core/time_provider.hpp"
 
@@ -38,6 +39,11 @@ struct ExhaustiveOptions {
   /// Partitions per dispatched chunk in parallel mode; exact solves are
   /// expensive, so chunks are small to balance load.
   int chunk_size = 8;
+  /// Cooperative cancellation/deadline, checked wherever the wall-clock
+  /// budget is (a fired context behaves exactly like budget expiry:
+  /// `completed` is false, `best` is the incumbent so far). nullptr =
+  /// budget only.
+  const SolveContext* context = nullptr;
 };
 
 struct ExhaustiveResult {

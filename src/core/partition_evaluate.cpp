@@ -55,6 +55,16 @@ void search_b_serial(const TestTimeProvider& table, int total_width, int b,
   partition::for_each_partition_min(
       total_width, b, options.min_tam_width,
       [&](std::span<const int> widths) {
+        // Poll for cancellation/deadline once an incumbent exists (the
+        // very first partition is always evaluated so an interrupted
+        // search still returns a complete best-so-far architecture).
+        if (options.context != nullptr && global_best != kInfinity) {
+          const SolveInterrupt fired = options.context->poll();
+          if (fired != SolveInterrupt::None) {
+            result.interrupt = fired;
+            return false;
+          }
+        }
         ++stats.partitions_unique;
         CoreAssignOptions assign_options;
         assign_options.best_known = options.prune_with_tau ? tau : kInfinity;
@@ -178,8 +188,23 @@ void search_b_parallel(const TestTimeProvider& table, int total_width, int b,
   PartitionChunk current;
   current.parts = b;
   current.widths.reserve(chunk_capacity);
+  // Cancellation/deadline polling happens on the producer: enumeration
+  // stops, already-pushed chunks drain through the ordered merge, and the
+  // merged prefix is the best-so-far incumbent. At least one partition is
+  // always enumerated first (and the leading partition of the first B
+  // never tau-aborts), so an interrupted run still has a complete best.
+  std::uint64_t enumerated = 0;
   partition::for_each_partition_min(
       total_width, b, options.min_tam_width, [&](std::span<const int> widths) {
+        if (options.context != nullptr &&
+            (enumerated > 0 || global_best != kInfinity)) {
+          const SolveInterrupt fired = options.context->poll();
+          if (fired != SolveInterrupt::None) {
+            result.interrupt = fired;
+            return false;
+          }
+        }
+        ++enumerated;
         current.widths.insert(current.widths.end(), widths.begin(),
                               widths.end());
         if (current.widths.size() < chunk_capacity) return true;
@@ -252,6 +277,7 @@ PartitionEvaluateResult partition_evaluate(
                         result);
     else
       search_b_serial(table, total_width, b, options, global_best, result);
+    if (result.interrupt != SolveInterrupt::None) break;
   }
 
   if (global_best == kInfinity)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/core_assign.hpp"
+#include "core/solve_context.hpp"
 #include "core/tam_types.hpp"
 #include "core/time_provider.hpp"
 
@@ -55,6 +56,12 @@ struct PartitionEvaluateOptions {
   /// amortizes dispatch overhead while keeping the shared tau fresh;
   /// exposed mainly so tests can stress the merge logic.
   int chunk_size = 1024;
+  /// Cooperative cancellation/deadline, polled once per enumerated
+  /// partition (serial) or chunk boundary (parallel). The search always
+  /// evaluates at least one partition to completion before honoring an
+  /// interrupt, so an interrupted result still carries a best incumbent.
+  /// nullptr = run to completion (no polling overhead).
+  const SolveContext* context = nullptr;
 };
 
 /// Per-B statistics (Table 1 columns).
@@ -74,6 +81,9 @@ struct PartitionEvaluateResult {
   int best_tams = 0;
   std::vector<PartitionSearchStats> per_b;
   double cpu_s = 0.0;
+  /// None when the search ran to completion; otherwise why it stopped
+  /// early (`best` is the best-so-far incumbent, always populated).
+  SolveInterrupt interrupt = SolveInterrupt::None;
 };
 
 /// Runs the search. total_width must be within the table's range.

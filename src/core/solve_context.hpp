@@ -1,0 +1,94 @@
+// Cooperative cancellation and deadlines for long-running searches.
+//
+// A SolveContext bundles a CancelToken and an optional wall-clock
+// deadline; engines poll() it at their natural iteration boundaries (the
+// per-partition callback of Partition_evaluate, rectpack's local-search
+// iterations, the exhaustive baseline's budget checks) and stop searching
+// when it fires, returning their best-so-far incumbent. The contract the
+// api::Solver relies on: every engine evaluates at least one complete
+// candidate before honoring an interrupt, so an interrupted run still
+// carries a valid (validator-clean) result.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace wtam::core {
+
+/// Why a search stopped early (None = it ran to completion).
+enum class SolveInterrupt { None, Cancelled, DeadlineExceeded };
+
+[[nodiscard]] constexpr std::string_view to_string(
+    SolveInterrupt interrupt) noexcept {
+  switch (interrupt) {
+    case SolveInterrupt::Cancelled: return "cancelled";
+    case SolveInterrupt::DeadlineExceeded: return "deadline_exceeded";
+    case SolveInterrupt::None: break;
+  }
+  return "none";
+}
+
+/// Copyable handle to a shared cancellation flag. All copies observe a
+/// request_cancel() made through any of them; safe to signal from another
+/// thread while a solve is running.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The per-job view engines poll. Cancellation wins over an elapsed
+/// deadline, so a job cancelled near its deadline reports Cancelled
+/// deterministically.
+struct SolveContext {
+  CancelToken cancel;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// The time point `seconds` from now (the one conversion every
+  /// deadline in the codebase uses).
+  [[nodiscard]] static std::chrono::steady_clock::time_point deadline_after(
+      double seconds) {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds));
+  }
+
+  [[nodiscard]] static SolveContext with_deadline(double seconds) {
+    SolveContext context;
+    context.deadline = deadline_after(seconds);
+    return context;
+  }
+
+  [[nodiscard]] SolveInterrupt poll() const noexcept {
+    if (cancel.cancel_requested()) return SolveInterrupt::Cancelled;
+    if (deadline && std::chrono::steady_clock::now() >= *deadline)
+      return SolveInterrupt::DeadlineExceeded;
+    return SolveInterrupt::None;
+  }
+
+  /// Seconds until the deadline (infinity when none is set); never
+  /// negative. Used to derive time limits for non-polling inner solvers.
+  [[nodiscard]] double remaining_s() const noexcept {
+    if (!deadline) return std::numeric_limits<double>::infinity();
+    const auto left = std::chrono::duration<double>(
+        *deadline - std::chrono::steady_clock::now());
+    return left.count() > 0.0 ? left.count() : 0.0;
+  }
+};
+
+}  // namespace wtam::core

@@ -84,7 +84,8 @@ class Searcher {
   NodeResult branch(int depth) {
     if (hit_limit_) return NodeResult::Done;
     if (nodes_ >= options_.max_nodes ||
-        watch_.elapsed_s() > options_.time_limit_s) {
+        watch_.elapsed_s() > options_.time_limit_s ||
+        (options_.interrupt && options_.interrupt())) {
       hit_limit_ = true;
       return NodeResult::Done;
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -48,6 +49,12 @@ struct Options {
   /// Known feasible solution (e.g. from a heuristic): pruning starts from
   /// its objective, and it is returned if nothing better is found.
   std::optional<std::vector<double>> incumbent_hint;
+  /// Optional external stop signal, checked once per node alongside the
+  /// node/time limits (an LP solve dominates each node, so the call is
+  /// noise). Returning true stops the search like a limit. The ilp layer
+  /// sits below core, so this is a plain callable rather than a
+  /// core::SolveContext.
+  std::function<bool()> interrupt;
 };
 
 struct Solution {

@@ -228,6 +228,12 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
     offer(walker_schedule, &seed_name);
 
     for (int iter = 0; iter < per_seed; ++iter) {
+      // The first seed's greedy pack has already been offered, so the
+      // best-so-far schedule is complete whenever the context fires.
+      if (options.context != nullptr) {
+        result.interrupt = options.context->poll();
+        if (result.interrupt != core::SolveInterrupt::None) break;
+      }
       PackState trial = current;
 
       std::vector<int> critical;
@@ -287,7 +293,10 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
 
     // Per-walker compaction: repack the walker's final state and its
     // start-time order with hole filling, which can reclaim strip area
-    // the skyline had to write off.
+    // the skyline had to write off. Skipped once interrupted — the
+    // quadratic compaction is exactly the kind of tail work a deadline
+    // is meant to cut.
+    if (result.interrupt != core::SolveInterrupt::None) break;
     PackState by_start = current;
     by_start.order.clear();
     for (const auto& p : walker_schedule.placements)

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/solve_context.hpp"
 #include "core/test_time_table.hpp"
 #include "pack/packed_schedule.hpp"
 #include "pack/rect_model.hpp"
@@ -30,6 +31,11 @@ struct RectPackOptions {
   int local_search_iterations = 2000;
   /// Seed for the perturbation stream (results are deterministic per seed).
   std::uint64_t seed = 1;
+  /// Cooperative cancellation/deadline, polled once per local-search
+  /// iteration. The first seed ordering is always packed greedily before
+  /// the first poll, so an interrupted run still returns a complete,
+  /// validator-clean schedule. nullptr = run the full budget.
+  const core::SolveContext* context = nullptr;
 };
 
 struct RectPackResult {
@@ -38,6 +44,9 @@ struct RectPackResult {
   std::string seed_ordering;  ///< seed ordering of the walker that found it
   int repacks = 0;            ///< greedy packs performed in total
   double cpu_s = 0.0;
+  /// None when the full iteration budget ran; otherwise why the walkers
+  /// stopped early (`schedule` is the best found up to that point).
+  core::SolveInterrupt interrupt = core::SolveInterrupt::None;
 };
 
 /// Packs `table`'s cores into a strip of `total_width` wires. Throws

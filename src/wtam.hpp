@@ -3,6 +3,9 @@
 
 #pragma once
 
+#include "api/job_io.hpp"           // IWYU pragma: export
+#include "api/json_value.hpp"       // IWYU pragma: export
+#include "api/solver.hpp"           // IWYU pragma: export
 #include "common/rng.hpp"           // IWYU pragma: export
 #include "common/table.hpp"         // IWYU pragma: export
 #include "common/thread_pool.hpp"   // IWYU pragma: export
@@ -17,6 +20,7 @@
 #include "core/partition_evaluate.hpp"  // IWYU pragma: export
 #include "core/power.hpp"               // IWYU pragma: export
 #include "core/schedule.hpp"            // IWYU pragma: export
+#include "core/solve_context.hpp"       // IWYU pragma: export
 #include "core/tam_types.hpp"           // IWYU pragma: export
 #include "core/test_time_table.hpp"     // IWYU pragma: export
 #include "core/time_provider.hpp"       // IWYU pragma: export
@@ -30,6 +34,7 @@
 #include "sched/lpt.hpp"                // IWYU pragma: export
 #include "soc/benchmarks.hpp"           // IWYU pragma: export
 #include "soc/generator.hpp"            // IWYU pragma: export
+#include "soc/load.hpp"                 // IWYU pragma: export
 #include "soc/soc.hpp"                  // IWYU pragma: export
 #include "soc/soc_io.hpp"               // IWYU pragma: export
 #include "wrapper/wrapper.hpp"          // IWYU pragma: export

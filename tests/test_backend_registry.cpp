@@ -12,7 +12,8 @@ namespace {
 
 TEST(BackendRegistry, BuiltInsAreRegistered) {
   const auto names = BackendRegistry::instance().names();
-  ASSERT_EQ(names.size(), 2u);
+  // Later tests may add their own backends; the built-ins always lead.
+  ASSERT_GE(names.size(), 2u);
   EXPECT_EQ(names[0], "enumerative");
   EXPECT_EQ(names[1], "rectpack");
   for (const auto& name : names) {
@@ -21,6 +22,11 @@ TEST(BackendRegistry, BuiltInsAreRegistered) {
     EXPECT_EQ(backend->name(), name);
     EXPECT_FALSE(backend->description().empty());
   }
+  // backends() is the one-scan listing: same order, same objects.
+  const auto listed = BackendRegistry::instance().backends();
+  ASSERT_EQ(listed.size(), names.size());
+  for (std::size_t i = 0; i < listed.size(); ++i)
+    EXPECT_EQ(listed[i]->name(), names[i]);
 }
 
 TEST(BackendRegistry, UnknownNameThrowsListingKnownOnes) {
@@ -36,23 +42,67 @@ TEST(BackendRegistry, UnknownNameThrowsListingKnownOnes) {
   }
 }
 
-TEST(BackendRegistry, RejectsDuplicateAndNullRegistration) {
-  class Dummy final : public OptimizerBackend {
-    [[nodiscard]] std::string_view name() const noexcept override {
-      return "enumerative";  // collides with the built-in
-    }
-    [[nodiscard]] std::string_view description() const noexcept override {
-      return "dup";
-    }
-    [[nodiscard]] BackendOutcome optimize(const TestTimeTable&, int,
-                                          const BackendOptions&) const override {
-      return {};
-    }
-  };
-  EXPECT_THROW(
-      BackendRegistry::instance().register_backend(std::make_unique<Dummy>()),
-      std::invalid_argument);
+namespace {
+
+class NamedDummy : public OptimizerBackend {
+ public:
+  NamedDummy(std::string_view name, std::string_view description)
+      : name_(name), description_(description) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] BackendOutcome optimize(const TestTimeTable&, int,
+                                        const BackendOptions&,
+                                        const SolveContext&) const override {
+    return {};
+  }
+
+ private:
+  std::string_view name_;
+  std::string_view description_;
+};
+
+}  // namespace
+
+TEST(BackendRegistry, RejectsConflictingAndNullRegistration) {
+  // A different backend under a taken name names the incumbent precisely.
+  try {
+    BackendRegistry::instance().register_backend(
+        std::make_unique<NamedDummy>("enumerative", "dup"));
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("enumerative"), std::string::npos);
+    // The message quotes the existing backend's description.
+    EXPECT_NE(what.find("Partition_evaluate"), std::string::npos);
+  }
   EXPECT_THROW(BackendRegistry::instance().register_backend(nullptr),
+               std::invalid_argument);
+}
+
+TEST(BackendRegistry, ReRegistrationIsIdempotent) {
+  // True on this process's first registration, false under
+  // --gtest_repeat (the singleton registry persists) — the point is that
+  // either way the call is safe and the registry ends in the same state.
+  const bool newly_registered = BackendRegistry::instance().register_backend(
+      std::make_unique<NamedDummy>("test-dummy", "idempotence probe"));
+  const auto count = BackendRegistry::instance().names().size();
+  // Same name + same description: a no-op, repeatable from any test.
+  EXPECT_FALSE(BackendRegistry::instance().register_backend(
+      std::make_unique<NamedDummy>("test-dummy", "idempotence probe")));
+  EXPECT_FALSE(BackendRegistry::instance().register_backend(
+      std::make_unique<NamedDummy>("test-dummy", "idempotence probe")));
+  EXPECT_EQ(BackendRegistry::instance().names().size(), count);
+  ASSERT_NE(BackendRegistry::instance().find("test-dummy"), nullptr);
+  if (newly_registered) {
+    EXPECT_EQ(BackendRegistry::instance().names().back(), "test-dummy");
+  }
+  // Same name, different backend: still a hard error.
+  EXPECT_THROW(BackendRegistry::instance().register_backend(
+                   std::make_unique<NamedDummy>("test-dummy", "impostor")),
                std::invalid_argument);
 }
 
@@ -79,6 +129,7 @@ TEST(BackendRegistry, EveryBackendProducesAValidScheduleAboveTheBound) {
   const core::TestTimeTable table(soc_data, 24);
   const auto bound = testing_time_lower_bounds(table, 24).combined();
   for (const auto& name : BackendRegistry::instance().names()) {
+    if (name == "test-dummy") continue;  // inert probe from the test above
     const auto outcome = run_backend(name, table, 24);
     EXPECT_EQ(outcome.backend, name);
     EXPECT_TRUE(pack::validate_packed_schedule(table, outcome.schedule).empty())

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/job_io.hpp"
+#include "api/json_value.hpp"
+
+namespace wtam::api {
+namespace {
+
+// ---- JsonValue: parser ----------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsObjectsAndArrays) {
+  const JsonValue document = JsonValue::parse(
+      R"({"name": "désign \"x\"", "n": -42, "pi": 3.5e1,)"
+      R"( "flag": true, "none": null, "list": [1, 2, 3], "empty": {}})");
+  ASSERT_TRUE(document.is_object());
+  EXPECT_EQ(document.find("name")->as_string(), "d\xC3\xA9sign \"x\"");
+  EXPECT_EQ(document.find("n")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(document.find("pi")->as_double(), 35.0);
+  EXPECT_TRUE(document.find("flag")->as_bool());
+  EXPECT_TRUE(document.find("none")->is_null());
+  ASSERT_TRUE(document.find("list")->is_array());
+  EXPECT_EQ(document.find("list")->elements().size(), 3u);
+  EXPECT_EQ(document.find("list")->elements()[2].as_int(), 3);
+  EXPECT_TRUE(document.find("empty")->members().empty());
+  EXPECT_EQ(document.find("missing"), nullptr);
+}
+
+TEST(JsonValue, ReportsErrorsWithPosition) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    try {
+      (void)JsonValue::parse(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("{", "unexpected end of input");
+  expect_error("{\"a\": 1,}", "expected object key string");
+  expect_error("[1, 2", "unexpected end of input");
+  expect_error("[1] trailing", "trailing characters");
+  expect_error("{\"a\": 1 \"b\": 2}", "expected ','");
+  expect_error("\"unterminated", "unterminated string");
+  expect_error("nul", "invalid literal");
+  // Strict number grammar (what jq/Python/CMake's string(JSON) accept).
+  expect_error("01", "leading zero");
+  expect_error("[.5]", "invalid number");
+  expect_error("[1.]", "digits required after '.'");
+  expect_error("[1e]", "digits required in exponent");
+  expect_error("[-]", "invalid number");
+  expect_error("{\"a\": 1, \"a\": 2}", "duplicate object key");
+  // Positions are line:column.
+  expect_error("{\n  \"a\": oops\n}", "2:8");
+}
+
+TEST(JsonValue, DumpParseRoundTripPreservesStructure) {
+  JsonValue document = JsonValue::object();
+  document.set("text", JsonValue::string("line1\nline2\t\"quoted\""));
+  document.set("int", JsonValue::number(std::int64_t{1} << 40));
+  document.set("neg", JsonValue::number(std::int64_t{-7}));
+  JsonValue array = JsonValue::array();
+  array.push(JsonValue::boolean(false));
+  array.push(JsonValue{});
+  document.set("mixed", std::move(array));
+
+  const JsonValue reparsed = JsonValue::parse(document.dump_string());
+  EXPECT_EQ(reparsed.find("text")->as_string(), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(reparsed.find("int")->as_int(), std::int64_t{1} << 40);
+  EXPECT_EQ(reparsed.find("neg")->as_int(), -7);
+  EXPECT_FALSE(reparsed.find("mixed")->elements()[0].as_bool());
+  EXPECT_TRUE(reparsed.find("mixed")->elements()[1].is_null());
+  // Deterministic writer: dumping twice is byte-identical.
+  EXPECT_EQ(document.dump_string(), document.dump_string());
+}
+
+// ---- jobs files -----------------------------------------------------------
+
+TEST(JobIo, ParsesAFullJobAndAppliesDefaults) {
+  const auto jobs = parse_jobs(R"({"jobs": [
+    {"id": "a", "soc": "d695", "width": 32, "backend": "rectpack",
+     "width_max": 48, "min_tams": 2, "max_tams": 6, "threads": 2,
+     "run_final_step": false, "rectpack_iterations": 100,
+     "rectpack_seed": 9, "deadline_s": 1.5, "priority": 3, "tag": "t"},
+    {"soc": "p21241", "width": 16}
+  ]})");
+  ASSERT_EQ(jobs.size(), 2u);
+  const SolveRequest& full = jobs[0];
+  EXPECT_EQ(full.id, "a");
+  EXPECT_EQ(full.soc, "d695");
+  EXPECT_EQ(full.width, 32);
+  EXPECT_EQ(full.width_max, 48);
+  EXPECT_EQ(full.backend, "rectpack");
+  EXPECT_EQ(full.options.min_tams, 2);
+  EXPECT_EQ(full.options.max_tams, 6);
+  EXPECT_EQ(full.options.threads, 2);
+  EXPECT_FALSE(full.options.run_final_step);
+  EXPECT_EQ(full.options.rectpack.local_search_iterations, 100);
+  EXPECT_EQ(full.options.rectpack.seed, 9u);
+  ASSERT_TRUE(full.deadline_s.has_value());
+  EXPECT_DOUBLE_EQ(*full.deadline_s, 1.5);
+  EXPECT_EQ(full.priority, 3);
+  EXPECT_EQ(full.tag, "t");
+
+  const SolveRequest& defaults = jobs[1];
+  EXPECT_EQ(defaults.backend, "enumerative");
+  EXPECT_EQ(defaults.width_max, 0);
+  EXPECT_EQ(defaults.options.max_tams, 10);
+  EXPECT_FALSE(defaults.deadline_s.has_value());
+}
+
+TEST(JobIo, AcceptsBareArrayDocuments) {
+  const auto jobs = parse_jobs(R"([{"soc": "d695", "width": 8}])");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].soc, "d695");
+}
+
+TEST(JobIo, RejectsUnknownAndMalformedFields) {
+  const auto expect_bad = [](const std::string& text,
+                             const std::string& fragment) {
+    try {
+      (void)parse_jobs(text);
+      FAIL() << "expected error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_bad(R"([{"soc": "d695", "width": 8, "widht_max": 16}])",
+             "unknown field 'widht_max'");
+  expect_bad(R"([{"soc": "d695"}])", "'width' is required");
+  expect_bad(R"([{"soc": "d695", "width": 0}])", "out of range");
+  expect_bad(R"([{"soc": "d695", "width": 8, "deadline_s": -1}])",
+             "must be > 0");
+  expect_bad(R"([{"soc": "d695", "width": "eight"}])", "must be an integer");
+  expect_bad(R"({"no_jobs": []})", "must have a 'jobs' array");
+  // Errors name the offending job by position.
+  expect_bad(R"([{"soc": "d695", "width": 8}, {"soc": "x"}])", "job 2");
+}
+
+TEST(JobIo, JobRoundTripsThroughJson) {
+  SolveRequest request;
+  request.id = "round-trip";
+  request.soc = "p93791";
+  request.width = 24;
+  request.width_max = 32;
+  request.backend = "rectpack";
+  request.options.min_tams = 2;
+  request.options.threads = 4;
+  request.options.rectpack.seed = 5'000'000'000ULL;  // above 2^31: must survive
+  request.deadline_s = 0.25;
+  request.priority = -1;
+  request.tag = "nightly";
+
+  const auto jobs = parse_jobs(jobs_to_json({request}));
+  ASSERT_EQ(jobs.size(), 1u);
+  const SolveRequest& back = jobs[0];
+  EXPECT_EQ(back.id, request.id);
+  EXPECT_EQ(back.soc, request.soc);
+  EXPECT_EQ(back.width, request.width);
+  EXPECT_EQ(back.width_max, request.width_max);
+  EXPECT_EQ(back.backend, request.backend);
+  EXPECT_EQ(back.options.min_tams, request.options.min_tams);
+  EXPECT_EQ(back.options.threads, request.options.threads);
+  EXPECT_EQ(back.options.rectpack.seed, request.options.rectpack.seed);
+  EXPECT_DOUBLE_EQ(*back.deadline_s, *request.deadline_s);
+  EXPECT_EQ(back.priority, request.priority);
+  EXPECT_EQ(back.tag, request.tag);
+}
+
+TEST(JobIo, InMemorySocValueIsNotSerializable) {
+  SolveRequest request;
+  request.soc_value = soc::Soc{};
+  request.width = 8;
+  EXPECT_THROW((void)job_to_json(request), std::invalid_argument);
+}
+
+// ---- results files --------------------------------------------------------
+
+TEST(JobIo, ResultsJsonIsDeterministicAndParsesBack) {
+  SolveResult ok;
+  ok.status = Status::Ok;
+  ok.id = "job-1";
+  ok.soc_name = "d695";
+  ok.core_count = 10;
+  ok.backend = "rectpack";
+  ok.width = 32;
+  ok.widths_tried = 1;
+  ok.outcome.emplace();
+  ok.outcome->backend = "rectpack";
+  ok.outcome->testing_time = 22270;
+  ok.outcome->cpu_s = 0.123;  // must NOT appear without include_timing
+  ok.outcome->details.emplace_back("repacks", "41");
+  ok.lower_bound = 21000;
+  ok.schedule_valid = true;
+  ok.wall_s = 0.456;
+
+  SolveResult bad;
+  bad.status = Status::InvalidRequest;
+  bad.id = "job-2";
+  bad.backend = "enumerative";
+  bad.error = "width must be in 1..256";
+
+  const std::string text = results_to_json({ok, bad});
+  EXPECT_EQ(text, results_to_json({ok, bad}));  // byte-identical
+  EXPECT_EQ(text.find("cpu_s"), std::string::npos);
+  EXPECT_EQ(text.find("wall_s"), std::string::npos);
+
+  const JsonValue document = JsonValue::parse(text);
+  EXPECT_EQ(document.find("schema")->as_string(), "wtam-batch-results-v1");
+  EXPECT_EQ(document.find("jobs")->as_int(), 2);
+  const auto& results = document.find("results")->elements();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("status")->as_string(), "ok");
+  EXPECT_EQ(results[0].find("testing_time")->as_int(), 22270);
+  EXPECT_EQ(results[0].find("details")->find("repacks")->as_string(), "41");
+  EXPECT_TRUE(results[0].find("schedule_valid")->as_bool());
+  EXPECT_EQ(results[1].find("status")->as_string(), "invalid_request");
+  EXPECT_NE(results[1].find("error"), nullptr);
+  EXPECT_EQ(results[1].find("testing_time"), nullptr);
+
+  ResultsWriteOptions with_timing;
+  with_timing.include_timing = true;
+  const std::string timed = results_to_json({ok, bad}, with_timing);
+  EXPECT_NE(timed.find("cpu_s"), std::string::npos);
+  EXPECT_NE(timed.find("wall_s"), std::string::npos);
+}
+
+TEST(JobIo, StatusStringsRoundTrip) {
+  for (const Status status :
+       {Status::Ok, Status::InvalidRequest, Status::DeadlineExceeded,
+        Status::Cancelled, Status::InternalError}) {
+    const auto parsed = parse_status(to_string(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(parse_status("no_such_status").has_value());
+}
+
+}  // namespace
+}  // namespace wtam::api

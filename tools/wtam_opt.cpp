@@ -2,10 +2,10 @@
 //
 //   wtam_opt --soc d695 --width 32
 //   wtam_opt --soc d695 --width 32 --backend rectpack --gantt
-//   wtam_opt --soc path/to/design.soc --width 64 --max-tams 8
-//   wtam_opt --soc p93791 --width 48 --fixed-tams 3 --exhaustive --budget 30
+//   wtam_opt --soc p93791 --width 48 --deadline 2.5
+//   wtam_opt --batch examples/jobs.json --threads 4 --out results.json
 //
-// Options:
+// Options (single-job mode):
 //   --soc NAME|FILE   built-in benchmark (d695, p21241, p31108, p93791) or
 //                     a .soc file in the documented dialect
 //   --width W         total TAM width (required)
@@ -18,14 +18,26 @@
 //                     exhaustive baseline (default 1 = serial; 0 = one
 //                     per hardware thread); results are identical to
 //                     serial at any thread count
+//   --deadline S      wall-clock budget; an expired job returns its
+//                     best-so-far schedule with status deadline_exceeded
 //   --no-final-ilp    skip the exact re-optimization step
 //   --exhaustive      also run the exhaustive baseline of [8]
 //   --budget S        wall-clock budget for --exhaustive (default 30)
 //   --gantt           print the test schedule as a Gantt chart
 //   --quiet           only print the testing time (scripting)
 //
-// Exit status: 0 on success, 1 on runtime errors (bad .soc files, ...),
-// 2 on usage errors (unknown flags, missing/invalid values).
+// Batch mode (runs jobs concurrently through the api::Solver):
+//   --batch FILE      jobs JSON (see src/api/job_io.hpp for the format)
+//   --threads N       concurrent jobs (default 1; 0 = hardware threads)
+//   --out FILE        write the results JSON there (default: stdout)
+//   --timing          include cpu_s/wall_s in the results JSON (off by
+//                     default so results are byte-identical across runs)
+//   --quiet           suppress the per-job progress lines on stderr
+//
+// Exit status: 0 on success (deadline_exceeded is a success: a valid
+// best-so-far schedule was produced), 1 on runtime errors (bad .soc
+// files, unreadable jobs files, invalid/failed jobs in a batch), 2 on
+// usage errors (unknown flags, missing/invalid values).
 
 #include <algorithm>
 #include <cstdlib>
@@ -43,27 +55,82 @@ namespace {
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--backend NAME]\n"
                "                [--list-backends] [--max-tams B] [--fixed-tams B]\n"
-               "                [--threads N] [--no-final-ilp] [--exhaustive]\n"
-               "                [--budget S] [--gantt] [--quiet]\n"
-               "built-in SOCs: d695 p21241 p31108 p93791\n";
+               "                [--threads N] [--deadline S] [--no-final-ilp]\n"
+               "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
+               "       wtam_opt --batch jobs.json [--threads N] [--out FILE]\n"
+               "                [--timing] [--quiet]\n"
+               "built-in SOCs:";
+  for (const std::string_view name : wtam::soc::builtin_soc_names())
+    std::cerr << " " << name;
+  std::cerr << "\n";
   std::exit(2);
 }
 
 [[noreturn]] void list_backends() {
-  for (const auto& name : wtam::core::BackendRegistry::instance().names()) {
-    const auto* backend = wtam::core::BackendRegistry::instance().find(name);
-    std::cout << name << "\t" << backend->description() << "\n";
+  const auto backends = wtam::core::BackendRegistry::instance().backends();
+  std::size_t name_width = 0;
+  for (const auto* backend : backends)
+    name_width = std::max(name_width, backend->name().size());
+  for (const auto* backend : backends) {
+    std::string name(backend->name());
+    name.resize(name_width + 2, ' ');
+    std::cout << name << backend->description() << "\n";
   }
   std::exit(0);
 }
 
-wtam::soc::Soc load(const std::string& name) {
-  using namespace wtam::soc;
-  if (name == "d695") return d695();
-  if (name == "p21241") return p21241();
-  if (name == "p31108") return p31108();
-  if (name == "p93791") return p93791();
-  return load_soc_file(name);
+int run_batch(const std::string& jobs_path, int threads,
+              const std::string& out_path, bool include_timing, bool quiet) {
+  using namespace wtam;
+  try {
+    const std::vector<api::SolveRequest> jobs =
+        api::load_jobs_file(jobs_path);
+    if (jobs.empty()) {
+      std::cerr << "error: " << jobs_path << " contains no jobs\n";
+      return 1;
+    }
+
+    api::ProgressFn progress;
+    if (!quiet)
+      progress = [](const api::ProgressEvent& event) {
+        if (event.phase != api::ProgressEvent::Phase::Finished) return;
+        const api::SolveResult& result = *event.result;
+        std::cerr << "[" << event.index + 1 << "/" << event.total << "] "
+                  << result.id << ": " << api::to_string(result.status);
+        if (result.has_outcome())
+          std::cerr << " (" << result.outcome->testing_time << " cycles, W="
+                    << result.width << ")";
+        if (!result.error.empty()) std::cerr << " — " << result.error;
+        std::cerr << "\n";
+      };
+
+    api::Solver solver({threads});
+    const std::vector<api::SolveResult> results =
+        solver.solve_batch(jobs, {}, progress);
+
+    api::ResultsWriteOptions write_options;
+    write_options.include_timing = include_timing;
+    if (out_path.empty())
+      std::cout << api::results_to_json(results, write_options) << "\n";
+    else
+      api::write_results_file(out_path, results, write_options);
+
+    int failed = 0;
+    for (const auto& result : results)
+      if (result.status == api::Status::InvalidRequest ||
+          result.status == api::Status::InternalError ||
+          (result.has_outcome() && !result.schedule_valid))
+        ++failed;
+    if (failed != 0) {
+      std::cerr << "error: " << failed << " of " << results.size()
+                << " jobs failed (see results JSON)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace
@@ -73,18 +140,24 @@ int main(int argc, char** argv) {
 
   std::string soc_name;
   std::string backend = "enumerative";
+  std::string batch_path;
+  std::string out_path;
   int width = 0;
   int max_tams = 10;
   std::optional<int> fixed_tams;
   int threads = 1;
+  std::optional<double> deadline_s;
   bool final_ilp = true;
   bool exhaustive = false;
+  bool timing = false;
   double budget = 30.0;
   bool gantt = false;
   bool quiet = false;
   // Flags only the enumerative backend honors; remembered so selecting
   // another backend warns instead of silently ignoring them.
   std::vector<std::string> enumerative_flags;
+  // Flags meaningless in batch mode, for the same kind of warning.
+  std::vector<std::string> single_only_flags;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,26 +171,42 @@ int main(int argc, char** argv) {
       width = std::atoi(value());
     } else if (arg == "--backend") {
       backend = value();
+      single_only_flags.push_back(arg);
     } else if (arg == "--list-backends") {
       list_backends();
+    } else if (arg == "--batch") {
+      batch_path = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (arg == "--max-tams") {
       max_tams = std::atoi(value());
       enumerative_flags.push_back(arg);
+      single_only_flags.push_back(arg);
     } else if (arg == "--fixed-tams") {
       fixed_tams = std::atoi(value());
       enumerative_flags.push_back(arg);
+      single_only_flags.push_back(arg);
     } else if (arg == "--threads") {
       threads = std::atoi(value());
       enumerative_flags.push_back(arg);
+    } else if (arg == "--deadline") {
+      deadline_s = std::atof(value());
+      single_only_flags.push_back(arg);
     } else if (arg == "--no-final-ilp") {
       final_ilp = false;
       enumerative_flags.push_back(arg);
+      single_only_flags.push_back(arg);
     } else if (arg == "--exhaustive") {
       exhaustive = true;
+      single_only_flags.push_back(arg);
     } else if (arg == "--budget") {
       budget = std::atof(value());
+      single_only_flags.push_back(arg);
     } else if (arg == "--gantt") {
       gantt = true;
+      single_only_flags.push_back(arg);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -126,11 +215,27 @@ int main(int argc, char** argv) {
       usage(("unknown option " + arg).c_str());
     }
   }
+
+  if (!batch_path.empty()) {
+    if (!soc_name.empty() || width != 0)
+      usage("--batch cannot be combined with --soc/--width (configure jobs "
+            "in the jobs file)");
+    if (!single_only_flags.empty())
+      usage(("--batch cannot be combined with " + single_only_flags.front() +
+             " (configure jobs in the jobs file)")
+                .c_str());
+    if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
+    return run_batch(batch_path, threads, out_path, timing, quiet);
+  }
+  if (!out_path.empty()) usage("--out requires --batch");
+  if (timing) usage("--timing requires --batch");
+
   if (soc_name.empty()) usage("--soc is required");
   if (width < 1 || width > 256) usage("--width must be in 1..256");
   if (fixed_tams && (*fixed_tams < 1 || *fixed_tams > width))
     usage("--fixed-tams out of range");
   if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
+  if (deadline_s && !(*deadline_s > 0.0)) usage("--deadline must be > 0");
   if (core::BackendRegistry::instance().find(backend) == nullptr)
     usage(("unknown backend " + backend + " (see --list-backends)").c_str());
   if (backend != "enumerative")
@@ -143,16 +248,35 @@ int main(int argc, char** argv) {
     }
 
   try {
-    const soc::Soc soc = load(soc_name);
-    const core::TestTimeTable table(soc, width);
+    const soc::Soc soc = soc::load_by_name_or_path(soc_name);
 
-    core::BackendOptions options;
-    options.max_tams = fixed_tams ? *fixed_tams : max_tams;
-    options.min_tams = fixed_tams ? *fixed_tams : 1;
-    options.threads = threads;
-    options.run_final_step = final_ilp;
-    const auto outcome = core::run_backend(backend, table, width, options);
-    pack::require_valid(table, outcome.schedule);
+    api::SolveRequest request;
+    request.soc_value = soc;
+    request.width = width;
+    request.backend = backend;
+    request.options.max_tams = fixed_tams ? *fixed_tams : max_tams;
+    request.options.min_tams = fixed_tams ? *fixed_tams : 1;
+    request.options.threads = threads;
+    request.options.run_final_step = final_ilp;
+    request.deadline_s = deadline_s;
+
+    const api::SolveResult result = api::Solver().solve(request);
+    if (result.status == api::Status::InvalidRequest ||
+        result.status == api::Status::InternalError || !result.has_outcome()) {
+      std::cerr << "error: "
+                << (result.error.empty() ? "solver produced no outcome"
+                                         : result.error)
+                << "\n";
+      return 1;
+    }
+    if (!result.schedule_valid) {
+      // Same teeth pack::require_valid used to have: a backend emitting a
+      // geometrically invalid schedule is a runtime error, not a result.
+      std::cerr << "error: backend " << request.backend
+                << " produced an invalid schedule\n";
+      return 1;
+    }
+    const core::BackendOutcome& outcome = *result.outcome;
 
     if (quiet) {
       std::cout << outcome.testing_time << "\n";
@@ -173,6 +297,9 @@ int main(int argc, char** argv) {
     std::cout << "SOC " << soc.name << " (" << soc.core_count()
               << " cores), total TAM width " << width << "\n"
               << label("backend") << outcome.backend << "\n";
+    if (result.status != api::Status::Ok)
+      std::cout << label("status") << api::to_string(result.status)
+                << " (best-so-far result)\n";
     if (outcome.architecture)
       std::cout << label("architecture") << outcome.architecture->tam_count()
                 << " TAMs\n";
@@ -181,24 +308,37 @@ int main(int argc, char** argv) {
     std::cout << label("testing time") << outcome.testing_time << " cycles ("
               << common::format_fixed(outcome.cpu_s, 3) << " s CPU)\n";
 
-    const auto bounds = core::testing_time_lower_bounds(table, width);
-    std::cout << label("lower bound") << bounds.combined() << " cycles (gap "
-              << common::format_fixed(
-                     core::optimality_gap(bounds, outcome.testing_time) * 100.0,
-                     2)
+    std::cout << label("lower bound") << result.lower_bound << " cycles (gap "
+              << common::format_fixed(result.optimality_gap() * 100.0, 2)
               << "%)\n";
 
     if (exhaustive) {
+      // The table the Solver built internally is not exposed, so the
+      // baseline (already budget-bound, off the common path) rebuilds it.
+      const core::TestTimeTable table(soc, width);
       core::ExhaustiveOptions ex;
       ex.time_budget_s = budget;
       ex.threads = threads;
+      // --deadline bounds the whole invocation: the baseline stops at
+      // whichever of --budget and the remaining deadline fires first.
+      core::SolveContext deadline_context;
+      if (deadline_s) {
+        deadline_context = core::SolveContext::with_deadline(
+            std::max(0.0, *deadline_s - result.wall_s));
+        ex.context = &deadline_context;
+      }
       const auto baseline =
-          core::exhaustive_pnpaw(table, width, options.max_tams, ex);
+          core::exhaustive_pnpaw(table, width, request.options.max_tams, ex);
       if (baseline.completed) {
         std::cout << label("exhaustive") << baseline.best.testing_time
                   << " cycles, partition "
                   << core::format_partition(baseline.best.widths) << " ("
                   << common::format_fixed(baseline.cpu_s, 3) << " s)\n";
+      } else if (ex.context != nullptr &&
+                 ex.context->poll() != core::SolveInterrupt::None) {
+        std::cout << label("exhaustive") << "stopped by --deadline ("
+                  << baseline.partitions_solved << "/"
+                  << baseline.partitions_total << " partitions)\n";
       } else {
         std::cout << label("exhaustive") << "did not complete within "
                   << common::format_fixed(budget, 0) << " s ("
