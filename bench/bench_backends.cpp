@@ -18,12 +18,16 @@
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/job_io.hpp"
+#include "api/result_cache.hpp"
 #include "api/solver.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/backend.hpp"
 #include "soc/benchmarks.hpp"
 #include "soc/generator.hpp"
@@ -75,7 +79,7 @@ int main() {
         jobs.push_back(std::move(request));
       }
 
-  const api::Solver solver({threads});
+  const api::Solver solver(api::SolverOptions::with_threads(threads));
   const std::vector<api::SolveResult> results = solver.solve_batch(jobs);
 
   std::size_t next = 0;
@@ -151,6 +155,45 @@ int main() {
     std::cout << table << "\n";
   }
 
+  // ---- cache replay: the same sweep twice through one ResultCache -------
+  // Models the service workload (bench reruns, Pareto exploration,
+  // wtam_serve traffic re-asking known points): the cold pass populates
+  // the cache, the warm pass must be all hits and near-zero wall time.
+  const auto cache = std::make_shared<api::ResultCache>();
+  const api::Solver cached_solver(
+      api::SolverOptions::with_threads(threads, cache));
+  std::vector<api::SolveRequest> replay_jobs;
+  for (const int width : kWidths)
+    for (const auto& name : backends) {
+      api::SolveRequest request;
+      request.id = "replay-d695-w" + std::to_string(width) + "-" + name;
+      request.soc_value = socs.front();  // d695
+      request.width = width;
+      request.backend = name;
+      replay_jobs.push_back(std::move(request));
+    }
+  common::Stopwatch cold_watch;
+  const auto cold_results = cached_solver.solve_batch(replay_jobs);
+  const double cold_wall_s = cold_watch.elapsed_s();
+  common::Stopwatch warm_watch;
+  const auto warm_results = cached_solver.solve_batch(replay_jobs);
+  const double warm_wall_s = warm_watch.elapsed_s();
+  std::size_t warm_hits = 0;
+  for (std::size_t i = 0; i < warm_results.size(); ++i) {
+    if (warm_results[i].cache == api::CacheOutcome::Hit) ++warm_hits;
+    // Byte-identity contract: a hit reproduces the cold result exactly.
+    all_ok = all_ok &&
+             api::result_to_json(warm_results[i]).dump_string() ==
+                 api::result_to_json(cold_results[i]).dump_string();
+  }
+  const api::ResultCacheStats cache_stats = cache->stats();
+  std::cout << "cache replay on d695: cold "
+            << common::format_fixed(cold_wall_s, 3) << " s, warm "
+            << common::format_fixed(warm_wall_s, 3) << " s (" << warm_hits
+            << "/" << warm_results.size() << " hits, hit rate "
+            << common::format_fixed(cache_stats.hit_rate() * 100.0, 1)
+            << "%)\n";
+
   // ---- machine-readable artifact ----------------------------------------
   bench::Json document = bench::Json::object();
   document.set("bench", bench::Json::string("backends"));
@@ -160,6 +203,26 @@ int main() {
   for (const auto& name : backends)
     backend_names.push(bench::Json::string(name));
   document.set("backends", std::move(backend_names));
+
+  bench::Json cache_json = bench::Json::object();
+  cache_json.set("soc", bench::Json::string("d695"));
+  cache_json.set("jobs", bench::Json::number(
+                             static_cast<std::int64_t>(replay_jobs.size())));
+  cache_json.set("cold_wall_s", bench::Json::number(cold_wall_s));
+  cache_json.set("warm_wall_s", bench::Json::number(warm_wall_s));
+  cache_json.set("warm_hits",
+                 bench::Json::number(static_cast<std::int64_t>(warm_hits)));
+  cache_json.set("hits", bench::Json::number(
+                             static_cast<std::int64_t>(cache_stats.hits)));
+  cache_json.set("misses", bench::Json::number(
+                               static_cast<std::int64_t>(cache_stats.misses)));
+  cache_json.set("hit_rate", bench::Json::number(cache_stats.hit_rate()));
+  cache_json.set("entries", bench::Json::number(
+                                static_cast<std::int64_t>(cache_stats.entries)));
+  cache_json.set("bytes", bench::Json::number(
+                              static_cast<std::int64_t>(cache_stats.bytes)));
+  document.set("cache_replay", std::move(cache_json));
+
   document.set("runs", std::move(runs));
 
   bench::write_json_file("BENCH_backends.json", document);

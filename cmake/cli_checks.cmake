@@ -2,8 +2,11 @@
 #   0 — success,
 #   1 — runtime error (unreadable/bad --soc files, ...), with a clean
 #       "error: ..." message instead of std::terminate,
-#   2 — usage error (unknown flags, missing/invalid values).
-# Run via:  cmake -DWTAM_OPT=<binary> -DWORK_DIR=<dir> -P cli_checks.cmake
+#   2 — usage error (unknown flags, missing/invalid values),
+# plus the wtam_serve NDJSON protocol smoke check (requests in, results
+# out, cache hits on resubmission, control verbs, clean shutdown).
+# Run via:  cmake -DWTAM_OPT=<binary> -DWTAM_SERVE=<binary>
+#                 -DWORK_DIR=<dir> -P cli_checks.cmake
 
 if(NOT DEFINED WTAM_OPT OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "pass -DWTAM_OPT=<binary> -DWORK_DIR=<dir>")
@@ -103,4 +106,126 @@ if(NOT valid STREQUAL "ON")
   message(FATAL_ERROR "deadline job: best-so-far schedule did not validate")
 endif()
 
+# A cached re-run of the same jobs file produces the byte-identical
+# results artifact (cache provenance stays off the canonical bytes).
+expect_run(0 "" --batch ${WORK_DIR}/cli_jobs.json --threads 2 --cache
+             --out ${WORK_DIR}/cli_results_cached.json --quiet)
+file(READ ${WORK_DIR}/cli_results_cached.json results_cached)
+if(NOT results STREQUAL results_cached)
+  message(FATAL_ERROR "batch results differ with --cache on")
+endif()
+
 message(STATUS "wtam_opt CLI exit-status contract holds (incl. --batch)")
+
+# ---- wtam_serve (NDJSON service smoke check) -------------------------------
+
+if(NOT DEFINED WTAM_SERVE)
+  message(FATAL_ERROR "pass -DWTAM_SERVE=<binary>")
+endif()
+
+# 3 distinct requests, a resubmission of the first (must be served from
+# the cache), a stats probe, and a shutdown. Responses may arrive out of
+# submission order; ids correlate them.
+file(WRITE ${WORK_DIR}/serve_session.ndjson
+"{\"id\": \"a\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"id\": \"b\", \"soc\": \"d695\", \"width\": 24, \"backend\": \"rectpack\"}
+{\"id\": \"c\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"enumerative\", \"max_tams\": 4}
+{\"id\": \"a-again\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"op\": \"stats\"}
+{\"op\": \"shutdown\"}
+")
+execute_process(COMMAND ${WTAM_SERVE} --quiet --threads 2
+                INPUT_FILE ${WORK_DIR}/serve_session.ndjson
+                OUTPUT_VARIABLE serve_out
+                ERROR_VARIABLE serve_err
+                RESULT_VARIABLE serve_code)
+if(NOT serve_code EQUAL 0)
+  message(FATAL_ERROR "wtam_serve: exit ${serve_code}\nstderr: ${serve_err}")
+endif()
+string(REGEX REPLACE "\n+$" "" serve_out "${serve_out}")
+string(REPLACE "\n" ";" serve_lines "${serve_out}")
+list(LENGTH serve_lines serve_line_count)
+if(NOT serve_line_count EQUAL 6)
+  message(FATAL_ERROR "wtam_serve: expected 6 response lines, got "
+                      "${serve_line_count}:\n${serve_out}")
+endif()
+set(seen_ids "")
+foreach(line IN LISTS serve_lines)
+  string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+  if(no_op STREQUAL "NOTFOUND")
+    continue()  # control response (stats/shutdown), checked below
+  endif()
+  string(JSON id GET "${line}" id)
+  string(JSON status GET "${line}" status)
+  if(NOT status STREQUAL "ok")
+    message(FATAL_ERROR "wtam_serve: job ${id} status '${status}':\n${line}")
+  endif()
+  string(JSON cache_state GET "${line}" cache)
+  if(id STREQUAL "a-again" AND NOT cache_state STREQUAL "hit")
+    message(FATAL_ERROR "wtam_serve: resubmitted job reported cache "
+                        "'${cache_state}', expected 'hit':\n${line}")
+  endif()
+  list(APPEND seen_ids ${id})
+endforeach()
+list(SORT seen_ids)
+if(NOT seen_ids STREQUAL "a;a-again;b;c")
+  message(FATAL_ERROR "wtam_serve: job ids '${seen_ids}' incomplete")
+endif()
+if(NOT serve_out MATCHES "\"op\": \"stats\"")
+  message(FATAL_ERROR "wtam_serve: no stats response:\n${serve_out}")
+endif()
+if(NOT serve_out MATCHES "\"op\": \"shutdown\"")
+  message(FATAL_ERROR "wtam_serve: no shutdown ack:\n${serve_out}")
+endif()
+
+# Soak: 102 piped requests (34 x 3 unique points) + shutdown. Exercises
+# the pool, the coalescing path, and (in the sanitizer job) memory
+# hygiene under sustained traffic; every duplicate id must report the
+# identical testing time (deterministic per-id results).
+set(soak_lines "")
+foreach(i RANGE 1 34)
+  string(APPEND soak_lines "{\"id\": \"x${i}\", \"soc\": \"d695\", \"width\": 12, \"backend\": \"rectpack\"}\n")
+  string(APPEND soak_lines "{\"id\": \"y${i}\", \"soc\": \"d695\", \"width\": 14, \"backend\": \"rectpack\"}\n")
+  string(APPEND soak_lines "{\"id\": \"z${i}\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}\n")
+endforeach()
+string(APPEND soak_lines "{\"op\": \"shutdown\"}\n")
+file(WRITE ${WORK_DIR}/serve_soak.ndjson "${soak_lines}")
+execute_process(COMMAND ${WTAM_SERVE} --quiet --threads 4
+                INPUT_FILE ${WORK_DIR}/serve_soak.ndjson
+                OUTPUT_VARIABLE soak_out
+                ERROR_VARIABLE soak_err
+                RESULT_VARIABLE soak_code)
+if(NOT soak_code EQUAL 0)
+  message(FATAL_ERROR "wtam_serve soak: exit ${soak_code}\nstderr: ${soak_err}")
+endif()
+string(REGEX REPLACE "\n+$" "" soak_out "${soak_out}")
+string(REPLACE "\n" ";" soak_lines_out "${soak_out}")
+set(ok_count 0)
+set(x_time "")
+set(y_time "")
+set(z_time "")
+foreach(line IN LISTS soak_lines_out)
+  string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+  if(no_op STREQUAL "NOTFOUND")
+    continue()
+  endif()
+  string(JSON status GET "${line}" status)
+  if(NOT status STREQUAL "ok")
+    message(FATAL_ERROR "wtam_serve soak: non-ok result:\n${line}")
+  endif()
+  math(EXPR ok_count "${ok_count} + 1")
+  string(JSON id GET "${line}" id)
+  string(JSON t GET "${line}" testing_time)
+  string(SUBSTRING ${id} 0 1 family)
+  if("${${family}_time}" STREQUAL "")
+    set(${family}_time ${t})
+  elseif(NOT ${family}_time EQUAL ${t})
+    message(FATAL_ERROR "wtam_serve soak: ${id} returned ${t}, other "
+                        "'${family}' requests returned ${${family}_time}")
+  endif()
+endforeach()
+if(NOT ok_count EQUAL 102)
+  message(FATAL_ERROR "wtam_serve soak: ${ok_count} ok results, expected 102")
+endif()
+
+message(STATUS "wtam_serve NDJSON protocol holds (smoke + 102-request soak)")

@@ -48,18 +48,32 @@ int main() {
             << skyline.makespan() << " cycles\n";
 
   // --- 3. the full backend, against the enumerative flow ----------------
-  const auto rectpack = core::run_backend("rectpack", table, kWidth);
-  const auto enumerative = core::run_backend("enumerative", table, kWidth);
-  pack::require_valid(table, rectpack.schedule);  // throws on any violation
+  // Both engines through the public api::Solver (the registry's raw
+  // optimize() seam is for backend-level tests only).
+  const auto solve_with = [&](const std::string& backend) {
+    api::SolveRequest request;
+    request.soc_value = soc;
+    request.width = kWidth;
+    request.backend = backend;
+    return api::Solver().solve(request);
+  };
+  const api::SolveResult rectpack = solve_with("rectpack");
+  const api::SolveResult enumerative = solve_with("enumerative");
+  if (!rectpack.has_outcome() || !rectpack.schedule_valid ||
+      !enumerative.has_outcome()) {
+    std::cerr << "error: solver produced no valid outcome\n";
+    return 1;
+  }
 
-  std::cout << "rectpack backend:    " << rectpack.testing_time << " cycles ("
-            << common::format_fixed(rectpack.cpu_s, 3) << " s)\n"
-            << "enumerative backend: " << enumerative.testing_time
-            << " cycles (" << common::format_fixed(enumerative.cpu_s, 3)
+  std::cout << "rectpack backend:    " << rectpack.outcome->testing_time
+            << " cycles (" << common::format_fixed(rectpack.outcome->cpu_s, 3)
             << " s)\n"
+            << "enumerative backend: " << enumerative.outcome->testing_time
+            << " cycles ("
+            << common::format_fixed(enumerative.outcome->cpu_s, 3) << " s)\n"
             << "lower bound:         "
             << core::testing_time_lower_bounds(table, kWidth).combined()
             << " cycles\n\n"
-            << pack::render_packed_gantt(rectpack.schedule, soc, 72);
+            << pack::render_packed_gantt(rectpack.outcome->schedule, soc, 72);
   return 0;
 }

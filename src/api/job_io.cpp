@@ -235,6 +235,9 @@ JsonValue result_to_json(const SolveResult& result,
     if (options.include_timing)
       entry.set("cpu_s", JsonValue::number(outcome.cpu_s));
   }
+  if (options.include_cache)
+    entry.set("cache",
+              JsonValue::string(std::string(to_string(result.cache))));
   if (options.include_timing)
     entry.set("wall_s", JsonValue::number(result.wall_s));
   return entry;

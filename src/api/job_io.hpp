@@ -43,6 +43,11 @@ struct ResultsWriteOptions {
   /// Include cpu_s/wall_s. Off by default so results files are
   /// byte-identical across runs (the `--batch` reproducibility contract).
   bool include_timing = false;
+  /// Include the `cache: hit|miss|bypass` field. Off by default for the
+  /// same reason: whether a result came from the cache is execution
+  /// provenance, not part of the canonical result bytes, so results stay
+  /// byte-identical with the cache on or off. wtam_serve turns it on.
+  bool include_cache = false;
 };
 
 [[nodiscard]] JsonValue result_to_json(const SolveResult& result,

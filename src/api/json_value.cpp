@@ -439,4 +439,39 @@ std::string JsonValue::dump_string() const {
   return out.str();
 }
 
+void JsonValue::dump_compact(std::ostream& out) const {
+  switch (kind_) {
+    case Kind::Object: {
+      out << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out << ", ";
+        dump_json_string(out, members_[i].first);
+        out << ": ";
+        members_[i].second.dump_compact(out);
+      }
+      out << '}';
+      break;
+    }
+    case Kind::Array: {
+      out << '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out << ", ";
+        elements_[i].dump_compact(out);
+      }
+      out << ']';
+      break;
+    }
+    default:
+      // Scalars never contain newlines (dump_json_string escapes them),
+      // so the pretty printer's rendering is already single-line.
+      dump(out);
+  }
+}
+
+std::string JsonValue::dump_compact_string() const {
+  std::ostringstream out;
+  dump_compact(out);
+  return out.str();
+}
+
 }  // namespace wtam::api

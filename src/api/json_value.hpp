@@ -65,6 +65,12 @@ class JsonValue {
   void dump(std::ostream& out, int indent = 0) const;
   [[nodiscard]] std::string dump_string() const;
 
+  /// Single-line rendering (no indentation or newlines, one space after
+  /// ':' and ','), same value formatting as dump() — the NDJSON form the
+  /// wtam_serve wire protocol emits one response per line in.
+  void dump_compact(std::ostream& out) const;
+  [[nodiscard]] std::string dump_compact_string() const;
+
  private:
   Kind kind_;
   bool bool_ = false;

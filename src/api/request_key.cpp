@@ -1,0 +1,96 @@
+#include "api/request_key.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "api/solver.hpp"
+#include "soc/soc_io.hpp"
+
+namespace wtam::api {
+
+namespace {
+
+/// Renders the sorted "k=v,k=v" form from explicit pairs.
+std::string render_options(
+    std::vector<std::pair<std::string, std::string>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  std::string out;
+  for (const auto& [key, value] : pairs) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t RequestKey::hash() const noexcept {
+  std::uint64_t h = soc_hash.word();
+  h = common::mix64(h ^ static_cast<std::uint64_t>(width));
+  for (const char c : backend)
+    h = common::mix64(h ^ static_cast<unsigned char>(c));
+  // One hash over the whole options string (it is already canonical).
+  const common::Hash128 opts = common::stable_hash_128(options);
+  return common::mix64(h ^ opts.word());
+}
+
+std::string RequestKey::to_string() const {
+  std::ostringstream out;
+  out << "soc:" << soc_hash.hex() << "/w" << width << "/" << backend << "{"
+      << options << "}";
+  return out.str();
+}
+
+std::string canonical_options(const std::string& backend,
+                              const core::BackendOptions& options) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const bool known = backend == "enumerative" || backend == "rectpack";
+  if (backend == "enumerative" || !known) {
+    pairs.emplace_back("min_tams", std::to_string(options.min_tams));
+    pairs.emplace_back("max_tams", std::to_string(options.max_tams));
+    pairs.emplace_back("run_final_step",
+                       options.run_final_step ? "1" : "0");
+  }
+  if (backend == "rectpack" || !known) {
+    pairs.emplace_back(
+        "rectpack_iterations",
+        std::to_string(options.rectpack.local_search_iterations));
+    pairs.emplace_back("rectpack_seed", std::to_string(options.rectpack.seed));
+  }
+  return render_options(std::move(pairs));
+}
+
+RequestKey make_request_key(const soc::Soc& soc, int width,
+                            const std::string& backend,
+                            const core::BackendOptions& options) {
+  RequestKey key;
+  key.soc_hash = common::stable_hash_128(soc::canonical_bytes(soc));
+  key.width = width;
+  key.backend = backend;
+  key.options = canonical_options(backend, options);
+  return key;
+}
+
+std::vector<RequestKey> request_keys(const SolveRequest& request) {
+  // The Solver's own resolution rule, shared so the canonical key always
+  // identifies exactly the SOC that gets solved.
+  const soc::Soc resolved = resolve_soc(request);
+
+  const int width_last =
+      request.width_max == 0 ? request.width : request.width_max;
+  std::vector<RequestKey> keys;
+  keys.reserve(static_cast<std::size_t>(width_last - request.width + 1));
+  RequestKey base =
+      make_request_key(resolved, request.width, request.backend,
+                       request.options);
+  for (int w = request.width; w <= width_last; ++w) {
+    base.width = w;
+    keys.push_back(base);
+  }
+  return keys;
+}
+
+}  // namespace wtam::api

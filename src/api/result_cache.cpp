@@ -1,0 +1,234 @@
+#include "api/result_cache.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace wtam::api {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const RequestKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hash());
+  }
+};
+
+}  // namespace
+
+std::size_t CachedSolve::approx_bytes() const noexcept {
+  std::size_t bytes = sizeof(CachedSolve);
+  bytes += outcome.backend.capacity();
+  bytes += outcome.schedule.placements.capacity() *
+           sizeof(pack::PackedPlacement);
+  if (outcome.architecture.has_value()) {
+    bytes += outcome.architecture->widths.capacity() * sizeof(int);
+    bytes += outcome.architecture->assignment.capacity() * sizeof(int);
+    bytes += outcome.architecture->tam_times.capacity() * sizeof(std::int64_t);
+  }
+  for (const auto& [key, detail] : outcome.details)
+    bytes += sizeof(key) + key.capacity() + sizeof(detail) + detail.capacity();
+  return bytes;
+}
+
+/// A computation in flight: the leader fills `value` under `mutex`, sets
+/// `done`, and notifies; coalesced waiters block on `cv`. `published`
+/// distinguishes a real result from an abandoned one.
+struct ResultCache::InFlight {
+  RequestKey key;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool published = false;
+  CachedSolve value;
+};
+
+struct ResultCache::Shard {
+  struct Entry {
+    RequestKey key;
+    CachedSolve value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::list<Entry> lru;  ///< front = most recently used
+  std::unordered_map<RequestKey, std::list<Entry>::iterator, KeyHash> index;
+  std::unordered_map<RequestKey, std::shared_ptr<InFlight>, KeyHash> inflight;
+  std::size_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  // Per-shard budget; at least one shard must be able to hold an entry,
+  // so the division never rounds the budget away entirely.
+  shard_budget_ = options_.max_bytes / static_cast<std::size_t>(options_.shards);
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::~ResultCache() = default;
+
+ResultCache::Shard& ResultCache::shard_for(const RequestKey& key) noexcept {
+  return *shards_[static_cast<std::size_t>(key.hash()) %
+                  shards_.size()];
+}
+
+ResultCache::Fetch ResultCache::begin_fetch(const RequestKey& key,
+                                            const InterruptFn& interrupt) {
+  Shard& shard = shard_for(key);
+  for (;;) {
+    std::shared_ptr<InFlight> flight;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      if (const auto it = shard.index.find(key); it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.hits;
+        Fetch fetch;
+        fetch.outcome = FetchOutcome::Hit;
+        fetch.value = it->second->value;
+        return fetch;
+      }
+      if (const auto it = shard.inflight.find(key);
+          it != shard.inflight.end()) {
+        flight = it->second;
+      } else {
+        flight = std::make_shared<InFlight>();
+        flight->key = key;
+        shard.inflight.emplace(key, flight);
+        ++shard.misses;
+        Fetch fetch;
+        fetch.outcome = FetchOutcome::Lead;
+        fetch.ticket = std::static_pointer_cast<void>(flight);
+        return fetch;
+      }
+    }
+    // Someone else is computing this key right now: wait for them —
+    // with the caller's interrupt polled so a cancelled/deadlined
+    // request stays responsive instead of riding out the whole solve.
+    std::unique_lock<std::mutex> wait_lock(flight->mutex);
+    if (interrupt) {
+      while (!flight->cv.wait_for(wait_lock, std::chrono::milliseconds(10),
+                                  [&] { return flight->done; })) {
+        if (interrupt()) {
+          Fetch fetch;
+          fetch.outcome = FetchOutcome::Interrupted;
+          return fetch;
+        }
+      }
+    } else {
+      flight->cv.wait(wait_lock, [&] { return flight->done; });
+    }
+    if (flight->published) {
+      Fetch fetch;
+      fetch.outcome = FetchOutcome::Coalesced;
+      fetch.value = flight->value;
+      wait_lock.unlock();
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.hits;
+      ++shard.coalesced;
+      return fetch;
+    }
+    // The leader abandoned (interrupted solve); loop so exactly one of
+    // the waiters re-leads the computation.
+  }
+}
+
+std::optional<CachedSolve> ResultCache::lookup(const RequestKey& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->value;
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::publish(const Fetch& fetch, CachedSolve value) {
+  if (fetch.ticket == nullptr) return;
+  const auto flight = std::static_pointer_cast<InFlight>(fetch.ticket);
+  Shard& shard = shard_for(flight->key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.inflight.erase(flight->key);
+    const std::size_t bytes = value.approx_bytes();
+    if (const auto it = shard.index.find(flight->key);
+        it != shard.index.end()) {
+      // A clear()+recompute race can re-publish a key; replace in place.
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    if (bytes <= shard_budget_) {
+      while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+        shard.bytes -= shard.lru.back().bytes;
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+      shard.lru.push_front(Shard::Entry{flight->key, value, bytes});
+      shard.index.emplace(flight->key, shard.lru.begin());
+      shard.bytes += bytes;
+      ++shard.insertions;
+    }
+    // An entry larger than a whole shard's budget is simply not stored:
+    // evicting the entire shard for one oversized result would turn the
+    // cache into a one-slot buffer.
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->published = true;
+    flight->value = std::move(value);
+  }
+  flight->cv.notify_all();
+}
+
+void ResultCache::abandon(const Fetch& fetch) {
+  if (fetch.ticket == nullptr) return;
+  const auto flight = std::static_pointer_cast<InFlight>(fetch.ticket);
+  Shard& shard = shard_for(flight->key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.inflight.erase(flight->key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+void ResultCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats total;
+  total.max_bytes = options_.max_bytes;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.coalesced += shard->coalesced;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+}  // namespace wtam::api

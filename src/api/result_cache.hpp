@@ -1,0 +1,146 @@
+// Memoizing result cache for the Solver, keyed by canonical RequestKeys.
+//
+// The co-optimization is expensive per (SOC, width, backend, options)
+// point, but real workloads — bench sweeps, Pareto exploration, repeated
+// service traffic — re-ask the same points constantly. The cache stores
+// the per-width solve product (BackendOutcome + lower bound + validation
+// verdict) under its RequestKey so an identical request is served
+// byte-identically in O(1):
+//
+//   * sharded: keys map to common::mix64-bucketed shards, each with its
+//     own mutex and LRU list, so concurrent batch workers do not contend
+//     on one lock;
+//   * bounded: a byte-size budget (approximated per entry from its
+//     schedule/details payload), enforced per shard by LRU eviction;
+//   * coalescing: a second identical request arriving while the first is
+//     still computing blocks on the in-flight entry and receives the
+//     leader's published result instead of recomputing (begin_fetch /
+//     publish / abandon protocol);
+//   * observable: hit/miss/eviction/coalesce counters plus live
+//     entry/byte gauges (stats), and clear() for the server's
+//     cache_clear verb.
+//
+// Only completed, uninterrupted solves are published; deadline-bound or
+// cancelled work is timing-dependent and bypasses the cache entirely
+// (the Solver reports that as `cache: bypass`).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "api/request_key.hpp"
+#include "core/backend.hpp"
+
+namespace wtam::api {
+
+/// The memoized product of solving one RequestKey: everything the Solver
+/// derives from a width that does not depend on when/how it ran.
+struct CachedSolve {
+  core::BackendOutcome outcome;
+  std::int64_t lower_bound = 0;
+  bool schedule_valid = false;
+
+  /// Approximate heap footprint, the unit of the cache's byte budget.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept;
+};
+
+struct ResultCacheOptions {
+  /// Total byte budget across all shards (entries' approx_bytes sum).
+  std::size_t max_bytes = 64u << 20;
+  /// Shard count; clamped to >= 1. Each shard owns max_bytes / shards.
+  int shards = 8;
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;        ///< lookups served from a stored entry
+  std::uint64_t misses = 0;      ///< lookups that found nothing
+  std::uint64_t coalesced = 0;   ///< waits resolved by an in-flight leader
+  std::uint64_t insertions = 0;  ///< entries published
+  std::uint64_t evictions = 0;   ///< entries dropped to fit the budget
+  std::uint64_t entries = 0;     ///< live entries (gauge)
+  std::uint64_t bytes = 0;       ///< live approx bytes (gauge)
+  std::uint64_t max_bytes = 0;   ///< configured budget
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// How a fetch was resolved (Fetch::outcome below).
+  enum class FetchOutcome {
+    Hit,         ///< value filled from a stored entry
+    Coalesced,   ///< value filled by waiting on another thread's solve
+    Lead,        ///< nothing stored or in flight — caller must compute,
+                 ///< then publish() or abandon() the ticket
+    Interrupted, ///< the caller's `interrupt` poll fired during a
+                 ///< coalesced wait; no value, no ticket
+  };
+
+  struct Fetch {
+    FetchOutcome outcome = FetchOutcome::Lead;
+    std::optional<CachedSolve> value;  ///< set for Hit and Coalesced
+    /// Opaque in-flight handle; non-null iff outcome == Lead.
+    std::shared_ptr<void> ticket;
+  };
+
+  /// Polled during coalesced waits; return true to stop waiting (the
+  /// fetch comes back Interrupted). Lets a cancelled/deadlined caller
+  /// stay responsive instead of blocking until the leader finishes.
+  using InterruptFn = std::function<bool()>;
+
+  /// Looks `key` up; on a miss with no in-flight computation, the caller
+  /// becomes the leader (Lead + ticket). On a miss with the same key in
+  /// flight, blocks until the leader publishes or abandons; an abandoned
+  /// wait degrades to Lead so exactly one thread retries the compute.
+  /// A non-empty `interrupt` is polled (~10 ms cadence) while blocked.
+  [[nodiscard]] Fetch begin_fetch(const RequestKey& key,
+                                  const InterruptFn& interrupt = {});
+
+  /// Non-blocking probe: stored entry or nullopt. Counts a hit/miss but
+  /// never joins or creates an in-flight computation.
+  [[nodiscard]] std::optional<CachedSolve> lookup(const RequestKey& key);
+
+  /// Leader completion: stores `value` (evicting LRU entries to fit) and
+  /// wakes every coalesced waiter with a copy. The ticket is consumed.
+  void publish(const Fetch& fetch, CachedSolve value);
+
+  /// Leader failure (interrupted/errored solve — nothing cacheable):
+  /// wakes waiters empty-handed; one of them re-leads. The ticket is
+  /// consumed. Safe to call with a Hit/Coalesced fetch (no-op).
+  void abandon(const Fetch& fetch);
+
+  /// Drops every stored entry (in-flight computations are unaffected).
+  void clear();
+
+  [[nodiscard]] ResultCacheStats stats() const;
+
+ private:
+  struct Shard;
+  struct InFlight;
+
+  [[nodiscard]] Shard& shard_for(const RequestKey& key) noexcept;
+
+  ResultCacheOptions options_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wtam::api

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/request_key.hpp"
+#include "api/result_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/lower_bounds.hpp"
@@ -30,19 +32,32 @@ Status status_from_interrupt(SolveInterrupt interrupt) noexcept {
   return Status::Ok;
 }
 
-/// Resolves the request's SOC source. Throws on unreadable/malformed
-/// files or inline text; the caller maps that to InvalidRequest.
-soc::Soc resolve_soc(const SolveRequest& request) {
-  if (request.soc_value.has_value()) return *request.soc_value;
-  if (!request.soc_inline.empty())
-    return soc::parse_soc_string(request.soc_inline);
-  return soc::load_by_name_or_path(request.soc);
+/// One width's solve product (computed or remembered). The cache stores
+/// exactly this, so hits reproduce the cold run byte for byte.
+struct WidthSolve {
+  core::BackendOutcome outcome;
+  std::int64_t lower_bound = 0;
+  bool schedule_valid = false;
+};
+
+WidthSolve solve_width(const core::OptimizerBackend& backend,
+                       const soc::Soc& soc, int width,
+                       const core::BackendOptions& options,
+                       const SolveContext& context) {
+  const core::TestTimeTable table(soc, width);
+  WidthSolve solve;
+  solve.outcome = backend.optimize(table, width, options, context);
+  solve.lower_bound =
+      core::testing_time_lower_bounds(table, width).combined();
+  solve.schedule_valid =
+      pack::validate_packed_schedule(table, solve.outcome.schedule).empty();
+  return solve;
 }
 
 /// Runs one validated-or-not request start to finish. Catches everything;
 /// the only way out is a SolveResult.
 SolveResult execute(const SolveRequest& request, std::size_t index,
-                    const CancelToken& cancel) {
+                    const CancelToken& cancel, ResultCache* cache) {
   common::Stopwatch watch;
   SolveResult result;
   result.id = request.id.empty() ? "job-" + std::to_string(index + 1)
@@ -88,19 +103,70 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
     const int width_last =
         request.width_max == 0 ? request.width : request.width_max;
 
-    std::optional<core::BackendOutcome> best;
-    std::optional<core::TestTimeTable> best_table;
+    // Deadline-bound work returns timing-dependent best-so-far
+    // incumbents, so it never reads from or writes to the cache.
+    const bool cacheable =
+        cache != nullptr && !request.deadline_s.has_value();
+    RequestKey key;
+    if (cacheable)
+      key = make_request_key(soc, request.width, request.backend,
+                             request.options);
+
+    std::optional<WidthSolve> best;
+    std::optional<core::TestTimeTable> best_table;  // off-cache path only
     int best_width = 0;
+    int cache_hits = 0;
     SolveInterrupt interrupt = SolveInterrupt::None;
     for (int w = request.width; w <= width_last; ++w) {
-      core::TestTimeTable table(soc, w);
-      core::BackendOutcome outcome =
-          backend.optimize(table, w, request.options, context);
-      const SolveInterrupt fired = outcome.interrupt;
+      WidthSolve solve;
+      std::optional<core::TestTimeTable> table;
+      SolveInterrupt fired = SolveInterrupt::None;
+      if (cacheable) {
+        key.width = w;
+        const ResultCache::Fetch fetch = cache->begin_fetch(
+            key,
+            [&context] { return context.poll() != SolveInterrupt::None; });
+        if (fetch.outcome == ResultCache::FetchOutcome::Interrupted) {
+          // Cancelled while waiting on another thread's identical solve;
+          // this width was neither served nor computed.
+          interrupt = context.poll();
+          break;
+        }
+        if (fetch.value.has_value()) {
+          // Served from the cache (stored entry, or an identical solve
+          // another thread just finished — coalesced, never recomputed).
+          solve.outcome = fetch.value->outcome;
+          solve.lower_bound = fetch.value->lower_bound;
+          solve.schedule_valid = fetch.value->schedule_valid;
+          ++cache_hits;
+        } else {
+          try {
+            solve = solve_width(backend, soc, w, request.options, context);
+          } catch (...) {
+            cache->abandon(fetch);  // coalesced waiters must not hang
+            throw;
+          }
+          fired = solve.outcome.interrupt;
+          if (fired == SolveInterrupt::None)
+            cache->publish(fetch,
+                           CachedSolve{solve.outcome, solve.lower_bound,
+                                       solve.schedule_valid});
+          else
+            cache->abandon(fetch);  // interrupted incumbents are not results
+        }
+      } else {
+        // Off the cache path the lower bound and validation are needed
+        // only for the winning width, so they are deferred past the loop
+        // (the winner's table is kept for them).
+        table.emplace(soc, w);
+        solve.outcome = backend.optimize(*table, w, request.options, context);
+        fired = solve.outcome.interrupt;
+      }
       ++result.widths_tried;
-      if (!best.has_value() || outcome.testing_time < best->testing_time) {
-        best = std::move(outcome);
-        best_table.emplace(std::move(table));
+      if (!best.has_value() ||
+          solve.outcome.testing_time < best->outcome.testing_time) {
+        best = std::move(solve);
+        best_table = std::move(table);
         best_width = w;
       }
       if (fired != SolveInterrupt::None) {
@@ -119,13 +185,23 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
     }
 
     if (best.has_value()) {
+      if (best_table.has_value()) {
+        best->lower_bound =
+            core::testing_time_lower_bounds(*best_table, best_width)
+                .combined();
+        best->schedule_valid =
+            pack::validate_packed_schedule(*best_table, best->outcome.schedule)
+                .empty();
+      }
       result.width = best_width;
-      result.lower_bound =
-          core::testing_time_lower_bounds(*best_table, best_width).combined();
-      result.schedule_valid =
-          pack::validate_packed_schedule(*best_table, best->schedule).empty();
-      result.outcome = std::move(best);
+      result.lower_bound = best->lower_bound;
+      result.schedule_valid = best->schedule_valid;
+      result.outcome = std::move(best->outcome);
     }
+    if (cacheable)
+      result.cache = cache_hits > 0 && cache_hits == result.widths_tried
+                         ? CacheOutcome::Hit
+                         : CacheOutcome::Miss;
     result.status = status_from_interrupt(interrupt);
   } catch (const std::exception& e) {
     result.status = Status::InternalError;
@@ -172,6 +248,13 @@ class ProgressSink {
 
 }  // namespace
 
+soc::Soc resolve_soc(const SolveRequest& request) {
+  if (request.soc_value.has_value()) return *request.soc_value;
+  if (!request.soc_inline.empty())
+    return soc::parse_soc_string(request.soc_inline);
+  return soc::load_by_name_or_path(request.soc);
+}
+
 std::string_view to_string(Status status) noexcept {
   switch (status) {
     case Status::Ok: return "ok";
@@ -189,6 +272,15 @@ std::optional<Status> parse_status(std::string_view text) noexcept {
         Status::Cancelled, Status::InternalError})
     if (to_string(status) == text) return status;
   return std::nullopt;
+}
+
+std::string_view to_string(CacheOutcome cache) noexcept {
+  switch (cache) {
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::Bypass: break;
+  }
+  return "bypass";
 }
 
 std::string validate(const SolveRequest& request) {
@@ -233,7 +325,7 @@ SolveResult Solver::solve(const SolveRequest& request, CancelToken cancel,
                           const ProgressFn& progress) const {
   ProgressSink sink(progress);
   sink.started(0, 1, request);
-  SolveResult result = execute(request, 0, cancel);
+  SolveResult result = execute(request, 0, cancel, options_.cache.get());
   sink.finished(0, 1, request, result);
   return result;
 }
@@ -256,7 +348,8 @@ std::vector<SolveResult> Solver::solve_batch(
   ProgressSink sink(progress);
   const auto run_job = [&](std::size_t index) {
     sink.started(index, requests.size(), requests[index]);
-    results[index] = execute(requests[index], index, cancel);
+    results[index] =
+        execute(requests[index], index, cancel, options_.cache.get());
     sink.finished(index, requests.size(), requests[index], results[index]);
   };
 

@@ -17,13 +17,25 @@
 // concurrency. Execution order is (priority descending, request order),
 // so high-priority jobs start first when workers are scarce.
 //
-// New code should drive engines through this API; direct core::run_backend
-// use is deprecated outside the library itself.
+// The Solver is service-grade: requests have canonical identity
+// (api/request_key.hpp — the SOC content-hashed via soc::canonical_bytes,
+// options normalized, sweeps expanded per width), and an optional
+// memoizing ResultCache (api/result_cache.hpp) serves repeated identical
+// work byte-identically while coalescing concurrent duplicates onto one
+// in-flight computation. SolveResult::cache reports hit/miss/bypass.
+// tools/wtam_serve.cpp runs this API as a long-lived process speaking
+// newline-delimited JSON (the job_io wire format).
+//
+// This API is the single entry point for running engines — the old
+// core::run_backend free function was removed in favor of it; library
+// code that genuinely needs the raw seam uses
+// BackendRegistry::instance().at(name).optimize(...) directly.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,6 +46,8 @@
 #include "soc/soc.hpp"
 
 namespace wtam::api {
+
+class ResultCache;  // result_cache.hpp
 
 using core::CancelToken;
 using core::SolveContext;
@@ -50,6 +64,17 @@ enum class Status {
 [[nodiscard]] std::string_view to_string(Status status) noexcept;
 /// Inverse of to_string; nullopt for unknown text.
 [[nodiscard]] std::optional<Status> parse_status(std::string_view text) noexcept;
+
+/// How the result cache participated in a solve.
+enum class CacheOutcome {
+  Bypass,  ///< no cache configured, or the request is uncacheable
+           ///< (deadline-bound work is timing-dependent)
+  Miss,    ///< consulted; at least one width had to be computed
+  Hit,     ///< every width served from the cache (or a coalesced
+           ///< in-flight solve) — no engine ran
+};
+
+[[nodiscard]] std::string_view to_string(CacheOutcome cache) noexcept;
 
 struct SolveRequest {
   /// Job identifier echoed into the result; defaults to "job-<index>"
@@ -82,6 +107,13 @@ struct SolveRequest {
 /// otherwise the reason (what SolveResult::error would say).
 [[nodiscard]] std::string validate(const SolveRequest& request);
 
+/// Resolves the request's SOC source — in-memory value, inline text, or
+/// name/path, in that precedence. The one resolution rule shared by the
+/// Solver and the request-key canonicalizer (they must agree, or keys
+/// would identify a different SOC than the one solved). Throws on
+/// unreadable/malformed sources; the Solver maps that to InvalidRequest.
+[[nodiscard]] soc::Soc resolve_soc(const SolveRequest& request);
+
 struct SolveResult {
   Status status = Status::InternalError;
   std::string id;
@@ -102,6 +134,9 @@ struct SolveResult {
   std::int64_t lower_bound = 0;
   /// True when `outcome`'s schedule passed the strict validator.
   bool schedule_valid = false;
+  /// How the result cache participated (hit results are byte-identical
+  /// to the cold run that populated the entry).
+  CacheOutcome cache = CacheOutcome::Bypass;
   double wall_s = 0.0;  ///< queued-to-finished wall clock of this job
 
   [[nodiscard]] bool has_outcome() const noexcept {
@@ -136,6 +171,23 @@ struct SolverOptions {
   /// 0 = one per hardware thread. Per-job engine threads are a separate
   /// knob (SolveRequest::options.threads).
   int threads = 1;
+  /// Memoizing result cache consulted per width inside solve/solve_batch
+  /// (see api/result_cache.hpp). Null = no caching (every request
+  /// reports `cache: bypass`). Shareable: several Solvers — or a Solver
+  /// and a server loop — may point at one cache, and concurrent
+  /// identical requests coalesce on its in-flight entries instead of
+  /// recomputing. Deadline-bound requests always bypass it.
+  std::shared_ptr<ResultCache> cache;
+
+  /// Named builders, because brace-initializing a subset of an aggregate
+  /// trips -Wmissing-field-initializers on the toolchains CI pins.
+  [[nodiscard]] static SolverOptions with_threads(
+      int threads, std::shared_ptr<ResultCache> cache = nullptr) {
+    SolverOptions options;
+    options.threads = threads;
+    options.cache = std::move(cache);
+    return options;
+  }
 };
 
 class Solver {

@@ -1,0 +1,81 @@
+// Stable, non-cryptographic content hashing for canonical request keys.
+//
+// The result cache and request-identity layer key work by the *content*
+// of a SOC's canonical serialization, so the hash must be identical
+// across runs, platforms, and compilers — std::hash gives no such
+// guarantee. This is a simple two-lane construction (an FNV-1a lane and
+// an independently mixed multiply-rotate lane, cross-avalanched with the
+// splitmix64 finalizer). 128 bits keeps accidental collisions out of
+// reach for any realistic cache population; it is NOT collision
+// resistant against adversaries.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wtam::common {
+
+/// splitmix64 finalizer — the standard 64-bit avalanche mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A 128-bit digest, ordered and hashable; hex() is the canonical
+/// 32-character lowercase rendering used in logs and request-key text.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] constexpr bool operator==(const Hash128&) const noexcept =
+      default;
+  [[nodiscard]] constexpr auto operator<=>(const Hash128&) const noexcept =
+      default;
+
+  /// One well-mixed word for bucketing (shard choice, unordered maps).
+  [[nodiscard]] constexpr std::uint64_t word() const noexcept {
+    return mix64(hi ^ (lo * 0x9e3779b97f4a7c15ULL));
+  }
+
+  [[nodiscard]] std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i)
+      out[static_cast<std::size_t>(i)] = kDigits[(hi >> (60 - 4 * i)) & 0xF];
+    for (int i = 0; i < 16; ++i)
+      out[static_cast<std::size_t>(16 + i)] =
+          kDigits[(lo >> (60 - 4 * i)) & 0xF];
+    return out;
+  }
+};
+
+/// Hashes `bytes` byte-by-byte (endianness-independent by construction).
+/// Stable across runs and platforms; pinned by tests against the built-in
+/// SOCs' canonical serializations.
+[[nodiscard]] constexpr Hash128 stable_hash_128(
+    std::string_view bytes) noexcept {
+  // Lane 1: FNV-1a 64.
+  std::uint64_t h1 = 0xcbf29ce484222325ULL;
+  // Lane 2: multiply-rotate accumulator with unrelated constants, so a
+  // lane-1 collision does not imply a lane-2 collision.
+  std::uint64_t h2 = 0x2545f4914f6cdd1dULL;
+  for (const char c : bytes) {
+    const auto b = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h1 = (h1 ^ b) * 0x00000100000001b3ULL;
+    h2 ^= b + 0x9e3779b97f4a7c15ULL + (h2 << 6) + (h2 >> 2);
+    h2 = (h2 << 29) | (h2 >> 35);
+  }
+  // Length stamp + cross-lane avalanche: equal prefixes of different
+  // lengths and swapped-lane states must not collide trivially.
+  const auto n = static_cast<std::uint64_t>(bytes.size());
+  Hash128 digest;
+  digest.hi = mix64(h1 + 0x9e3779b97f4a7c15ULL * n + h2);
+  digest.lo = mix64(h2 ^ (h1 * 0x00000100000001b3ULL) ^ n);
+  return digest;
+}
+
+}  // namespace wtam::common

@@ -141,11 +141,4 @@ std::vector<const OptimizerBackend*> BackendRegistry::backends() const {
   return result;
 }
 
-BackendOutcome run_backend(std::string_view name, const TestTimeTable& table,
-                           int total_width, const BackendOptions& options,
-                           const SolveContext& context) {
-  return BackendRegistry::instance().at(name).optimize(table, total_width,
-                                                       options, context);
-}
-
 }  // namespace wtam::core

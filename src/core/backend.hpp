@@ -114,14 +114,11 @@ class BackendRegistry {
   std::vector<std::unique_ptr<OptimizerBackend>> backends_;
 };
 
-/// Convenience: BackendRegistry::instance().at(name).optimize(...).
-/// NOTE: prefer the job-oriented api::Solver (src/api/solver.hpp) in new
-/// code — it adds request validation, status reporting, deadlines,
-/// cancellation, and parallel batches on top of this seam.
-[[nodiscard]] BackendOutcome run_backend(std::string_view name,
-                                         const TestTimeTable& table,
-                                         int total_width,
-                                         const BackendOptions& options = {},
-                                         const SolveContext& context = {});
+// NOTE: the run_backend free function that used to live here (deprecated
+// in PR 3) is gone. Drive engines through the job-oriented api::Solver
+// (src/api/solver.hpp) — it adds request validation, status reporting,
+// deadlines, cancellation, result caching, and parallel batches; code
+// that genuinely needs the raw seam (backend-level tests) calls
+// BackendRegistry::instance().at(name).optimize(...) directly.
 
 }  // namespace wtam::core

@@ -146,6 +146,14 @@ std::string write_soc_string(const Soc& soc) {
   return out.str();
 }
 
+std::string canonical_bytes(const Soc& soc) {
+  // The writer already emits one canonical rendering (fixed key order,
+  // minimal integer forms, LF endings); canonical_bytes is that rendering
+  // by definition, split out as its own name so hashing call sites do not
+  // silently couple to an incidental writer detail.
+  return write_soc_string(soc);
+}
+
 Soc load_soc_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open soc file: " + path);

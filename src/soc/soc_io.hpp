@@ -35,4 +35,15 @@ void write_soc(std::ostream& out, const Soc& soc);
 [[nodiscard]] Soc load_soc_file(const std::string& path);
 void save_soc_file(const std::string& path, const Soc& soc);
 
+/// The canonical byte serialization of a SOC — the form the request-key
+/// layer content-hashes. Two SOCs produce identical canonical bytes iff
+/// every algorithm in the library treats them identically (same name,
+/// same cores in the same order, same per-core test data), regardless of
+/// how they were supplied (built-in name, file, inline text, in-memory
+/// value). This is exactly the writer's dialect with LF line endings, so
+/// `canonical_bytes(parse_soc_string(canonical_bytes(s)))` is a fixed
+/// point — pinned by tests, because the content hash must not drift with
+/// serialization changes.
+[[nodiscard]] std::string canonical_bytes(const Soc& soc);
+
 }  // namespace wtam::soc

@@ -5,7 +5,10 @@
 
 #include "api/job_io.hpp"           // IWYU pragma: export
 #include "api/json_value.hpp"       // IWYU pragma: export
+#include "api/request_key.hpp"      // IWYU pragma: export
+#include "api/result_cache.hpp"     // IWYU pragma: export
 #include "api/solver.hpp"           // IWYU pragma: export
+#include "common/hash.hpp"          // IWYU pragma: export
 #include "common/rng.hpp"           // IWYU pragma: export
 #include "common/table.hpp"         // IWYU pragma: export
 #include "common/thread_pool.hpp"   // IWYU pragma: export

@@ -109,7 +109,10 @@ TEST(BackendRegistry, ReRegistrationIsIdempotent) {
 TEST(BackendRegistry, EnumerativeOutcomeMatchesCoOptimize) {
   const soc::Soc soc_data = soc::d695();
   const core::TestTimeTable table(soc_data, 32);
-  const auto outcome = run_backend("enumerative", table, 32);
+  // Backend-seam test: the registry's raw optimize() is exactly what is
+  // under test here (api::Solver layers on top of it).
+  const auto outcome =
+      BackendRegistry::instance().at("enumerative").optimize(table, 32, {});
   const auto reference = co_optimize(table, 32, {});
 
   EXPECT_EQ(outcome.backend, "enumerative");
@@ -130,7 +133,8 @@ TEST(BackendRegistry, EveryBackendProducesAValidScheduleAboveTheBound) {
   const auto bound = testing_time_lower_bounds(table, 24).combined();
   for (const auto& name : BackendRegistry::instance().names()) {
     if (name == "test-dummy") continue;  // inert probe from the test above
-    const auto outcome = run_backend(name, table, 24);
+    const auto outcome =
+        BackendRegistry::instance().at(name).optimize(table, 24, {});
     EXPECT_EQ(outcome.backend, name);
     EXPECT_TRUE(pack::validate_packed_schedule(table, outcome.schedule).empty())
         << name;

@@ -2,15 +2,17 @@
 // benchmark). Both engines are fully deterministic, so exact testing
 // times are pinned; a change here means the optimizer's behavior changed
 // and the numbers must be re-justified, not silently re-recorded.
+//
+// Runs through the public api::Solver (the one entry point since
+// run_backend was removed), which also pins that the Solver layer adds
+// nothing to and subtracts nothing from the engines' numbers.
 
 #include <gtest/gtest.h>
 
-#include "core/backend.hpp"
-#include "core/test_time_table.hpp"
-#include "pack/packed_schedule.hpp"
+#include "api/solver.hpp"
 #include "soc/benchmarks.hpp"
 
-namespace wtam::core {
+namespace wtam::api {
 namespace {
 
 struct GoldenCase {
@@ -27,29 +29,38 @@ constexpr GoldenCase kGolden[] = {
 };
 
 TEST(GoldenBackends, D695TestingTimesArePinned) {
-  const soc::Soc soc = soc::d695();
   for (const auto& golden : kGolden) {
-    const TestTimeTable table(soc, golden.width);
-    const auto enumerative = run_backend("enumerative", table, golden.width);
-    const auto rectpack = run_backend("rectpack", table, golden.width);
+    const auto solve = [&](const std::string& backend) {
+      SolveRequest request;
+      request.soc = "d695";
+      request.width = golden.width;
+      request.backend = backend;
+      return Solver().solve(request);
+    };
+    const SolveResult enumerative = solve("enumerative");
+    const SolveResult rectpack = solve("rectpack");
+    ASSERT_EQ(enumerative.status, Status::Ok) << "W=" << golden.width;
+    ASSERT_EQ(rectpack.status, Status::Ok) << "W=" << golden.width;
+    ASSERT_TRUE(enumerative.has_outcome());
+    ASSERT_TRUE(rectpack.has_outcome());
 
-    EXPECT_EQ(enumerative.testing_time, golden.enumerative)
+    EXPECT_EQ(enumerative.outcome->testing_time, golden.enumerative)
         << "W=" << golden.width;
-    EXPECT_EQ(rectpack.testing_time, golden.rectpack) << "W=" << golden.width;
+    EXPECT_EQ(rectpack.outcome->testing_time, golden.rectpack)
+        << "W=" << golden.width;
 
-    // Both schedules are geometry-clean.
-    EXPECT_TRUE(
-        pack::validate_packed_schedule(table, enumerative.schedule).empty());
-    EXPECT_TRUE(
-        pack::validate_packed_schedule(table, rectpack.schedule).empty());
+    // Both schedules are geometry-clean (the Solver runs the strict
+    // validator on every outcome).
+    EXPECT_TRUE(enumerative.schedule_valid) << "W=" << golden.width;
+    EXPECT_TRUE(rectpack.schedule_valid) << "W=" << golden.width;
 
     // The acceptance margin, asserted from the live numbers rather than
     // the pins so a future better rectpack cannot rot this check.
-    EXPECT_LE(static_cast<double>(rectpack.testing_time),
-              static_cast<double>(enumerative.testing_time) * 1.05)
+    EXPECT_LE(static_cast<double>(rectpack.outcome->testing_time),
+              static_cast<double>(enumerative.outcome->testing_time) * 1.05)
         << "W=" << golden.width;
   }
 }
 
 }  // namespace
-}  // namespace wtam::core
+}  // namespace wtam::api

@@ -76,6 +76,24 @@ TEST(JsonValue, DumpParseRoundTripPreservesStructure) {
   EXPECT_EQ(document.dump_string(), document.dump_string());
 }
 
+TEST(JsonValue, CompactDumpIsSingleLineAndReparses) {
+  JsonValue document = JsonValue::object();
+  document.set("id", JsonValue::string("a\nb"));  // newline must be escaped
+  document.set("n", JsonValue::number(std::int64_t{42}));
+  JsonValue nested = JsonValue::array();
+  nested.push(JsonValue::boolean(true));
+  nested.push(JsonValue::object());
+  document.set("nested", std::move(nested));
+
+  const std::string line = document.dump_compact_string();
+  // The NDJSON contract: one response per line, however deep the value.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line, R"({"id": "a\nb", "n": 42, "nested": [true, {}]})");
+  const JsonValue reparsed = JsonValue::parse(line);
+  EXPECT_EQ(reparsed.find("id")->as_string(), "a\nb");
+  EXPECT_EQ(reparsed.find("n")->as_int(), 42);
+}
+
 // ---- jobs files -----------------------------------------------------------
 
 TEST(JobIo, ParsesAFullJobAndAppliesDefaults) {
@@ -226,6 +244,29 @@ TEST(JobIo, ResultsJsonIsDeterministicAndParsesBack) {
   const std::string timed = results_to_json({ok, bad}, with_timing);
   EXPECT_NE(timed.find("cpu_s"), std::string::npos);
   EXPECT_NE(timed.find("wall_s"), std::string::npos);
+}
+
+TEST(JobIo, CacheProvenanceIsOptInLikeTiming) {
+  SolveResult hit;
+  hit.status = Status::Ok;
+  hit.id = "job-1";
+  hit.backend = "rectpack";
+  hit.cache = CacheOutcome::Hit;
+
+  // Off the canonical bytes by default, so results stay byte-identical
+  // with the cache on or off.
+  EXPECT_EQ(results_to_json({hit}).find("\"cache\""), std::string::npos);
+
+  ResultsWriteOptions with_cache;
+  with_cache.include_cache = true;
+  const std::string text = results_to_json({hit}, with_cache);
+  const JsonValue document = JsonValue::parse(text);
+  EXPECT_EQ(document.find("results")->elements()[0].find("cache")->as_string(),
+            "hit");
+
+  hit.cache = CacheOutcome::Bypass;
+  EXPECT_NE(results_to_json({hit}, with_cache).find("\"cache\": \"bypass\""),
+            std::string::npos);
 }
 
 TEST(JobIo, StatusStringsRoundTrip) {

@@ -1,0 +1,163 @@
+// Canonical request identity: equal work must yield equal RequestKeys
+// however the request was phrased, and distinct work must not alias.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "api/request_key.hpp"
+#include "api/solver.hpp"
+#include "common/hash.hpp"
+#include "soc/benchmarks.hpp"
+#include "soc/soc_io.hpp"
+
+namespace wtam::api {
+namespace {
+
+TEST(Hash128, StableAndWellFormed) {
+  // Pinned digests: the content hash is a persistence format (cache keys
+  // survive across processes in logs/metrics), so it must never drift.
+  EXPECT_EQ(common::stable_hash_128("").hex(),
+            "90853e894006730126973c63df706cba");
+  EXPECT_EQ(common::stable_hash_128("abc").hex(),
+            "d92e428e5577237feff638a2b4a948b7");
+  EXPECT_EQ(common::stable_hash_128("abc"), common::stable_hash_128("abc"));
+  EXPECT_NE(common::stable_hash_128("abc"), common::stable_hash_128("abd"));
+  EXPECT_NE(common::stable_hash_128("a"), common::stable_hash_128("aa"));
+  EXPECT_EQ(common::stable_hash_128("abc").hex().size(), 32u);
+}
+
+TEST(RequestKey, SameWorkSameKeyAcrossAllSocSources) {
+  // The acceptance criterion: built-in name vs file vs inline vs
+  // in-memory value all canonicalize to one key.
+  const soc::Soc soc = soc::d695();
+  const std::string text = soc::canonical_bytes(soc);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "request_key_d695.soc";
+  soc::save_soc_file(path.string(), soc);
+
+  SolveRequest by_name;
+  by_name.soc = "d695";
+  by_name.width = 32;
+
+  SolveRequest by_file = by_name;
+  by_file.soc = path.string();
+
+  SolveRequest by_inline = by_name;
+  by_inline.soc.clear();
+  by_inline.soc_inline = text;
+
+  SolveRequest by_value = by_name;
+  by_value.soc.clear();
+  by_value.soc_value = soc;
+
+  const RequestKey reference = request_keys(by_name).front();
+  EXPECT_EQ(request_keys(by_file).front(), reference);
+  EXPECT_EQ(request_keys(by_inline).front(), reference);
+  EXPECT_EQ(request_keys(by_value).front(), reference);
+  std::remove(path.string().c_str());
+}
+
+TEST(RequestKey, ThreadCountIsNormalizedAway) {
+  // Engines are thread-count invariant by contract, so the execution
+  // knob must not fragment the cache.
+  SolveRequest serial;
+  serial.soc = "d695";
+  serial.width = 32;
+  SolveRequest parallel = serial;
+  parallel.options.threads = 8;
+  EXPECT_EQ(request_keys(serial).front(), request_keys(parallel).front());
+}
+
+TEST(RequestKey, OnlyOptionsTheBackendConsumesCount) {
+  // max_tams drives the enumerative search but is ignored by rectpack —
+  // the canonical options reflect that, so rectpack points at different
+  // max_tams coalesce while enumerative points stay distinct.
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 24;
+  request.backend = "rectpack";
+  SolveRequest other = request;
+  other.options.max_tams = 4;
+  EXPECT_EQ(request_keys(request).front(), request_keys(other).front());
+
+  request.backend = "enumerative";
+  other.backend = "enumerative";
+  EXPECT_NE(request_keys(request).front(), request_keys(other).front());
+
+  // Options rectpack does consume must not alias.
+  SolveRequest seeded;
+  seeded.soc = "d695";
+  seeded.width = 24;
+  seeded.backend = "rectpack";
+  SolveRequest reseeded = seeded;
+  reseeded.options.rectpack.seed = 99;
+  EXPECT_NE(request_keys(seeded).front(), request_keys(reseeded).front());
+}
+
+TEST(RequestKey, DistinctWorkDistinctKeys) {
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 24;
+  const RequestKey reference = request_keys(request).front();
+
+  SolveRequest wider = request;
+  wider.width = 25;
+  EXPECT_NE(request_keys(wider).front(), reference);
+
+  SolveRequest other_backend = request;
+  other_backend.backend = "rectpack";
+  EXPECT_NE(request_keys(other_backend).front(), reference);
+
+  SolveRequest other_soc = request;
+  other_soc.soc = "p21241";
+  EXPECT_NE(request_keys(other_soc).front(), reference);
+  // Different SOCs differ in the content hash specifically.
+  EXPECT_NE(request_keys(other_soc).front().soc_hash, reference.soc_hash);
+}
+
+TEST(RequestKey, SweepExpandsToPerWidthKeys) {
+  SolveRequest sweep;
+  sweep.soc = "d695";
+  sweep.width = 16;
+  sweep.width_max = 20;
+  const std::vector<RequestKey> keys = request_keys(sweep);
+  ASSERT_EQ(keys.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(keys[static_cast<std::size_t>(i)].width, 16 + i);
+    // Every per-width key equals the single-width request's key: a sweep
+    // warms the cache for later single-width asks and vice versa.
+    SolveRequest single = sweep;
+    single.width = 16 + i;
+    single.width_max = 0;
+    EXPECT_EQ(request_keys(single).front(), keys[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RequestKey, CanonicalTextFormIsStable) {
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 32;
+  const RequestKey key = request_keys(request).front();
+  EXPECT_EQ(key.to_string(),
+            "soc:50b7104b26d5c3f4695a8654678f5f94/w32/enumerative"
+            "{max_tams=10,min_tams=1,run_final_step=1}");
+}
+
+TEST(RequestKey, HashIsUsableForBucketing) {
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 16;
+  request.width_max = 48;
+  const std::vector<RequestKey> keys = request_keys(request);
+  // Distinct widths must spread across buckets, not collide trivially.
+  std::uint64_t distinct = 0;
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    if (keys[i].hash() != keys[0].hash()) ++distinct;
+  EXPECT_EQ(distinct, keys.size() - 1);
+}
+
+}  // namespace
+}  // namespace wtam::api

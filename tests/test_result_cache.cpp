@@ -1,0 +1,212 @@
+// ResultCache contract: LRU eviction under a byte budget, hit/miss
+// accounting, and cross-thread coalescing of identical in-flight work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request_key.hpp"
+#include "api/result_cache.hpp"
+
+namespace wtam::api {
+namespace {
+
+RequestKey key_for(int width) {
+  RequestKey key;
+  key.soc_hash = common::stable_hash_128("result-cache-test-soc");
+  key.width = width;
+  key.backend = "enumerative";
+  key.options = "max_tams=10,min_tams=1,run_final_step=1";
+  return key;
+}
+
+/// A CachedSolve whose approx_bytes is dominated by `payload` bytes of
+/// detail text, so tests can reason about the byte budget.
+CachedSolve solve_of_size(std::int64_t testing_time, std::size_t payload) {
+  CachedSolve solve;
+  solve.outcome.backend = "enumerative";
+  solve.outcome.testing_time = testing_time;
+  solve.outcome.details.emplace_back("pad", std::string(payload, 'x'));
+  solve.lower_bound = testing_time / 2;
+  solve.schedule_valid = true;
+  return solve;
+}
+
+/// begin_fetch that must lead (test invariant), then publish `solve`.
+void lead_and_publish(ResultCache& cache, const RequestKey& key,
+                      CachedSolve solve) {
+  const ResultCache::Fetch fetch = cache.begin_fetch(key);
+  ASSERT_EQ(fetch.outcome, ResultCache::FetchOutcome::Lead);
+  cache.publish(fetch, std::move(solve));
+}
+
+TEST(ResultCache, StoresAndServesByteEqualEntries) {
+  ResultCache cache;
+  const RequestKey key = key_for(32);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  lead_and_publish(cache, key, solve_of_size(21566, 64));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome.testing_time, 21566);
+  EXPECT_EQ(hit->lower_bound, 21566 / 2);
+  EXPECT_TRUE(hit->schedule_valid);
+
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // the failed lookup + the Lead fetch
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+}
+
+TEST(ResultCache, LruEvictionUnderATightByteBudget) {
+  // One shard, a budget that holds exactly 3 of the equal-size entries:
+  // inserting the fourth must evict the least recently used, only that.
+  const std::size_t entry_bytes = solve_of_size(1, 1024).approx_bytes();
+  ResultCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 3 * entry_bytes + entry_bytes / 2;
+  ResultCache cache(options);
+
+  for (const int width : {1, 2, 3})
+    lead_and_publish(cache, key_for(width), solve_of_size(width, 1024));
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch 1 and 3 so 2 is the LRU entry.
+  EXPECT_TRUE(cache.lookup(key_for(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key_for(3)).has_value());
+
+  lead_and_publish(cache, key_for(4), solve_of_size(4, 1024));
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+
+  EXPECT_FALSE(cache.lookup(key_for(2)).has_value()) << "LRU entry survived";
+  EXPECT_TRUE(cache.lookup(key_for(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key_for(3)).has_value());
+  EXPECT_TRUE(cache.lookup(key_for(4)).has_value());
+}
+
+TEST(ResultCache, OversizedEntriesAreNotStored) {
+  ResultCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 4096;
+  ResultCache cache(options);
+  lead_and_publish(cache, key_for(1), solve_of_size(1, 1 << 20));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(key_for(1)).has_value());
+}
+
+TEST(ResultCache, ClearDropsEverything) {
+  ResultCache cache;
+  for (const int width : {1, 2, 3})
+    lead_and_publish(cache, key_for(width), solve_of_size(width, 64));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  cache.clear();
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_FALSE(cache.lookup(key_for(1)).has_value());
+}
+
+TEST(ResultCache, IdenticalInFlightRequestsCoalesceAcrossThreads) {
+  ResultCache cache;
+  const RequestKey key = key_for(32);
+
+  // The leader claims the key, then holds the computation open while the
+  // followers arrive; they must block and then receive the published
+  // value — not recompute.
+  const ResultCache::Fetch lead = cache.begin_fetch(key);
+  ASSERT_EQ(lead.outcome, ResultCache::FetchOutcome::Lead);
+
+  std::atomic<int> arrived{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> followers;
+  followers.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    followers.emplace_back([&cache, &key, &arrived, &served] {
+      ++arrived;
+      const ResultCache::Fetch fetch = cache.begin_fetch(key);
+      // Never Lead: the key is claimed for the follower's whole
+      // lifetime. (Coalesced normally; a maximally delayed follower may
+      // observe the already-published entry as a Hit.)
+      EXPECT_NE(fetch.outcome, ResultCache::FetchOutcome::Lead);
+      ASSERT_TRUE(fetch.value.has_value());
+      EXPECT_EQ(fetch.value->outcome.testing_time, 777);
+      ++served;
+    });
+
+  // Publish only after every follower is at most one statement away from
+  // the fetch, so they (virtually always) block on the in-flight entry.
+  while (arrived.load() < 4) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.publish(lead, solve_of_size(777, 64));
+  for (auto& follower : followers) follower.join();
+
+  EXPECT_EQ(served.load(), 4);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_GE(stats.coalesced, 1u);   // at least one genuinely blocked wait
+  EXPECT_EQ(stats.hits, 4u);        // every follower served without compute
+  EXPECT_EQ(stats.misses, 1u);      // the single Lead
+  EXPECT_EQ(stats.insertions, 1u);  // computed exactly once
+}
+
+TEST(ResultCache, CoalescedWaitsHonorTheInterruptPoll) {
+  // A cancelled caller must not ride out the leader's whole solve: the
+  // interrupt callback is polled during the wait and ends it.
+  ResultCache cache;
+  const RequestKey key = key_for(64);
+  const ResultCache::Fetch lead = cache.begin_fetch(key);
+  ASSERT_EQ(lead.outcome, ResultCache::FetchOutcome::Lead);
+
+  std::atomic<bool> cancelled{false};
+  std::thread waiter([&cache, &key, &cancelled] {
+    const ResultCache::Fetch fetch =
+        cache.begin_fetch(key, [&cancelled] { return cancelled.load(); });
+    EXPECT_EQ(fetch.outcome, ResultCache::FetchOutcome::Interrupted);
+    EXPECT_FALSE(fetch.value.has_value());
+    EXPECT_EQ(fetch.ticket, nullptr);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cancelled = true;
+  waiter.join();  // returns promptly even though the lead is still open
+  cache.abandon(lead);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, AbandonedLeadHandsTheKeyToAWaiter) {
+  ResultCache cache;
+  const RequestKey key = key_for(48);
+
+  const ResultCache::Fetch lead = cache.begin_fetch(key);
+  ASSERT_EQ(lead.outcome, ResultCache::FetchOutcome::Lead);
+
+  std::thread waiter([&cache, &key] {
+    // Blocks on the doomed leader, then must become the new leader and
+    // complete the work itself.
+    const ResultCache::Fetch fetch = cache.begin_fetch(key);
+    EXPECT_EQ(fetch.outcome, ResultCache::FetchOutcome::Lead);
+    cache.publish(fetch, solve_of_size(123, 64));
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.abandon(lead);
+  waiter.join();
+
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome.testing_time, 123);
+  // Nothing was stored by the abandoned lead.
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+}  // namespace
+}  // namespace wtam::api

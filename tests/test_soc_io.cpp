@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/hash.hpp"
 #include "soc/benchmarks.hpp"
 #include "soc/soc_io.hpp"
 
@@ -167,6 +168,40 @@ TEST(SocIo, FileRoundTrip) {
 
 TEST(SocIo, LoadMissingFileThrows) {
   EXPECT_THROW((void)load_soc_file("/nonexistent/path/x.soc"), std::runtime_error);
+}
+
+// ---- canonical bytes (the content-hash substrate) -------------------------
+
+TEST(SocIoCanonical, CanonicalBytesIsAFixedPointForEveryBuiltIn) {
+  // The round-trip guarantee the request-key layer stands on:
+  // serializing, reparsing, and reserializing must reproduce the exact
+  // bytes, for every built-in SOC — otherwise "the same SOC from a file"
+  // and "the same SOC in memory" could hash apart.
+  for (const Soc& original : {d695(), p21241(), p31108(), p93791()}) {
+    const std::string bytes = canonical_bytes(original);
+    const std::string round_tripped =
+        canonical_bytes(parse_soc_string(bytes));
+    EXPECT_EQ(round_tripped, bytes) << original.name;
+  }
+}
+
+TEST(SocIoCanonical, BuiltInContentHashesArePinned) {
+  // Pins the canonical serialization *and* the hash function at once:
+  // any drift in either silently invalidates every persisted cache
+  // key/log line, so a change here must be deliberate and re-justified
+  // (same policy as the golden testing times).
+  const auto hash_of = [](const Soc& soc) {
+    return common::stable_hash_128(canonical_bytes(soc)).hex();
+  };
+  EXPECT_EQ(hash_of(d695()), "50b7104b26d5c3f4695a8654678f5f94");
+  EXPECT_EQ(hash_of(p21241()), "c75a425e1c6ef03c563c3f11c21315df");
+  EXPECT_EQ(hash_of(p31108()), "7b6b090915767a1b7be3c15a96940060");
+  EXPECT_EQ(hash_of(p93791()), "86cf64bc97a474c9fcc05e6ea9d3969e");
+}
+
+TEST(SocIoCanonical, CanonicalBytesMatchesTheWriter) {
+  const Soc soc = d695();
+  EXPECT_EQ(canonical_bytes(soc), write_soc_string(soc));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "api/job_io.hpp"
+#include "api/result_cache.hpp"
 #include "api/solver.hpp"
 #include "core/assignment_exact.hpp"
 #include "core/backend.hpp"
@@ -78,10 +79,12 @@ TEST(SolverValidation, UnreadableSocFileIsInvalidRequest) {
 
 // ---- single solves --------------------------------------------------------
 
-TEST(Solver, OkSolveMatchesRunBackend) {
+TEST(Solver, OkSolveMatchesTheRawBackendSeam) {
   const soc::Soc soc = soc::d695();
   const core::TestTimeTable table(soc, 32);
-  const auto reference = core::run_backend("enumerative", table, 32);
+  const auto reference = core::BackendRegistry::instance()
+                             .at("enumerative")
+                             .optimize(table, 32, {});
 
   const SolveResult result = Solver().solve(d695_request(32, "enumerative"));
   ASSERT_EQ(result.status, Status::Ok);
@@ -286,7 +289,7 @@ std::vector<SolveRequest> mixed_batch() {
 
 TEST(SolverBatch, ResultsAreInRequestOrderAndThreadCountInvariant) {
   const std::vector<SolveRequest> jobs = mixed_batch();
-  const std::vector<SolveResult> serial = Solver({1}).solve_batch(jobs);
+  const std::vector<SolveResult> serial = Solver(SolverOptions::with_threads(1)).solve_batch(jobs);
   ASSERT_EQ(serial.size(), jobs.size());
   for (std::size_t i = 0; i + 1 < jobs.size(); ++i) {
     EXPECT_EQ(serial[i].status, Status::Ok) << i;
@@ -300,7 +303,7 @@ TEST(SolverBatch, ResultsAreInRequestOrderAndThreadCountInvariant) {
   const std::string reference = results_to_json(serial);
   for (const int threads : {2, 4, 0}) {
     const std::vector<SolveResult> parallel =
-        Solver({threads}).solve_batch(jobs);
+        Solver(SolverOptions::with_threads(threads)).solve_batch(jobs);
     EXPECT_EQ(results_to_json(parallel), reference) << threads;
   }
 }
@@ -317,7 +320,7 @@ TEST(SolverBatch, HigherPriorityJobsStartFirst) {
     if (event.phase == ProgressEvent::Phase::Started)
       started.push_back(event.index);
   };
-  const auto results = Solver({1}).solve_batch(jobs, {}, progress);
+  const auto results = Solver(SolverOptions::with_threads(1)).solve_batch(jobs, {}, progress);
   ASSERT_EQ(results.size(), 3u);
   // Execution order: priority descending; results stay in request order.
   EXPECT_EQ(started, (std::vector<std::size_t>{1, 2, 0}));
@@ -330,7 +333,7 @@ TEST(SolverBatch, BatchWideCancelMarksUnstartedJobsCancelled) {
   for (int i = 0; i < 3; ++i) jobs.push_back(d695_request(16, "rectpack"));
   CancelToken cancel;
   cancel.request_cancel();
-  const auto results = Solver({2}).solve_batch(jobs, cancel);
+  const auto results = Solver(SolverOptions::with_threads(2)).solve_batch(jobs, cancel);
   ASSERT_EQ(results.size(), 3u);
   for (const auto& result : results)
     EXPECT_EQ(result.status, Status::Cancelled);
@@ -352,9 +355,139 @@ TEST(SolverBatch, ProgressReportsStartAndFinishForEveryJob) {
     }
     EXPECT_EQ(event.total, 2u);
   };
-  (void)Solver({2}).solve_batch(jobs, {}, progress);
+  (void)Solver(SolverOptions::with_threads(2)).solve_batch(jobs, {}, progress);
   EXPECT_EQ(starts.load(), 2);
   EXPECT_EQ(finishes.load(), 2);
+}
+
+// ---- result cache ---------------------------------------------------------
+
+TEST(SolverCache, RepeatedRequestIsServedFromCacheByteIdentically) {
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+  SolveRequest request = d695_request(32, "enumerative");
+
+  const SolveResult cold = solver.solve(request);
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.cache, CacheOutcome::Miss);
+
+  const SolveResult warm = solver.solve(request);
+  ASSERT_EQ(warm.status, Status::Ok);
+  EXPECT_EQ(warm.cache, CacheOutcome::Hit);
+
+  // Byte-identical canonical result bytes (timing and cache provenance
+  // are opt-in, exactly so this holds).
+  EXPECT_EQ(result_to_json(warm).dump_string(),
+            result_to_json(cold).dump_string());
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().insertions, 1u);
+}
+
+TEST(SolverCache, EqualWorkHitsAcrossDifferentSocPhrasings) {
+  // A request phrased with an in-memory SOC warms the cache for the same
+  // point phrased by built-in name — canonical identity at work.
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+
+  SolveRequest by_value;
+  by_value.soc_value = soc::d695();
+  by_value.width = 24;
+  by_value.backend = "rectpack";
+  ASSERT_EQ(solver.solve(by_value).cache, CacheOutcome::Miss);
+
+  const SolveResult warm = solver.solve(d695_request(24, "rectpack"));
+  EXPECT_EQ(warm.cache, CacheOutcome::Hit);
+}
+
+TEST(SolverCache, SweepAndSingleWidthShareEntries) {
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+
+  SolveRequest sweep = d695_request(16, "rectpack");
+  sweep.width_max = 20;
+  const SolveResult cold = solver.solve(sweep);
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.cache, CacheOutcome::Miss);
+  EXPECT_EQ(cold.widths_tried, 5);
+
+  // Every width of the sweep is now cached individually.
+  for (const int width : {16, 17, 18, 19, 20})
+    EXPECT_EQ(solver.solve(d695_request(width, "rectpack")).cache,
+              CacheOutcome::Hit)
+        << width;
+
+  // And the whole sweep replays as a pure hit, same bytes.
+  const SolveResult warm = solver.solve(sweep);
+  EXPECT_EQ(warm.cache, CacheOutcome::Hit);
+  EXPECT_EQ(result_to_json(warm).dump_string(),
+            result_to_json(cold).dump_string());
+}
+
+TEST(SolverCache, BatchResultsAreByteIdenticalWithCacheOnAndOff) {
+  // The satellite contract: a batch (with internal repetition) produces
+  // the identical results document with caching enabled or disabled.
+  std::vector<SolveRequest> jobs = mixed_batch();
+  jobs.push_back(d695_request(16, "rectpack"));  // duplicate of job 2
+  jobs.push_back(d695_request(16, "enumerative"));
+  jobs.back().options.max_tams = 4;  // duplicate of job 1
+
+  const std::vector<SolveResult> uncached =
+      Solver(SolverOptions::with_threads(2)).solve_batch(jobs);
+  const auto cache = std::make_shared<ResultCache>();
+  const std::vector<SolveResult> cached =
+      Solver(SolverOptions::with_threads(2, cache)).solve_batch(jobs);
+  EXPECT_EQ(results_to_json(cached), results_to_json(uncached));
+
+  // Every cacheable job was consulted; the invalid job (index 4 from
+  // mixed_batch) bypassed.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i == 4) continue;
+    EXPECT_NE(cached[i].cache, CacheOutcome::Bypass) << i;
+  }
+  EXPECT_EQ(cached[4].cache, CacheOutcome::Bypass);  // invalid request
+  // The duplicates were served from the cache at least once (exact
+  // hit/miss split depends on scheduling at 2 threads — coalesced
+  // duplicates also count as hits).
+  EXPECT_GE(cache->stats().hits, 2u);
+}
+
+TEST(SolverCache, DeadlineBoundRequestsBypassTheCache) {
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+
+  SolveRequest request;
+  request.soc = "p93791";
+  request.width = 48;
+  request.backend = "enumerative";
+  request.options.max_tams = 16;
+  request.deadline_s = 0.01;
+  const SolveResult result = solver.solve(request);
+  EXPECT_EQ(result.status, Status::DeadlineExceeded);
+  EXPECT_EQ(result.cache, CacheOutcome::Bypass);
+  EXPECT_EQ(cache->stats().hits + cache->stats().misses, 0u);
+  EXPECT_EQ(cache->stats().entries, 0u);
+}
+
+TEST(SolverCache, CancelledSolvesAreNotCached) {
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+
+  SolveRequest request = d695_request(32, "enumerative");
+  request.options.max_tams = 16;
+  CancelToken cancel;
+  std::thread canceller([cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.request_cancel();
+  });
+  const SolveResult result = solver.solve(request, cancel);
+  canceller.join();
+  if (result.status == Status::Cancelled) {
+    // The interrupted best-so-far incumbent must not poison the cache.
+    EXPECT_EQ(cache->stats().entries, 0u);
+  } else {
+    // The solve beat the canceller — then and only then it was cached.
+    EXPECT_EQ(result.status, Status::Ok);
+  }
 }
 
 }  // namespace

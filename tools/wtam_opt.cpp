@@ -34,6 +34,16 @@
 //                     default so results are byte-identical across runs)
 //   --quiet           suppress the per-job progress lines on stderr
 //
+// Either mode:
+//   --cache           memoize results (api::ResultCache): repeated
+//                     identical (SOC, width, backend, options) points are
+//                     served from the cache, byte-identical to the cold
+//                     run; concurrent duplicates coalesce. Results JSON
+//                     is unchanged by the cache (provenance is off the
+//                     canonical bytes); a batch summary goes to stderr
+//   --cache-mb M      cache byte budget in MiB (default 64; implies
+//                     --cache unless M is 0)
+//
 // Exit status: 0 on success (deadline_exceeded is a success: a valid
 // best-so-far schedule was produced), 1 on runtime errors (bad .soc
 // files, unreadable jobs files, invalid/failed jobs in a batch), 2 on
@@ -59,6 +69,7 @@ namespace {
                "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
                "       wtam_opt --batch jobs.json [--threads N] [--out FILE]\n"
                "                [--timing] [--quiet]\n"
+               "       either mode also takes [--cache] [--cache-mb M]\n"
                "built-in SOCs:";
   for (const std::string_view name : wtam::soc::builtin_soc_names())
     std::cerr << " " << name;
@@ -80,7 +91,8 @@ namespace {
 }
 
 int run_batch(const std::string& jobs_path, int threads,
-              const std::string& out_path, bool include_timing, bool quiet) {
+              const std::string& out_path, bool include_timing, bool quiet,
+              std::shared_ptr<wtam::api::ResultCache> cache) {
   using namespace wtam;
   try {
     const std::vector<api::SolveRequest> jobs =
@@ -104,9 +116,16 @@ int run_batch(const std::string& jobs_path, int threads,
         std::cerr << "\n";
       };
 
-    api::Solver solver({threads});
+    api::Solver solver(api::SolverOptions::with_threads(threads, cache));
     const std::vector<api::SolveResult> results =
         solver.solve_batch(jobs, {}, progress);
+
+    if (cache != nullptr && !quiet) {
+      const api::ResultCacheStats stats = cache->stats();
+      std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
+                << " misses, " << stats.entries << " entries ("
+                << stats.bytes / 1024 << " KiB)\n";
+    }
 
     api::ResultsWriteOptions write_options;
     write_options.include_timing = include_timing;
@@ -153,6 +172,8 @@ int main(int argc, char** argv) {
   double budget = 30.0;
   bool gantt = false;
   bool quiet = false;
+  bool use_cache = false;
+  int cache_mb = 64;
   // Flags only the enumerative backend honors; remembered so selecting
   // another backend warns instead of silently ignoring them.
   std::vector<std::string> enumerative_flags;
@@ -207,6 +228,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--gantt") {
       gantt = true;
       single_only_flags.push_back(arg);
+    } else if (arg == "--cache") {
+      use_cache = true;
+    } else if (arg == "--cache-mb") {
+      cache_mb = std::atoi(value());
+      use_cache = cache_mb > 0;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -214,6 +240,14 @@ int main(int argc, char** argv) {
     } else {
       usage(("unknown option " + arg).c_str());
     }
+  }
+
+  if (cache_mb < 0) usage("--cache-mb must be >= 0 (0 disables the cache)");
+  std::shared_ptr<api::ResultCache> cache;
+  if (use_cache) {
+    api::ResultCacheOptions cache_options;
+    cache_options.max_bytes = static_cast<std::size_t>(cache_mb) << 20;
+    cache = std::make_shared<api::ResultCache>(cache_options);
   }
 
   if (!batch_path.empty()) {
@@ -225,7 +259,8 @@ int main(int argc, char** argv) {
              " (configure jobs in the jobs file)")
                 .c_str());
     if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
-    return run_batch(batch_path, threads, out_path, timing, quiet);
+    return run_batch(batch_path, threads, out_path, timing, quiet,
+                     std::move(cache));
   }
   if (!out_path.empty()) usage("--out requires --batch");
   if (timing) usage("--timing requires --batch");
@@ -260,7 +295,9 @@ int main(int argc, char** argv) {
     request.options.run_final_step = final_ilp;
     request.deadline_s = deadline_s;
 
-    const api::SolveResult result = api::Solver().solve(request);
+    const api::SolveResult result =
+        api::Solver(api::SolverOptions::with_threads(1, std::move(cache)))
+            .solve(request);
     if (result.status == api::Status::InvalidRequest ||
         result.status == api::Status::InternalError || !result.has_outcome()) {
       std::cerr << "error: "
@@ -300,6 +337,8 @@ int main(int argc, char** argv) {
     if (result.status != api::Status::Ok)
       std::cout << label("status") << api::to_string(result.status)
                 << " (best-so-far result)\n";
+    if (result.cache != api::CacheOutcome::Bypass)
+      std::cout << label("cache") << api::to_string(result.cache) << "\n";
     if (outcome.architecture)
       std::cout << label("architecture") << outcome.architecture->tam_count()
                 << " TAMs\n";

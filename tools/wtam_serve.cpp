@@ -1,0 +1,283 @@
+// wtam_serve — long-running wrapper/TAM co-optimization service.
+//
+// Speaks newline-delimited JSON (NDJSON) on stdin/stdout: one request
+// per input line, one response object per output line. The job schema is
+// exactly the batch wire format (src/api/job_io.hpp), so anything that
+// can write a jobs file can talk to the server:
+//
+//   {"id": "a", "soc": "d695", "width": 32, "backend": "rectpack"}
+//   {"id": "b", "soc": "d695", "width": 16, "width_max": 24}
+//   {"op": "stats"}
+//   {"op": "cache_clear"}
+//   {"op": "shutdown"}
+//
+// Jobs execute concurrently on a worker pool and results are written
+// *as they complete* — possibly out of submission order; the request
+// `id` is echoed into every result so callers correlate. Every result
+// carries `cache: hit|miss|bypass` (the memoizing ResultCache is on by
+// default; an identical resubmission is served byte-identically without
+// running an engine). Control verbs:
+//   stats        — jobs accepted/completed plus cache counters
+//   cache_clear  — drop every cached entry, then ack
+//   shutdown     — stop reading, drain in-flight jobs, ack, exit 0
+// EOF on stdin behaves like shutdown (without the ack line).
+//
+// Options:
+//   --threads N    concurrent jobs (default 0 = one per hardware thread)
+//   --cache-mb M   cache byte budget in MiB (default 64; 0 disables)
+//   --no-cache     disable the result cache
+//   --timing       include cpu_s/wall_s in results (off by default so
+//                  responses are byte-identical across runs)
+//   --quiet        no startup banner on stderr
+//
+// Exit status: 0 on clean shutdown/EOF, 2 on usage errors. Malformed
+// request lines are answered with an {"error": ...} object (the id is
+// echoed when one can be salvaged) and the server keeps serving — a bad
+// client must not take the service down.
+
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/job_io.hpp"
+#include "api/result_cache.hpp"
+#include "api/solver.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace wtam;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: wtam_serve [--threads N] [--cache-mb M] [--no-cache]\n"
+               "                  [--timing] [--quiet]\n"
+               "NDJSON protocol on stdin/stdout; see README (wtam_serve).\n";
+  std::exit(2);
+}
+
+/// Serializes response lines: results may complete on any worker, but
+/// each NDJSON line must hit stdout whole and be flushed (callers block
+/// on our output).
+class LineWriter {
+ public:
+  void write(const api::JsonValue& value) {
+    const std::string line = value.dump_compact_string();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::cout << line << '\n' << std::flush;
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+api::JsonValue error_response(const std::string& id,
+                              const std::string& message) {
+  api::JsonValue response = api::JsonValue::object();
+  if (!id.empty()) response.set("id", api::JsonValue::string(id));
+  response.set("error", api::JsonValue::string(message));
+  return response;
+}
+
+/// Best-effort id extraction from a parsed request that failed later
+/// validation, so the client can still correlate the error response.
+std::string salvage_id(const api::JsonValue& value) {
+  if (const api::JsonValue* id = value.find("id"))
+    if (id->kind() == api::JsonValue::Kind::String) return id->as_string();
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 0;  // server default: use the hardware
+  std::size_t cache_mb = 64;
+  bool use_cache = true;
+  bool timing = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::atoi(value());
+      if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
+    } else if (arg == "--cache-mb") {
+      const int mb = std::atoi(value());
+      if (mb < 0) usage("--cache-mb must be >= 0 (0 disables the cache)");
+      cache_mb = static_cast<std::size_t>(mb);
+      use_cache = mb > 0;
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+
+  std::shared_ptr<api::ResultCache> cache;
+  if (use_cache) {
+    api::ResultCacheOptions cache_options;
+    cache_options.max_bytes = cache_mb << 20;
+    cache = std::make_shared<api::ResultCache>(cache_options);
+  }
+  // Each job runs through one shared Solver (single-solve calls are
+  // thread-safe; the cache coalesces concurrent identical jobs).
+  const api::Solver solver(api::SolverOptions::with_threads(1, cache));
+  api::ResultsWriteOptions write_options;
+  write_options.include_timing = timing;
+  write_options.include_cache = true;
+
+  LineWriter out;
+
+  // In-flight accounting: shutdown/EOF drain before exiting, and `stats`
+  // reports progress.
+  std::mutex pending_mutex;
+  std::condition_variable drained;
+  std::size_t pending = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+
+  // Declared after everything its workers reference, so the pool's
+  // joining destructor runs first on every exit path.
+  const int workers =
+      threads == 0 ? common::ThreadPool::hardware_threads() : threads;
+  common::ThreadPool pool(workers);
+
+  const auto wait_for_drain = [&] {
+    std::unique_lock<std::mutex> lock(pending_mutex);
+    drained.wait(lock, [&] { return pending == 0; });
+  };
+
+  if (!quiet)
+    std::cerr << "wtam_serve: ready (" << workers << " workers, cache "
+              << (cache ? std::to_string(cache_mb) + " MiB" : "off")
+              << "); one JSON request per line, {\"op\": \"shutdown\"} to "
+                 "stop\n";
+
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+
+    // Each line is parsed exactly once; control verbs are handled inline
+    // on the read loop, jobs go to the pool so the loop keeps accepting
+    // while engines run.
+    api::JsonValue value;
+    try {
+      value = api::JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      out.write(error_response({}, "line " + std::to_string(line_number) +
+                                       ": " + e.what()));
+      continue;
+    }
+    if (const api::JsonValue* op = value.find("op")) {
+      try {
+        const std::string verb = op->as_string();
+        if (verb == "shutdown") {
+          wait_for_drain();
+          api::JsonValue response = api::JsonValue::object();
+          response.set("op", api::JsonValue::string("shutdown"));
+          response.set("ok", api::JsonValue::boolean(true));
+          response.set("jobs", api::JsonValue::number(
+                                   static_cast<std::int64_t>(completed)));
+          out.write(response);
+          return 0;
+        } else if (verb == "stats") {
+          api::JsonValue response = api::JsonValue::object();
+          response.set("op", api::JsonValue::string("stats"));
+          {
+            const std::lock_guard<std::mutex> lock(pending_mutex);
+            response.set("accepted", api::JsonValue::number(
+                                         static_cast<std::int64_t>(accepted)));
+            response.set("completed", api::JsonValue::number(
+                                          static_cast<std::int64_t>(completed)));
+            response.set("pending", api::JsonValue::number(
+                                        static_cast<std::int64_t>(pending)));
+          }
+          if (cache) {
+            const api::ResultCacheStats stats = cache->stats();
+            api::JsonValue cache_json = api::JsonValue::object();
+            const auto set_count = [&](const char* key, std::uint64_t count) {
+              cache_json.set(key, api::JsonValue::number(
+                                      static_cast<std::int64_t>(count)));
+            };
+            set_count("hits", stats.hits);
+            set_count("misses", stats.misses);
+            set_count("coalesced", stats.coalesced);
+            set_count("insertions", stats.insertions);
+            set_count("evictions", stats.evictions);
+            set_count("entries", stats.entries);
+            set_count("bytes", stats.bytes);
+            set_count("max_bytes", stats.max_bytes);
+            response.set("cache", std::move(cache_json));
+          }
+          out.write(response);
+        } else if (verb == "cache_clear") {
+          if (cache) cache->clear();
+          api::JsonValue response = api::JsonValue::object();
+          response.set("op", api::JsonValue::string("cache_clear"));
+          response.set("ok", api::JsonValue::boolean(cache != nullptr));
+          out.write(response);
+        } else {
+          out.write(error_response(
+              salvage_id(value), "unknown op '" + verb +
+                                     "' (known: stats, cache_clear, "
+                                     "shutdown)"));
+        }
+      } catch (const std::exception& e) {
+        out.write(error_response(salvage_id(value),
+                                 "line " + std::to_string(line_number) + ": " +
+                                     e.what()));
+      }
+      continue;
+    }
+
+    api::SolveRequest request;
+    try {
+      request = api::job_from_json(value);
+    } catch (const std::exception& e) {
+      out.write(error_response(salvage_id(value),
+                               "line " + std::to_string(line_number) + ": " +
+                                   e.what()));
+      continue;
+    }
+    std::uint64_t job_number = 0;
+    {
+      const std::lock_guard<std::mutex> lock(pending_mutex);
+      ++pending;
+      job_number = ++accepted;
+    }
+    if (request.id.empty())
+      request.id = "job-" + std::to_string(job_number);
+
+    pool.submit([&, request = std::move(request)] {
+      // Solver::solve never throws: every failure mode is a Status.
+      const api::SolveResult result = solver.solve(request);
+      out.write(api::result_to_json(result, write_options));
+      {
+        const std::lock_guard<std::mutex> lock(pending_mutex);
+        --pending;
+        ++completed;
+        if (pending == 0) drained.notify_all();
+      }
+    });
+  }
+
+  // EOF: drain and exit like a silent shutdown.
+  wait_for_drain();
+  return 0;
+}
