@@ -29,6 +29,8 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/backend.hpp"
+#include "core/constraints.hpp"
+#include "core/power.hpp"
 #include "soc/benchmarks.hpp"
 #include "soc/generator.hpp"
 
@@ -194,6 +196,131 @@ int main() {
             << common::format_fixed(cache_stats.hit_rate() * 100.0, 1)
             << "%)\n";
 
+  // ---- constrained scenarios --------------------------------------------
+  // The same points under scenario constraints (ISSUE-5): d695 with
+  // scan-activity powers plus two seeded synthetic constrained SOCs,
+  // each at {no constraints, power budget, power + precedence}, W=32.
+  // Records the testing-time inflation each constraint level costs over
+  // the unconstrained baseline of the same (SOC, backend). rectpack runs
+  // every level; enumerative skips power+precedence (it reports
+  // unsupported_constraint for precedence by contract).
+  struct ConstrainedPoint {
+    std::string soc_label;
+    std::string backend;
+    std::string variant;
+    const soc::Soc* soc;
+    core::ScheduleConstraints constraints;
+  };
+  std::vector<ConstrainedPoint> points;
+
+  soc::Soc d695_soc = socs.front();
+  core::ScheduleConstraints d695_power;
+  d695_power.power = core::scan_activity_power(d695_soc);
+  for (const std::int64_t p : d695_power.power)
+    d695_power.power_budget = std::max(d695_power.power_budget, p);
+  core::ScheduleConstraints d695_power_prec = d695_power;
+  d695_power_prec.precedence = {{0, 5}, {1, 5}, {5, 9}};
+
+  std::vector<soc::ConstrainedScenario> scenarios;
+  for (const std::uint64_t seed : {7ULL, 19ULL}) {
+    soc::ConstrainedScenarioSpec spec;
+    spec.soc.name = "csynth" + std::to_string(seed);
+    spec.soc.seed = seed;
+    spec.soc.logic_cores = 9;
+    spec.soc.logic.patterns = {20, 400};
+    spec.soc.logic.ios = {10, 150};
+    spec.soc.logic.chains = {1, 10};
+    spec.soc.logic.chain_len = {20, 160};
+    spec.soc.memory_cores = 4;
+    spec.soc.memory.patterns = {100, 2000};
+    spec.soc.memory.ios = {8, 40};
+    spec.seed = seed;
+    spec.power_budget_fraction = 0.35;
+    spec.precedence_edges = 6;
+    scenarios.push_back(soc::generate_constrained_scenario(spec));
+  }
+
+  const auto add_points = [&points](const std::string& label,
+                                    const soc::Soc& soc,
+                                    const core::ScheduleConstraints& power,
+                                    const core::ScheduleConstraints& full) {
+    for (const auto& backend : {std::string("enumerative"),
+                                std::string("rectpack")}) {
+      points.push_back({label, backend, "none", &soc, {}});
+      points.push_back({label, backend, "power", &soc, power});
+      if (backend == "rectpack")  // enumerative: unsupported by contract
+        points.push_back({label, backend, "power+precedence", &soc, full});
+    }
+  };
+  add_points("d695", d695_soc, d695_power, d695_power_prec);
+  for (const auto& scenario : scenarios) {
+    core::ScheduleConstraints power_only;
+    power_only.power = scenario.constraints.power;
+    power_only.power_budget = scenario.constraints.power_budget;
+    add_points(scenario.soc.name, scenario.soc, power_only,
+               scenario.constraints);
+  }
+
+  std::vector<api::SolveRequest> constrained_jobs;
+  for (const ConstrainedPoint& point : points) {
+    api::SolveRequest request;
+    request.id = point.soc_label + "-" + point.backend + "-" + point.variant;
+    request.soc_value = *point.soc;
+    request.width = 32;
+    request.backend = point.backend;
+    request.options.constraints = point.constraints;
+    constrained_jobs.push_back(std::move(request));
+  }
+  const auto constrained_results = solver.solve_batch(constrained_jobs);
+
+  common::TextTable constrained_table(
+      "Constrained scenarios (W=32, vs unconstrained baseline)");
+  constrained_table.set_header(
+      {"soc", "backend", "variant", "T (cycles)", "inflation %"},
+      {common::Align::Left, common::Align::Left, common::Align::Left,
+       common::Align::Right, common::Align::Right});
+  bench::Json constrained_runs = bench::Json::array();
+  std::map<std::string, std::int64_t> baselines;  // (soc, backend) -> T
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ConstrainedPoint& point = points[i];
+    const api::SolveResult& result = constrained_results[i];
+    bench::Json entry = bench::Json::object();
+    entry.set("soc", bench::Json::string(point.soc_label));
+    entry.set("backend", bench::Json::string(point.backend));
+    entry.set("variant", bench::Json::string(point.variant));
+    if (result.status != api::Status::Ok || !result.has_outcome()) {
+      std::cerr << "error: constrained job " << result.id << " ended "
+                << api::to_string(result.status) << " " << result.error
+                << "\n";
+      all_ok = false;
+      entry.set("status", bench::Json::string(
+                              std::string(api::to_string(result.status))));
+      constrained_runs.push(std::move(entry));
+      continue;
+    }
+    all_ok = all_ok && result.schedule_valid;
+    const std::int64_t time = result.outcome->testing_time;
+    const std::string baseline_key = point.soc_label + "/" + point.backend;
+    if (point.variant == "none") baselines[baseline_key] = time;
+    const auto baseline_it = baselines.find(baseline_key);
+    const std::int64_t baseline =
+        baseline_it != baselines.end() ? baseline_it->second : 0;
+    const double inflation =
+        baseline > 0 ? (static_cast<double>(time) -
+                        static_cast<double>(baseline)) /
+                           static_cast<double>(baseline) * 100.0
+                     : 0.0;
+    constrained_table.add_row(
+        {point.soc_label, point.backend, point.variant, std::to_string(time),
+         common::format_signed_percent(inflation)});
+    entry.set("testing_time", bench::Json::number(time));
+    entry.set("inflation_pct", bench::Json::number(inflation));
+    entry.set("schedule_valid", bench::Json::boolean(result.schedule_valid));
+    entry.set("cpu_s", bench::Json::number(result.outcome->cpu_s));
+    constrained_runs.push(std::move(entry));
+  }
+  std::cout << constrained_table << "\n";
+
   // ---- machine-readable artifact ----------------------------------------
   bench::Json document = bench::Json::object();
   document.set("bench", bench::Json::string("backends"));
@@ -222,6 +349,7 @@ int main() {
   cache_json.set("bytes", bench::Json::number(
                               static_cast<std::int64_t>(cache_stats.bytes)));
   document.set("cache_replay", std::move(cache_json));
+  document.set("constrained", std::move(constrained_runs));
 
   document.set("runs", std::move(runs));
 

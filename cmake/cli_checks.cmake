@@ -115,7 +115,50 @@ if(NOT results STREQUAL results_cached)
   message(FATAL_ERROR "batch results differ with --cache on")
 endif()
 
-message(STATUS "wtam_opt CLI exit-status contract holds (incl. --batch)")
+# ---- constrained batch round trip ------------------------------------------
+# Same SOC/width/backend with and without a power budget, plus an exact
+# resubmission of the constrained job. Cold run (no cache) and warm run
+# (cache, serial so the resubmission hits the stored entry) must produce
+# byte-identical results files; the cache summary must report exactly one
+# hit and two misses — i.e. constrained and unconstrained jobs have
+# different cache keys, and the constrained resubmission reuses its own.
+file(WRITE ${WORK_DIR}/cli_constrained_jobs.json "{\"jobs\": [
+  {\"id\": \"plain\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"},
+  {\"id\": \"power\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\",
+   \"constraints\": {\"power\": [100,100,100,100,100,100,100,100,100,100],
+                     \"power_budget\": 100}},
+  {\"id\": \"power-again\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\",
+   \"constraints\": {\"power\": [100,100,100,100,100,100,100,100,100,100],
+                     \"power_budget\": 100}}
+]}")
+expect_run(0 "" --batch ${WORK_DIR}/cli_constrained_jobs.json --threads 2
+             --out ${WORK_DIR}/cli_constrained_cold.json --quiet)
+file(READ ${WORK_DIR}/cli_constrained_cold.json constrained_cold)
+foreach(i RANGE 2)
+  string(JSON status GET "${constrained_cold}" results ${i} status)
+  string(JSON valid GET "${constrained_cold}" results ${i} schedule_valid)
+  if(NOT status STREQUAL "ok" OR NOT valid STREQUAL "ON")
+    message(FATAL_ERROR "constrained batch result ${i}: status '${status}', "
+                        "schedule_valid '${valid}'")
+  endif()
+endforeach()
+string(JSON plain_time GET "${constrained_cold}" results 0 testing_time)
+string(JSON power_time GET "${constrained_cold}" results 1 testing_time)
+if(NOT power_time GREATER plain_time)
+  message(FATAL_ERROR "power-budget job (${power_time}) should be slower "
+                      "than the unconstrained job (${plain_time})")
+endif()
+expect_run(0 "cache: 1 hits, 2 misses"
+             --batch ${WORK_DIR}/cli_constrained_jobs.json --threads 1 --cache
+             --out ${WORK_DIR}/cli_constrained_warm.json)
+file(READ ${WORK_DIR}/cli_constrained_warm.json constrained_warm)
+if(NOT constrained_cold STREQUAL constrained_warm)
+  message(FATAL_ERROR "constrained batch results differ between the cold "
+                      "run and the warm --cache run")
+endif()
+
+message(STATUS "wtam_opt CLI exit-status contract holds (incl. --batch and "
+               "constrained jobs)")
 
 # ---- wtam_serve (NDJSON service smoke check) -------------------------------
 
@@ -123,13 +166,15 @@ if(NOT DEFINED WTAM_SERVE)
   message(FATAL_ERROR "pass -DWTAM_SERVE=<binary>")
 endif()
 
-# 3 distinct requests, a resubmission of the first (must be served from
-# the cache), a stats probe, and a shutdown. Responses may arrive out of
-# submission order; ids correlate them.
+# 4 distinct requests (one carrying an inline constraints block), a
+# resubmission of the first (must be served from the cache), a stats
+# probe, and a shutdown. Responses may arrive out of submission order;
+# ids correlate them.
 file(WRITE ${WORK_DIR}/serve_session.ndjson
 "{\"id\": \"a\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
 {\"id\": \"b\", \"soc\": \"d695\", \"width\": 24, \"backend\": \"rectpack\"}
 {\"id\": \"c\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"enumerative\", \"max_tams\": 4}
+{\"id\": \"d\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\", \"constraints\": {\"power\": [100,100,100,100,100,100,100,100,100,100], \"power_budget\": 200}}
 {\"id\": \"a-again\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
 {\"op\": \"stats\"}
 {\"op\": \"shutdown\"}
@@ -143,14 +188,19 @@ if(NOT serve_code EQUAL 0)
   message(FATAL_ERROR "wtam_serve: exit ${serve_code}\nstderr: ${serve_err}")
 endif()
 string(REGEX REPLACE "\n+$" "" serve_out "${serve_out}")
-string(REPLACE "\n" ";" serve_lines "${serve_out}")
+# Response bodies may contain literal ';' (the canonical constraints
+# detail), which would split CMake lists — hide them before splitting
+# on newlines, restore per line.
+string(REPLACE ";" "<semi>" serve_escaped "${serve_out}")
+string(REPLACE "\n" ";" serve_lines "${serve_escaped}")
 list(LENGTH serve_lines serve_line_count)
-if(NOT serve_line_count EQUAL 6)
-  message(FATAL_ERROR "wtam_serve: expected 6 response lines, got "
+if(NOT serve_line_count EQUAL 7)
+  message(FATAL_ERROR "wtam_serve: expected 7 response lines, got "
                       "${serve_line_count}:\n${serve_out}")
 endif()
 set(seen_ids "")
 foreach(line IN LISTS serve_lines)
+  string(REPLACE "<semi>" ";" line "${line}")
   string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
   if(no_op STREQUAL "NOTFOUND")
     continue()  # control response (stats/shutdown), checked below
@@ -168,7 +218,7 @@ foreach(line IN LISTS serve_lines)
   list(APPEND seen_ids ${id})
 endforeach()
 list(SORT seen_ids)
-if(NOT seen_ids STREQUAL "a;a-again;b;c")
+if(NOT seen_ids STREQUAL "a;a-again;b;c;d")
   message(FATAL_ERROR "wtam_serve: job ids '${seen_ids}' incomplete")
 endif()
 if(NOT serve_out MATCHES "\"op\": \"stats\"")

@@ -50,7 +50,157 @@ std::uint64_t as_seed(const JsonValue& value, const char* key) {
   return static_cast<std::uint64_t>(parsed);
 }
 
+/// Reads an array of fixed-arity integer tuples ("precedence": [[0,2]]).
+/// `arity` is 2 or 3; every element must be an array of that many
+/// integers.
+std::vector<std::vector<std::int64_t>> as_tuple_array(const JsonValue& value,
+                                                      const char* key,
+                                                      std::size_t arity) {
+  if (!value.is_array())
+    bad_job(std::string("constraints field '") + key +
+            "' must be an array of [" +
+            (arity == 2 ? "a, b" : "a, b, c") + "] entries");
+  std::vector<std::vector<std::int64_t>> tuples;
+  tuples.reserve(value.elements().size());
+  for (const JsonValue& entry : value.elements()) {
+    if (!entry.is_array() || entry.elements().size() != arity)
+      bad_job(std::string("constraints field '") + key +
+              "' entries must be arrays of " + std::to_string(arity) +
+              " integers");
+    std::vector<std::int64_t> tuple;
+    tuple.reserve(arity);
+    for (const JsonValue& element : entry.elements()) {
+      try {
+        tuple.push_back(element.as_int());
+      } catch (const std::exception&) {
+        bad_job(std::string("constraints field '") + key +
+                "' entries must be arrays of " + std::to_string(arity) +
+                " integers");
+      }
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+int as_core_index(std::int64_t value, const char* key) {
+  if (value < 0 || value > std::numeric_limits<int>::max())
+    bad_job(std::string("constraints field '") + key +
+            "' has a core index out of range");
+  return static_cast<int>(value);
+}
+
+int as_wire_index(std::int64_t value, const char* key) {
+  if (value < 0 || value > 256)
+    bad_job(std::string("constraints field '") + key +
+            "' has a wire index outside [0, 256]");
+  return static_cast<int>(value);
+}
+
 }  // namespace
+
+core::ScheduleConstraints constraints_from_json(const JsonValue& value) {
+  if (!value.is_object()) bad_job("'constraints' must be an object");
+  core::ScheduleConstraints constraints;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "power") {
+      if (!field.is_array())
+        bad_job("constraints field 'power' must be an array of integers");
+      for (const JsonValue& entry : field.elements()) {
+        try {
+          constraints.power.push_back(entry.as_int());
+        } catch (const std::exception&) {
+          bad_job("constraints field 'power' must be an array of integers");
+        }
+      }
+    } else if (key == "power_budget") {
+      try {
+        constraints.power_budget = field.as_int();
+      } catch (const std::exception&) {
+        bad_job("constraints field 'power_budget' must be an integer");
+      }
+      if (constraints.power_budget < 0)
+        bad_job("constraints field 'power_budget' must be >= 0");
+    } else if (key == "precedence") {
+      for (const auto& pair : as_tuple_array(field, "precedence", 2))
+        constraints.precedence.push_back(
+            {as_core_index(pair[0], "precedence"),
+             as_core_index(pair[1], "precedence")});
+    } else if (key == "fixed") {
+      for (const auto& triple : as_tuple_array(field, "fixed", 3))
+        constraints.fixed.push_back(
+            {as_core_index(triple[0], "fixed"),
+             {as_wire_index(triple[1], "fixed"),
+              as_wire_index(triple[2], "fixed")}});
+    } else if (key == "forbidden") {
+      for (const auto& triple : as_tuple_array(field, "forbidden", 3))
+        constraints.forbidden.push_back(
+            {as_core_index(triple[0], "forbidden"),
+             {as_wire_index(triple[1], "forbidden"),
+              as_wire_index(triple[2], "forbidden")}});
+    } else if (key == "earliest_start") {
+      for (const auto& pair : as_tuple_array(field, "earliest_start", 2)) {
+        if (pair[1] < 0)
+          bad_job("constraints field 'earliest_start' cycles must be >= 0");
+        constraints.earliest.push_back(
+            {as_core_index(pair[0], "earliest_start"), pair[1]});
+      }
+    } else {
+      bad_job("unknown constraints field '" + key + "'");
+    }
+  }
+  return constraints;
+}
+
+JsonValue constraints_to_json(const core::ScheduleConstraints& constraints) {
+  JsonValue block = JsonValue::object();
+  if (!constraints.power.empty()) {
+    JsonValue power = JsonValue::array();
+    for (const std::int64_t p : constraints.power)
+      power.push(JsonValue::number(p));
+    block.set("power", std::move(power));
+  }
+  if (constraints.power_budget != 0)
+    block.set("power_budget", JsonValue::number(constraints.power_budget));
+  const auto push_pair = [](JsonValue& array, std::int64_t a, std::int64_t b) {
+    JsonValue pair = JsonValue::array();
+    pair.push(JsonValue::number(a));
+    pair.push(JsonValue::number(b));
+    array.push(std::move(pair));
+  };
+  if (!constraints.precedence.empty()) {
+    JsonValue precedence = JsonValue::array();
+    for (const auto& pair : constraints.precedence)
+      push_pair(precedence, pair.before, pair.after);
+    block.set("precedence", std::move(precedence));
+  }
+  const auto set_intervals =
+      [](JsonValue& block_ref, const char* key,
+         const std::vector<core::CoreWireInterval>& intervals) {
+        if (intervals.empty()) return;
+        JsonValue array = JsonValue::array();
+        for (const auto& entry : intervals) {
+          JsonValue triple = JsonValue::array();
+          triple.push(
+              JsonValue::number(static_cast<std::int64_t>(entry.core)));
+          triple.push(
+              JsonValue::number(static_cast<std::int64_t>(entry.wires.lo)));
+          triple.push(
+              JsonValue::number(static_cast<std::int64_t>(entry.wires.hi)));
+          array.push(std::move(triple));
+        }
+        block_ref.set(key, std::move(array));
+      };
+  set_intervals(block, "fixed", constraints.fixed);
+  set_intervals(block, "forbidden", constraints.forbidden);
+  if (!constraints.earliest.empty()) {
+    JsonValue earliest = JsonValue::array();
+    for (const auto& entry : constraints.earliest)
+      push_pair(earliest, entry.core, entry.cycle);
+    block.set("earliest_start", std::move(earliest));
+  }
+  return block;
+}
 
 JsonValue job_to_json(const SolveRequest& request) {
   if (request.soc_value.has_value())
@@ -95,6 +245,8 @@ JsonValue job_to_json(const SolveRequest& request) {
             JsonValue::number(
                 static_cast<std::int64_t>(request.options.rectpack.seed)));
   }
+  if (!request.options.constraints.empty())
+    job.set("constraints", constraints_to_json(request.options.constraints));
   if (request.deadline_s.has_value())
     job.set("deadline_s", JsonValue::number(*request.deadline_s));
   if (request.priority != 0)
@@ -137,6 +289,8 @@ SolveRequest job_from_json(const JsonValue& value) {
           field, "rectpack_iterations", 0, std::numeric_limits<int>::max());
     } else if (key == "rectpack_seed") {
       request.options.rectpack.seed = as_seed(field, "rectpack_seed");
+    } else if (key == "constraints") {
+      request.options.constraints = constraints_from_json(field);
     } else if (key == "deadline_s") {
       double deadline = 0.0;
       try {

@@ -10,12 +10,20 @@
 //     "threads": 1, "run_final_step": true,
 //     "rectpack_iterations": 2000, "rectpack_seed": 1,
 //     "deadline_s": 5.0, "priority": 0, "tag": "nightly",
+//     "constraints": {                     // optional scenario constraints
+//       "power": [120, 80, ...],           //   per-core draw (one per core)
+//       "power_budget": 300,               //   peak concurrent power
+//       "precedence": [[0, 2], [1, 2]],    //   [before, after] pairs
+//       "fixed": [[3, 0, 8]],              //   [core, lo, hi) wire interval
+//       "forbidden": [[4, 8, 16]],         //   [core, lo, hi) to avoid
+//       "earliest_start": [[5, 1000]] },   //   [core, cycle]
 //     "soc_inline": "soc x\ncore ..." }    // instead of "soc"
 //
-// Unknown keys are rejected (typos should fail loudly, not silently run
-// a default). Results serialize deterministically — timing fields are
-// opt-in — so a batch's results JSON is byte-identical across runs and
-// thread counts whenever every job is deterministic.
+// Unknown keys are rejected — in jobs and inside the constraints block
+// alike (typos should fail loudly, not silently run a default). Results
+// serialize deterministically — timing fields are opt-in — so a batch's
+// results JSON is byte-identical across runs and thread counts whenever
+// every job is deterministic.
 
 #pragma once
 
@@ -32,6 +40,16 @@ namespace wtam::api {
 /// job_from_json throws std::runtime_error on malformed/unknown fields.
 [[nodiscard]] JsonValue job_to_json(const SolveRequest& request);
 [[nodiscard]] SolveRequest job_from_json(const JsonValue& value);
+
+/// The constraints block alone (the schema documented above), shared by
+/// the job parser and `wtam_opt --constraints file.json`. Strict:
+/// unknown keys and malformed entries throw std::runtime_error.
+/// constraints_to_json emits only the populated classes; an empty
+/// constraint set round-trips through an empty object.
+[[nodiscard]] core::ScheduleConstraints constraints_from_json(
+    const JsonValue& value);
+[[nodiscard]] JsonValue constraints_to_json(
+    const core::ScheduleConstraints& constraints);
 
 /// Whole jobs documents. parse_jobs throws std::runtime_error with
 /// context on malformed JSON or jobs.

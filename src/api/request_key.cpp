@@ -60,6 +60,13 @@ std::string canonical_options(const std::string& backend,
         std::to_string(options.rectpack.local_search_iterations));
     pairs.emplace_back("rectpack_seed", std::to_string(options.rectpack.seed));
   }
+  // Constraints change the feasible set for every backend, so their
+  // canonical (normalized) form is always part of the identity — the
+  // cache must never conflate constrained and unconstrained asks. Empty
+  // constraints render nothing, keeping pre-constraint keys stable.
+  if (!options.constraints.empty())
+    pairs.emplace_back("constraints",
+                       core::canonical_constraints(options.constraints));
   return render_options(std::move(pairs));
 }
 

@@ -55,7 +55,10 @@ struct RequestKey {
 /// rectpack: iterations/seed), sorted by key. Unknown backends render
 /// every result-relevant field (conservative: distinct options never
 /// alias). options.threads is always excluded — results are
-/// thread-count invariant by contract.
+/// thread-count invariant by contract. Non-empty schedule constraints
+/// are always included in canonical (normalized) form, for every
+/// backend: the same point with and without constraints is different
+/// work and must never share a cache entry.
 [[nodiscard]] std::string canonical_options(const std::string& backend,
                                             const core::BackendOptions& options);
 

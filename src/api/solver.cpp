@@ -49,8 +49,13 @@ WidthSolve solve_width(const core::OptimizerBackend& backend,
   solve.outcome = backend.optimize(table, width, options, context);
   solve.lower_bound =
       core::testing_time_lower_bounds(table, width).combined();
+  // The constraint-aware validator: a constrained request's schedule is
+  // only "valid" when it honors the constraints too (the overload
+  // reduces to the geometric validator for empty constraints).
   solve.schedule_valid =
-      pack::validate_packed_schedule(table, solve.outcome.schedule).empty();
+      pack::validate_packed_schedule(table, solve.outcome.schedule,
+                                     options.constraints)
+          .empty();
   return solve;
 }
 
@@ -96,6 +101,24 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
   }
   result.soc_name = soc.name;
   result.core_count = soc.core_count();
+
+  // Constraints validate against the resolved model: core indices, the
+  // power vector size, and wire intervals against the narrowest swept
+  // width (intervals inside [0, width) hold for every wider strip).
+  if (!request.options.constraints.empty()) {
+    const std::vector<std::string> issues = core::validate_constraints(
+        request.options.constraints, soc.core_count(), request.width);
+    if (!issues.empty()) {
+      result.status = Status::InvalidRequest;
+      result.error = "invalid constraints: " + issues.front() +
+                     (issues.size() > 1
+                          ? " (+" + std::to_string(issues.size() - 1) +
+                                " more)"
+                          : "");
+      result.wall_s = watch.elapsed_s();
+      return result;
+    }
+  }
 
   try {
     const core::OptimizerBackend& backend =
@@ -190,7 +213,8 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
             core::testing_time_lower_bounds(*best_table, best_width)
                 .combined();
         best->schedule_valid =
-            pack::validate_packed_schedule(*best_table, best->outcome.schedule)
+            pack::validate_packed_schedule(*best_table, best->outcome.schedule,
+                                           request.options.constraints)
                 .empty();
       }
       result.width = best_width;
@@ -203,6 +227,11 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
                          ? CacheOutcome::Hit
                          : CacheOutcome::Miss;
     result.status = status_from_interrupt(interrupt);
+  } catch (const core::UnsupportedConstraintError& e) {
+    // A backend refusing a constraint class is a request problem (pick a
+    // constraint-complete backend), not an engine failure.
+    result.status = Status::InvalidRequest;
+    result.error = e.what();
   } catch (const std::exception& e) {
     result.status = Status::InternalError;
     result.error = e.what();
@@ -313,6 +342,14 @@ std::string validate(const SolveRequest& request) {
     return "bad TAM range (need 1 <= min_tams <= max_tams)";
   if (request.options.rectpack.local_search_iterations < 0)
     return "rectpack.local_search_iterations must be >= 0";
+  if (!request.options.constraints.empty()) {
+    // Structural pre-validation (negative indices/budgets, malformed
+    // intervals, cycles); the model-dependent checks run after the SOC
+    // resolves.
+    const std::vector<std::string> issues =
+        core::validate_constraints(request.options.constraints, -1, -1);
+    if (!issues.empty()) return "invalid constraints: " + issues.front();
+  }
   return {};
 }
 

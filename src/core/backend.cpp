@@ -4,10 +4,28 @@
 #include <stdexcept>
 
 #include "core/co_optimizer.hpp"
+#include "core/power.hpp"
 
 namespace wtam::core {
 
 namespace {
+
+/// Names the constraint classes in `constraints` outside `supported`
+/// (a comma-separated list) — empty when everything is supported.
+std::string unsupported_classes(const ScheduleConstraints& constraints,
+                                bool supports_power) {
+  std::string classes;
+  const auto add = [&classes](const char* name) {
+    if (!classes.empty()) classes += ", ";
+    classes += name;
+  };
+  if (constraints.has_power() && !supports_power) add("power");
+  if (!constraints.precedence.empty()) add("precedence");
+  if (!constraints.fixed.empty()) add("fixed wire intervals");
+  if (!constraints.forbidden.empty()) add("forbidden wire intervals");
+  if (!constraints.earliest.empty()) add("earliest_start");
+  return classes;
+}
 
 class EnumerativeBackend final : public OptimizerBackend {
  public:
@@ -22,6 +40,12 @@ class EnumerativeBackend final : public OptimizerBackend {
       const TestTimeTable& table, int total_width,
       const BackendOptions& options,
       const SolveContext& context) const override {
+    const ScheduleConstraints& constraints = options.constraints;
+    if (const std::string classes =
+            unsupported_classes(constraints, /*supports_power=*/true);
+        !classes.empty())
+      throw UnsupportedConstraintError(std::string(name()), classes);
+
     CoOptimizeOptions co;
     co.search.min_tams = options.min_tams;
     co.search.max_tams = options.max_tams;
@@ -43,6 +67,31 @@ class EnumerativeBackend final : public OptimizerBackend {
         "assignment", format_assignment(result.architecture.assignment));
     outcome.details.emplace_back(
         "heuristic time", std::to_string(result.heuristic.best.testing_time));
+
+    if (constraints.has_power()) {
+      // Honor the budget on the architecture the power-blind search
+      // chose: sessions are delayed just enough (greedy list scheduling,
+      // core/power.hpp) and the delayed test-bus schedule is lowered to
+      // the unified packing. The makespan can only grow.
+      const PowerConstrainedResult limited = schedule_with_power_limit(
+          table, result.architecture, constraints.power,
+          constraints.power_budget);
+      if (!limited.feasible)
+        // validate_constraints rejects single cores above the budget, so
+        // this only fires for callers that skipped validation.
+        throw std::invalid_argument(
+            "enumerative backend: power budget infeasible (a single core "
+            "exceeds it)");
+      outcome.schedule = pack::from_schedule(result.architecture,
+                                             limited.schedule);
+      outcome.testing_time = limited.schedule.makespan;
+      outcome.details.emplace_back("power budget",
+                                   std::to_string(constraints.power_budget));
+      outcome.details.emplace_back("peak power",
+                                   std::to_string(limited.peak));
+      outcome.details.emplace_back("power idle cycles",
+                                   std::to_string(limited.idle_cycles));
+    }
     return outcome;
   }
 };
@@ -62,6 +111,8 @@ class RectPackBackend final : public OptimizerBackend {
       const SolveContext& context) const override {
     pack::RectPackOptions rectpack = options.rectpack;
     rectpack.context = &context;
+    rectpack.threads = options.threads;
+    rectpack.constraints = options.constraints;
     const auto result = pack::rectpack_schedule(table, total_width, rectpack);
 
     BackendOutcome outcome;
@@ -72,6 +123,9 @@ class RectPackBackend final : public OptimizerBackend {
     outcome.interrupt = result.interrupt;
     outcome.details.emplace_back("seed ordering", result.seed_ordering);
     outcome.details.emplace_back("repacks", std::to_string(result.repacks));
+    if (!options.constraints.empty())
+      outcome.details.emplace_back(
+          "constraints", canonical_constraints(options.constraints));
     std::ostringstream utilization;
     utilization << static_cast<int>(
                        pack::strip_utilization(result.schedule) * 100.0 + 0.5)

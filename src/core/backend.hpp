@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/constraints.hpp"
 #include "core/solve_context.hpp"
 #include "core/tam_types.hpp"
 #include "core/test_time_table.hpp"
@@ -41,6 +42,12 @@ struct BackendOptions {
   bool run_final_step = true;
   /// Options for the rectangle-packing backend.
   pack::RectPackOptions rectpack;
+  /// Scenario constraints the schedule must honor. rectpack is
+  /// constraint-complete; the enumerative backend honors the power
+  /// budget (via the test-bus power machinery) and throws
+  /// UnsupportedConstraintError for the other classes, which the Solver
+  /// reports as invalid_request — never silently ignored.
+  ScheduleConstraints constraints;
 };
 
 struct BackendOutcome {

@@ -1,0 +1,253 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace wtam::core {
+
+namespace {
+
+bool interval_well_formed(const WireInterval& wires, int total_width) {
+  return wires.lo >= 0 && wires.lo < wires.hi &&
+         (total_width < 0 || wires.hi <= total_width);
+}
+
+std::string interval_label(const CoreWireInterval& entry) {
+  return "core " + std::to_string(entry.core) + " wires [" +
+         std::to_string(entry.wires.lo) + "," +
+         std::to_string(entry.wires.hi) + ")";
+}
+
+/// Kahn's algorithm over the precedence edges; returns false when a cycle
+/// remains (only called once indices are known to be in range).
+bool precedence_is_acyclic(const std::vector<PrecedencePair>& precedence,
+                           int core_count) {
+  std::vector<int> in_degree(static_cast<std::size_t>(core_count), 0);
+  std::vector<std::vector<int>> successors(
+      static_cast<std::size_t>(core_count));
+  for (const auto& pair : precedence) {
+    successors[static_cast<std::size_t>(pair.before)].push_back(pair.after);
+    ++in_degree[static_cast<std::size_t>(pair.after)];
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < core_count; ++i)
+    if (in_degree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  int ordered = 0;
+  while (!ready.empty()) {
+    const int core = ready.back();
+    ready.pop_back();
+    ++ordered;
+    for (const int next : successors[static_cast<std::size_t>(core)])
+      if (--in_degree[static_cast<std::size_t>(next)] == 0)
+        ready.push_back(next);
+  }
+  return ordered == core_count;
+}
+
+}  // namespace
+
+ScheduleConstraints normalized(ScheduleConstraints constraints) {
+  const auto by_core_then_wires = [](const CoreWireInterval& a,
+                                     const CoreWireInterval& b) {
+    if (a.core != b.core) return a.core < b.core;
+    if (a.wires.lo != b.wires.lo) return a.wires.lo < b.wires.lo;
+    return a.wires.hi < b.wires.hi;
+  };
+  std::sort(constraints.precedence.begin(), constraints.precedence.end(),
+            [](const PrecedencePair& a, const PrecedencePair& b) {
+              return a.before != b.before ? a.before < b.before
+                                          : a.after < b.after;
+            });
+  constraints.precedence.erase(
+      std::unique(constraints.precedence.begin(),
+                  constraints.precedence.end()),
+      constraints.precedence.end());
+  std::sort(constraints.fixed.begin(), constraints.fixed.end(),
+            by_core_then_wires);
+  constraints.fixed.erase(
+      std::unique(constraints.fixed.begin(), constraints.fixed.end()),
+      constraints.fixed.end());
+  std::sort(constraints.forbidden.begin(), constraints.forbidden.end(),
+            by_core_then_wires);
+  constraints.forbidden.erase(
+      std::unique(constraints.forbidden.begin(), constraints.forbidden.end()),
+      constraints.forbidden.end());
+  std::sort(constraints.earliest.begin(), constraints.earliest.end(),
+            [](const EarliestStart& a, const EarliestStart& b) {
+              return a.core != b.core ? a.core < b.core : a.cycle < b.cycle;
+            });
+  constraints.earliest.erase(
+      std::unique(constraints.earliest.begin(), constraints.earliest.end()),
+      constraints.earliest.end());
+  return constraints;
+}
+
+std::string canonical_constraints(const ScheduleConstraints& raw) {
+  if (raw.empty()) return {};
+  const ScheduleConstraints constraints = normalized(raw);
+  std::ostringstream out;
+  const char* separator = "";
+  if (!constraints.power.empty()) {
+    out << "power=";
+    for (std::size_t i = 0; i < constraints.power.size(); ++i)
+      out << (i == 0 ? "" : ":") << constraints.power[i];
+    separator = ";";
+  }
+  if (constraints.power_budget != 0) {
+    out << separator << "budget=" << constraints.power_budget;
+    separator = ";";
+  }
+  if (!constraints.precedence.empty()) {
+    out << separator << "prec=";
+    for (std::size_t i = 0; i < constraints.precedence.size(); ++i)
+      out << (i == 0 ? "" : ",") << constraints.precedence[i].before << ">"
+          << constraints.precedence[i].after;
+    separator = ";";
+  }
+  const auto render_intervals = [&](const char* key,
+                                    const std::vector<CoreWireInterval>& set) {
+    if (set.empty()) return;
+    out << separator << key << "=";
+    for (std::size_t i = 0; i < set.size(); ++i)
+      out << (i == 0 ? "" : ",") << set[i].core << "@" << set[i].wires.lo
+          << "-" << set[i].wires.hi;
+    separator = ";";
+  };
+  render_intervals("fixed", constraints.fixed);
+  render_intervals("forbid", constraints.forbidden);
+  if (!constraints.earliest.empty()) {
+    out << separator << "earliest=";
+    for (std::size_t i = 0; i < constraints.earliest.size(); ++i)
+      out << (i == 0 ? "" : ",") << constraints.earliest[i].core << "@"
+          << constraints.earliest[i].cycle;
+  }
+  return out.str();
+}
+
+std::vector<std::string> validate_constraints(
+    const ScheduleConstraints& constraints, int core_count, int total_width) {
+  std::vector<std::string> issues;
+  const auto complain = [&issues](const std::string& message) {
+    issues.push_back(message);
+  };
+  const auto core_known = [core_count](int core) {
+    return core >= 0 && (core_count < 0 || core < core_count);
+  };
+
+  // ---- power ---------------------------------------------------------------
+  if (constraints.power_budget < 0)
+    complain("power_budget must be >= 0 (0 = unconstrained)");
+  if (constraints.power_budget > 0 && constraints.power.empty())
+    complain("power_budget set without per-core power values");
+  if (!constraints.power.empty() && constraints.power_budget <= 0)
+    complain("per-core power values set without a positive power_budget");
+  if (core_count >= 0 && !constraints.power.empty() &&
+      static_cast<int>(constraints.power.size()) != core_count)
+    complain("power vector has " + std::to_string(constraints.power.size()) +
+             " entries for " + std::to_string(core_count) + " cores");
+  for (std::size_t i = 0; i < constraints.power.size(); ++i) {
+    const std::int64_t p = constraints.power[i];
+    if (p < 0)
+      complain("core " + std::to_string(i) + " power " + std::to_string(p) +
+               " is negative");
+    else if (constraints.power_budget > 0 && p > constraints.power_budget)
+      complain("core " + std::to_string(i) + " power " + std::to_string(p) +
+               " alone exceeds the budget " +
+               std::to_string(constraints.power_budget) + " (infeasible)");
+  }
+
+  // ---- precedence ----------------------------------------------------------
+  bool precedence_indices_ok = true;
+  for (const auto& pair : constraints.precedence) {
+    if (!core_known(pair.before) || !core_known(pair.after)) {
+      complain("precedence pair " + std::to_string(pair.before) + ">" +
+               std::to_string(pair.after) + " references an unknown core");
+      precedence_indices_ok = false;
+    } else if (pair.before == pair.after) {
+      complain("precedence pair " + std::to_string(pair.before) + ">" +
+               std::to_string(pair.after) + " is a self-dependency");
+      precedence_indices_ok = false;
+    }
+  }
+  if (core_count >= 0 && precedence_indices_ok &&
+      !constraints.precedence.empty() &&
+      !precedence_is_acyclic(constraints.precedence, core_count))
+    complain("precedence pairs form a cycle");
+
+  // ---- wire intervals ------------------------------------------------------
+  std::vector<int> fixed_seen;
+  for (const auto& entry : constraints.fixed) {
+    if (!core_known(entry.core))
+      complain("fixed interval references unknown core " +
+               std::to_string(entry.core));
+    if (!interval_well_formed(entry.wires, total_width))
+      complain("fixed " + interval_label(entry) +
+               ": interval must satisfy 0 <= lo < hi <= total width");
+    if (std::find(fixed_seen.begin(), fixed_seen.end(), entry.core) !=
+        fixed_seen.end())
+      complain("core " + std::to_string(entry.core) +
+               " has more than one fixed interval");
+    fixed_seen.push_back(entry.core);
+  }
+  for (const auto& entry : constraints.forbidden) {
+    if (!core_known(entry.core))
+      complain("forbidden interval references unknown core " +
+               std::to_string(entry.core));
+    if (!interval_well_formed(entry.wires, total_width))
+      complain("forbidden " + interval_label(entry) +
+               ": interval must satisfy 0 <= lo < hi <= total width");
+  }
+
+  // Per-core feasibility: the fixed window minus the forbidden intervals
+  // must leave at least one wire (a width-1 rectangle is always a Pareto
+  // candidate, so one allowed wire keeps every core placeable).
+  if (core_count >= 0 && total_width >= 1) {
+    for (int core = 0; core < core_count; ++core) {
+      WireInterval window{0, total_width};
+      bool constrained = false;
+      for (const auto& entry : constraints.fixed)
+        if (entry.core == core && interval_well_formed(entry.wires,
+                                                       total_width)) {
+          window = entry.wires;
+          constrained = true;
+        }
+      std::vector<char> allowed(static_cast<std::size_t>(total_width), 0);
+      for (int w = window.lo; w < window.hi; ++w)
+        allowed[static_cast<std::size_t>(w)] = 1;
+      for (const auto& entry : constraints.forbidden) {
+        if (entry.core != core ||
+            !interval_well_formed(entry.wires, total_width))
+          continue;
+        constrained = true;
+        for (int w = entry.wires.lo; w < entry.wires.hi; ++w)
+          allowed[static_cast<std::size_t>(w)] = 0;
+      }
+      if (constrained &&
+          std::find(allowed.begin(), allowed.end(), char{1}) == allowed.end())
+        complain("core " + std::to_string(core) +
+                 " has no allowed wires once fixed/forbidden intervals "
+                 "apply (infeasible)");
+    }
+  }
+
+  // ---- earliest starts -----------------------------------------------------
+  std::vector<int> earliest_seen;
+  for (const auto& entry : constraints.earliest) {
+    if (!core_known(entry.core))
+      complain("earliest_start references unknown core " +
+               std::to_string(entry.core));
+    if (entry.cycle < 0)
+      complain("core " + std::to_string(entry.core) + " earliest_start " +
+               std::to_string(entry.cycle) + " is negative");
+    if (std::find(earliest_seen.begin(), earliest_seen.end(), entry.core) !=
+        earliest_seen.end())
+      complain("core " + std::to_string(entry.core) +
+               " has more than one earliest_start");
+    earliest_seen.push_back(entry.core);
+  }
+
+  return issues;
+}
+
+}  // namespace wtam::core

@@ -1,0 +1,133 @@
+// Scenario constraints for test scheduling — the shared vocabulary every
+// placement engine speaks (the paper's §6 power direction plus the
+// bin-packing constraint classes of arXiv:1008.4448).
+//
+// A ScheduleConstraints value restricts which packings are legal:
+//   * a peak power budget over per-core power values (no instant of the
+//     schedule may dissipate more than the budget);
+//   * precedence pairs (core `after` may not start before `before` ends);
+//   * per-core fixed wire intervals (the core's rectangle must stay
+//     inside the interval — fixed-position cores, hierarchical TAMs);
+//   * per-core forbidden wire intervals (the rectangle must avoid them);
+//   * per-core earliest-start cycles.
+// The struct is engine-agnostic plain data: pack/ lowers it into the
+// skyline spot search, the enumerative backend maps the power budget onto
+// the test-bus power machinery, the PackedSchedule validator checks
+// finished schedules against it, and the api layer serializes it and
+// folds its canonical form into request identity. Validation guarantees
+// feasibility up front (every core alone fits the budget and has at least
+// one allowed wire), so engines may treat a validated constraint set as
+// always satisfiable.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wtam::core {
+
+/// Per-core test power estimates in arbitrary units.
+using PowerVector = std::vector<std::int64_t>;
+
+/// Wire interval [lo, hi) on the strip's x-axis.
+struct WireInterval {
+  int lo = 0;
+  int hi = 0;
+  [[nodiscard]] bool operator==(const WireInterval&) const = default;
+};
+
+/// Core `after` may not start testing before core `before` finishes.
+struct PrecedencePair {
+  int before = 0;
+  int after = 0;
+  [[nodiscard]] bool operator==(const PrecedencePair&) const = default;
+};
+
+/// One core tied to one wire interval (fixed or forbidden, per the list
+/// it sits in).
+struct CoreWireInterval {
+  int core = 0;
+  WireInterval wires;
+  [[nodiscard]] bool operator==(const CoreWireInterval&) const = default;
+};
+
+/// Core may not start testing before `cycle`.
+struct EarliestStart {
+  int core = 0;
+  std::int64_t cycle = 0;
+  [[nodiscard]] bool operator==(const EarliestStart&) const = default;
+};
+
+struct ScheduleConstraints {
+  /// Per-core power values (size == core count); meaningful only together
+  /// with power_budget > 0. Both empty/zero = no power constraint.
+  PowerVector power;
+  std::int64_t power_budget = 0;  ///< peak concurrent power; 0 = unconstrained
+  std::vector<PrecedencePair> precedence;
+  /// Each listed core's rectangle must lie inside its interval (at most
+  /// one interval per core).
+  std::vector<CoreWireInterval> fixed;
+  /// Each listed core's rectangle must not overlap its interval (a core
+  /// may carry several).
+  std::vector<CoreWireInterval> forbidden;
+  std::vector<EarliestStart> earliest;
+
+  [[nodiscard]] bool has_power() const noexcept { return power_budget > 0; }
+
+  /// True when no constraint class is populated — engines take their
+  /// unconstrained fast path and request keys render nothing. A nonzero
+  /// budget of either sign counts as populated, so a negative budget
+  /// reaches validate_constraints and is rejected instead of silently
+  /// running unconstrained.
+  [[nodiscard]] bool empty() const noexcept {
+    return power_budget == 0 && power.empty() && precedence.empty() &&
+           fixed.empty() && forbidden.empty() && earliest.empty();
+  }
+
+  [[nodiscard]] bool operator==(const ScheduleConstraints&) const = default;
+};
+
+/// Sorted, deduplicated copy — the canonical form request identity and
+/// equality comparisons rely on (two phrasings of the same constraint set
+/// normalize identically).
+[[nodiscard]] ScheduleConstraints normalized(ScheduleConstraints constraints);
+
+/// Stable one-line rendering of the normalized constraints; "" when
+/// empty. Folded into api::RequestKey's canonical options, so the format
+/// is a persistence contract (pinned by tests):
+///   "power=p0:p1:...;budget=B;prec=b>a,...;fixed=c@lo-hi,...;
+///    forbid=c@lo-hi,...;earliest=c@t,..."
+[[nodiscard]] std::string canonical_constraints(
+    const ScheduleConstraints& constraints);
+
+/// Checks `constraints` against a model and returns every violation
+/// found (empty = valid): power vector sized to the core count with
+/// non-negative entries and budget set iff powers are, no single core
+/// above the budget (infeasible outright), precedence indices in range
+/// with no self-pairs and no cycles, wire intervals well-formed
+/// (0 <= lo < hi <= total_width) with at most one fixed interval per
+/// core, at least one allowed wire per core once fixed/forbidden
+/// intervals are applied, and non-negative earliest-start cycles with at
+/// most one per core. Pass core_count < 0 or total_width < 0 to skip the
+/// checks that need the respective bound (structural pre-validation
+/// before a SOC is resolved).
+[[nodiscard]] std::vector<std::string> validate_constraints(
+    const ScheduleConstraints& constraints, int core_count, int total_width);
+
+/// Thrown by a backend asked to honor a constraint class it does not
+/// implement. The api::Solver maps it to Status::InvalidRequest with the
+/// message (which always starts with "unsupported_constraint:"), so the
+/// unified outcome stays honest instead of silently ignoring constraints.
+class UnsupportedConstraintError : public std::invalid_argument {
+ public:
+  /// `backend` names the engine, `what` the constraint classes it cannot
+  /// honor (e.g. "precedence, fixed").
+  UnsupportedConstraintError(const std::string& backend,
+                             const std::string& what)
+      : std::invalid_argument("unsupported_constraint: the " + backend +
+                              " backend does not support " + what) {}
+};
+
+}  // namespace wtam::core

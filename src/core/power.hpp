@@ -19,14 +19,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/constraints.hpp"  // PowerVector lives with the constraints
 #include "core/schedule.hpp"
 #include "core/tam_types.hpp"
 #include "core/test_time_table.hpp"
 
 namespace wtam::core {
-
-/// Per-core test power estimates in arbitrary units.
-using PowerVector = std::vector<std::int64_t>;
 
 /// Default model: power ~ scan activity = functional I/Os + scan bits
 /// (every wrapper/scan cell toggles each shift cycle).

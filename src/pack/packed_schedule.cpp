@@ -1,6 +1,7 @@
 #include "pack/packed_schedule.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -88,6 +89,120 @@ std::vector<std::string> validate_packed_schedule(
   return issues;
 }
 
+std::int64_t packed_peak_power(const PackedSchedule& schedule,
+                               const core::PowerVector& power) {
+  // Sweep line over placement starts/ends, as core::power_profile does
+  // for test-bus schedules.
+  std::map<std::int64_t, std::int64_t> delta;  // time -> power change
+  for (const auto& p : schedule.placements) {
+    if (p.core < 0 || p.core >= static_cast<int>(power.size()))
+      throw std::invalid_argument(
+          "packed_peak_power: power vector too small for " +
+          placement_label(p));
+    const std::int64_t draw = power[static_cast<std::size_t>(p.core)];
+    delta[p.start] += draw;
+    delta[p.end] -= draw;
+  }
+  std::int64_t peak = 0;
+  std::int64_t current = 0;
+  for (const auto& [time, change] : delta) {
+    current += change;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+std::vector<std::string> validate_packed_schedule(
+    const core::TestTimeTable& table, const PackedSchedule& schedule,
+    const core::ScheduleConstraints& constraints) {
+  std::vector<std::string> issues =
+      validate_packed_schedule(table, schedule);
+  if (constraints.empty()) return issues;
+  const auto complain = [&issues](const std::string& message) {
+    issues.push_back(message);
+  };
+
+  // A schedule cannot be valid "under" constraints that are themselves
+  // malformed or infeasible for this model.
+  for (const auto& issue : core::validate_constraints(
+           constraints, table.core_count(), schedule.total_width))
+    complain("constraints: " + issue);
+
+  // Per-core first placement, for the pairwise/interval checks; indexing
+  // problems were already reported by the geometric pass.
+  std::vector<const PackedPlacement*> placed(
+      static_cast<std::size_t>(table.core_count()), nullptr);
+  for (const auto& p : schedule.placements) {
+    if (p.core < 0 || p.core >= table.core_count()) continue;
+    auto& slot = placed[static_cast<std::size_t>(p.core)];
+    if (slot == nullptr) slot = &p;
+  }
+
+  if (constraints.has_power() &&
+      static_cast<int>(constraints.power.size()) == table.core_count()) {
+    // Sweep only the placements with known cores — an unknown index was
+    // already reported above, and the validator's contract is to return
+    // every violation, never to throw.
+    PackedSchedule known = schedule;
+    std::erase_if(known.placements, [&](const PackedPlacement& p) {
+      return p.core < 0 || p.core >= table.core_count();
+    });
+    const std::int64_t peak = packed_peak_power(known, constraints.power);
+    if (peak > constraints.power_budget)
+      complain("peak power " + std::to_string(peak) +
+               " exceeds the budget " +
+               std::to_string(constraints.power_budget));
+  }
+
+  for (const auto& pair : constraints.precedence) {
+    if (pair.before < 0 || pair.before >= table.core_count() ||
+        pair.after < 0 || pair.after >= table.core_count())
+      continue;  // reported above
+    const PackedPlacement* before =
+        placed[static_cast<std::size_t>(pair.before)];
+    const PackedPlacement* after = placed[static_cast<std::size_t>(pair.after)];
+    if (before == nullptr || after == nullptr) continue;  // "never placed"
+    if (after->start < before->end)
+      complain("precedence " + std::to_string(pair.before) + ">" +
+               std::to_string(pair.after) + " violated: core " +
+               std::to_string(pair.after) + " starts at " +
+               std::to_string(after->start) + " before core " +
+               std::to_string(pair.before) + " ends at " +
+               std::to_string(before->end));
+  }
+
+  for (const auto& entry : constraints.fixed) {
+    if (entry.core < 0 || entry.core >= table.core_count()) continue;
+    const PackedPlacement* p = placed[static_cast<std::size_t>(entry.core)];
+    if (p == nullptr) continue;
+    if (p->wire < entry.wires.lo || p->wire + p->width > entry.wires.hi)
+      complain("fixed interval violated: " + placement_label(*p) +
+               " outside wires [" + std::to_string(entry.wires.lo) + "," +
+               std::to_string(entry.wires.hi) + ")");
+  }
+
+  for (const auto& entry : constraints.forbidden) {
+    if (entry.core < 0 || entry.core >= table.core_count()) continue;
+    const PackedPlacement* p = placed[static_cast<std::size_t>(entry.core)];
+    if (p == nullptr) continue;
+    if (p->wire < entry.wires.hi && entry.wires.lo < p->wire + p->width)
+      complain("forbidden interval violated: " + placement_label(*p) +
+               " overlaps wires [" + std::to_string(entry.wires.lo) + "," +
+               std::to_string(entry.wires.hi) + ")");
+  }
+
+  for (const auto& entry : constraints.earliest) {
+    if (entry.core < 0 || entry.core >= table.core_count()) continue;
+    const PackedPlacement* p = placed[static_cast<std::size_t>(entry.core)];
+    if (p == nullptr) continue;
+    if (p->start < entry.cycle)
+      complain("earliest_start violated: " + placement_label(*p) +
+               " starts before cycle " + std::to_string(entry.cycle));
+  }
+
+  return issues;
+}
+
 void require_valid(const core::TestTimeTable& table,
                    const PackedSchedule& schedule) {
   const auto issues = validate_packed_schedule(table, schedule);
@@ -121,6 +236,37 @@ PackedSchedule from_architecture(const core::TestTimeTable& table,
 
   sort_placements(schedule.placements);
   return schedule;
+}
+
+PackedSchedule from_schedule(const core::TamArchitecture& architecture,
+                             const core::TestSchedule& schedule) {
+  PackedSchedule packed;
+  packed.total_width = architecture.total_width();
+
+  // Lane start of each TAM: the widths stacked left to right, exactly as
+  // from_architecture lays them out.
+  std::vector<int> lane_start(
+      static_cast<std::size_t>(architecture.tam_count()), 0);
+  int offset = 0;
+  for (int tam = 0; tam < architecture.tam_count(); ++tam) {
+    lane_start[static_cast<std::size_t>(tam)] = offset;
+    offset += architecture.widths[static_cast<std::size_t>(tam)];
+  }
+
+  for (const auto& entry : schedule.entries) {
+    if (entry.tam < 0 || entry.tam >= architecture.tam_count())
+      throw std::invalid_argument(
+          "from_schedule: entry references TAM " + std::to_string(entry.tam) +
+          " outside the architecture");
+    packed.placements.push_back(
+        {entry.core, architecture.widths[static_cast<std::size_t>(entry.tam)],
+         lane_start[static_cast<std::size_t>(entry.tam)], entry.start,
+         entry.end});
+    packed.makespan = std::max(packed.makespan, entry.end);
+  }
+
+  sort_placements(packed.placements);
+  return packed;
 }
 
 double strip_utilization(const PackedSchedule& schedule) {

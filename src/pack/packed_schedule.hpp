@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "core/constraints.hpp"
+#include "core/schedule.hpp"
 #include "core/tam_types.hpp"
 #include "core/test_time_table.hpp"
 #include "soc/soc.hpp"
@@ -54,6 +56,29 @@ void sort_placements(std::vector<PackedPlacement>& placements);
 [[nodiscard]] std::vector<std::string> validate_packed_schedule(
     const core::TestTimeTable& table, const PackedSchedule& schedule);
 
+/// Constraint-aware validation: every geometric check above plus one
+/// violation class per constraint kind, so a schedule is only "valid"
+/// when it honors the whole ScheduleConstraints block:
+///   * the instantaneous power of concurrently running placements never
+///     exceeds the budget (exact sweep over the profile);
+///   * every precedence pair holds (after.start >= before.end);
+///   * fixed-interval cores stay inside their interval;
+///   * forbidden intervals are never touched;
+///   * earliest-start floors are respected.
+/// Malformed constraints (bad indices, infeasible budget, ...) are
+/// reported as violations too — a schedule cannot be "valid under"
+/// constraints that do not validate. Empty constraints reduce to the
+/// geometric validator exactly.
+[[nodiscard]] std::vector<std::string> validate_packed_schedule(
+    const core::TestTimeTable& table, const PackedSchedule& schedule,
+    const core::ScheduleConstraints& constraints);
+
+/// Exact peak of the schedule's instantaneous power profile under
+/// `power` (0 for an empty schedule). Throws std::invalid_argument when
+/// a placement's core has no power entry.
+[[nodiscard]] std::int64_t packed_peak_power(const PackedSchedule& schedule,
+                                             const core::PowerVector& power);
+
 /// Throws std::runtime_error listing all violations; no-op when valid.
 void require_valid(const core::TestTimeTable& table,
                    const PackedSchedule& schedule);
@@ -64,6 +89,15 @@ void require_valid(const core::TestTimeTable& table,
 /// testing time as makespan and always validates.
 [[nodiscard]] PackedSchedule from_architecture(
     const core::TestTimeTable& table, const core::TamArchitecture& architecture);
+
+/// Lowers an explicit test-bus schedule (possibly with power-constrained
+/// start delays, core::schedule_with_power_limit) to a packing: each
+/// entry keeps its scheduled [start, end) on its TAM's static wire lane.
+/// Throws std::invalid_argument when an entry's TAM index is outside the
+/// architecture.
+[[nodiscard]] PackedSchedule from_schedule(
+    const core::TamArchitecture& architecture,
+    const core::TestSchedule& schedule);
 
 /// Fraction of the occupied strip (total_width * makespan wire-cycles)
 /// covered by placements — the rectangle-packing efficiency metric.

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "pack/skyline.hpp"
 
@@ -23,57 +27,238 @@ struct PackState {
   std::vector<int> min_candidate;
 };
 
-PackedSchedule greedy_pack(const RectModel& model, const PackState& state) {
+/// core::ScheduleConstraints lowered to the per-core lookups the packing
+/// loops consume. `any == false` means the engines take their original
+/// unconstrained code paths, byte for byte.
+struct ConstraintPlan {
+  bool any = false;
+  std::vector<std::vector<int>> preds;              ///< predecessors per core
+  std::vector<std::int64_t> earliest;               ///< start floor per core
+  std::vector<core::WireInterval> window;           ///< fixed window per core
+  std::vector<std::vector<core::WireInterval>> forbidden;  ///< per core
+  core::PowerVector power;  ///< per-core draw; empty = power-unconstrained
+  std::int64_t budget = 0;
+
+  [[nodiscard]] std::int64_t core_power(int core) const noexcept {
+    return power.empty() ? 0 : power[static_cast<std::size_t>(core)];
+  }
+};
+
+ConstraintPlan build_plan(const core::ScheduleConstraints& constraints,
+                          int core_count, int total_width) {
+  ConstraintPlan plan;
+  plan.any = !constraints.empty();
+  if (!plan.any) return plan;
+  const auto n = static_cast<std::size_t>(core_count);
+  plan.preds.resize(n);
+  plan.earliest.assign(n, 0);
+  plan.window.assign(n, core::WireInterval{0, total_width});
+  plan.forbidden.resize(n);
+  for (const auto& pair : constraints.precedence)
+    plan.preds[static_cast<std::size_t>(pair.after)].push_back(pair.before);
+  for (const auto& entry : constraints.earliest) {
+    auto& floor_cycle = plan.earliest[static_cast<std::size_t>(entry.core)];
+    floor_cycle = std::max(floor_cycle, entry.cycle);
+  }
+  for (const auto& entry : constraints.fixed)
+    plan.window[static_cast<std::size_t>(entry.core)] = entry.wires;
+  for (const auto& entry : constraints.forbidden)
+    plan.forbidden[static_cast<std::size_t>(entry.core)].push_back(
+        entry.wires);
+  if (constraints.has_power()) {
+    plan.power = constraints.power;
+    plan.budget = constraints.power_budget;
+  }
+  return plan;
+}
+
+/// Projects `order` onto the precedence DAG: the earliest core in `order`
+/// whose predecessors are all emitted goes next, so any move-perturbed
+/// order stays precedence-feasible while deviating as little as possible
+/// from the walker's intent. Validated constraints are acyclic, so every
+/// core is emitted.
+std::vector<int> topo_project(const std::vector<int>& order,
+                              const ConstraintPlan& plan) {
+  const std::size_t n = order.size();
+  std::vector<int> projected;
+  projected.reserve(n);
+  std::vector<char> used(n, 0);
+  std::vector<char> emitted(n, 0);
+  for (std::size_t step = 0; step < n; ++step) {
+    bool advanced = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const int core = order[i];
+      const auto& preds = plan.preds[static_cast<std::size_t>(core)];
+      const bool ready =
+          std::all_of(preds.begin(), preds.end(), [&](int pred) {
+            return emitted[static_cast<std::size_t>(pred)] != 0;
+          });
+      if (!ready) continue;
+      projected.push_back(core);
+      used[i] = 1;
+      emitted[static_cast<std::size_t>(core)] = 1;
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;  // cycle — validate_constraints rejects these
+  }
+  for (std::size_t i = 0; i < n; ++i)  // defensive: never drop a core
+    if (!used[i]) projected.push_back(order[i]);
+  return projected;
+}
+
+/// Start floor of `core` given its constraints and the predecessors
+/// already placed (`core_end` holds their finish times).
+std::int64_t start_floor(int core, const ConstraintPlan& plan,
+                         const std::vector<std::int64_t>& core_end) {
+  std::int64_t floor_cycle = plan.earliest[static_cast<std::size_t>(core)];
+  for (const int pred : plan.preds[static_cast<std::size_t>(core)])
+    floor_cycle =
+        std::max(floor_cycle, core_end[static_cast<std::size_t>(pred)]);
+  return floor_cycle;
+}
+
+PackedSchedule greedy_pack(const RectModel& model, const PackState& state,
+                           const ConstraintPlan& plan) {
   Skyline skyline(model.total_width);
   PackedSchedule schedule;
   schedule.total_width = model.total_width;
   schedule.placements.reserve(state.order.size());
 
-  for (const int core : state.order) {
+  if (!plan.any) {
+    for (const int core : state.order) {
+      const auto& rects = model.candidates[static_cast<std::size_t>(core)];
+      const int first =
+          std::min(state.min_candidate[static_cast<std::size_t>(core)],
+                   static_cast<int>(rects.size()) - 1);
+      // Among the allowed candidates, take the one that finishes earliest;
+      // break ties toward the smaller footprint (area, then width), which
+      // leaves more skyline for later cores.
+      const Rect* chosen = nullptr;
+      Skyline::Spot chosen_spot{};
+      std::int64_t chosen_finish = 0;
+      for (std::size_t c = static_cast<std::size_t>(first); c < rects.size();
+           ++c) {
+        const Rect& rect = rects[c];
+        const auto spot = skyline.best_spot(rect.width);
+        const std::int64_t finish = spot.start + rect.time;
+        const bool better =
+            chosen == nullptr || finish < chosen_finish ||
+            (finish == chosen_finish &&
+             (rect.area() < chosen->area() ||
+              (rect.area() == chosen->area() && rect.width < chosen->width)));
+        if (better) {
+          chosen = &rect;
+          chosen_spot = spot;
+          chosen_finish = finish;
+        }
+      }
+      skyline.place(chosen_spot.wire, chosen->width, chosen_finish);
+      schedule.placements.push_back({core, chosen->width, chosen_spot.wire,
+                                     chosen_spot.start, chosen_finish});
+      schedule.makespan = std::max(schedule.makespan, chosen_finish);
+    }
+    sort_placements(schedule.placements);
+    return schedule;
+  }
+
+  // Constrained pack: precedence-projected order, every placement through
+  // the skyline's constrained spot search.
+  std::vector<std::int64_t> core_end(state.order.size(), 0);
+  for (const int core : topo_project(state.order, plan)) {
     const auto& rects = model.candidates[static_cast<std::size_t>(core)];
     const int first =
         std::min(state.min_candidate[static_cast<std::size_t>(core)],
                  static_cast<int>(rects.size()) - 1);
-    // Among the allowed candidates, take the one that finishes earliest;
-    // break ties toward the smaller footprint (area, then width), which
-    // leaves more skyline for later cores.
+    const std::int64_t min_start = start_floor(core, plan, core_end);
+    const std::int64_t power = plan.core_power(core);
+
     const Rect* chosen = nullptr;
     Skyline::Spot chosen_spot{};
     std::int64_t chosen_finish = 0;
-    for (std::size_t c = static_cast<std::size_t>(first); c < rects.size();
-         ++c) {
-      const Rect& rect = rects[c];
-      const auto spot = skyline.best_spot(rect.width);
-      const std::int64_t finish = spot.start + rect.time;
-      const bool better =
-          chosen == nullptr || finish < chosen_finish ||
-          (finish == chosen_finish &&
-           (rect.area() < chosen->area() ||
-            (rect.area() == chosen->area() && rect.width < chosen->width)));
-      if (better) {
-        chosen = &rect;
-        chosen_spot = spot;
-        chosen_finish = finish;
+    const auto scan = [&](std::size_t from) {
+      for (std::size_t c = from; c < rects.size(); ++c) {
+        const Rect& rect = rects[c];
+        Skyline::SpotQuery query;
+        query.width = rect.width;
+        query.duration = rect.time;
+        query.min_start = min_start;
+        query.window = plan.window[static_cast<std::size_t>(core)];
+        query.forbidden = &plan.forbidden[static_cast<std::size_t>(core)];
+        query.power = power;
+        query.power_budget = plan.budget;
+        const auto spot = skyline.best_spot(query);
+        if (!spot.has_value()) continue;  // constraint-infeasible candidate
+        const std::int64_t finish = spot->start + rect.time;
+        const bool better =
+            chosen == nullptr || finish < chosen_finish ||
+            (finish == chosen_finish &&
+             (rect.area() < chosen->area() ||
+              (rect.area() == chosen->area() && rect.width < chosen->width)));
+        if (better) {
+          chosen = &rect;
+          chosen_spot = *spot;
+          chosen_finish = finish;
+        }
       }
-    }
-    skyline.place(chosen_spot.wire, chosen->width, chosen_finish);
+    };
+    scan(static_cast<std::size_t>(first));
+    // A width-adjust floor can exclude every candidate that fits the
+    // core's fixed window; relax it rather than fail (the width-1 Pareto
+    // candidate is always feasible for validated constraints).
+    if (chosen == nullptr && first > 0) scan(0);
+    if (chosen == nullptr)
+      throw std::logic_error(
+          "rectpack: no feasible placement for core " + std::to_string(core) +
+          " (constraints should have been validated)");
+
+    skyline.place(chosen_spot.wire, chosen->width, chosen_spot.start,
+                  chosen_finish, power);
     schedule.placements.push_back({core, chosen->width, chosen_spot.wire,
                                    chosen_spot.start, chosen_finish});
     schedule.makespan = std::max(schedule.makespan, chosen_finish);
+    core_end[static_cast<std::size_t>(core)] = chosen_finish;
   }
 
   sort_placements(schedule.placements);
   return schedule;
 }
 
+/// Peak-power feasibility of adding a `power`-draw rectangle over
+/// [start, start + time) next to `placements` (used by the hole-filling
+/// compaction, which cannot rely on the skyline's power timeline).
+bool power_window_ok(const std::vector<PackedPlacement>& placements,
+                     const ConstraintPlan& plan, std::int64_t start,
+                     std::int64_t time, std::int64_t power) {
+  if (plan.budget <= 0) return true;
+  const std::int64_t headroom = plan.budget - power;
+  if (headroom < 0) return false;
+  const auto power_at = [&](std::int64_t t) {
+    std::int64_t total = 0;
+    for (const auto& p : placements)
+      if (p.start <= t && t < p.end) total += plan.core_power(p.core);
+    return total;
+  };
+  if (power_at(start) > headroom) return false;
+  for (const auto& p : placements) {
+    if (p.start <= start || p.start >= start + time) continue;
+    if (power_at(p.start) > headroom) return false;
+  }
+  return true;
+}
+
 /// Bottom-left packing *with hole filling*: unlike the skyline, a
 /// rectangle may start below previously raised wires, in any hole large
-/// enough to hold it. Candidate start times are 0 and the end times of
-/// already-placed rectangles (a bottom-left placement always abuts one);
-/// the earliest feasible start with the leftmost fitting wire window
-/// wins. Quadratic in placements, so it is used to compact final
-/// solutions rather than inside the local-search loop.
-PackedSchedule holefill_pack(const RectModel& model, const PackState& state) {
+/// enough to hold it. Candidate start times are 0 (or the core's
+/// constraint floor) and the end times of already-placed rectangles (a
+/// bottom-left placement always abuts one); the earliest feasible start
+/// with the leftmost fitting wire window wins. Quadratic in placements,
+/// so it is used to compact final solutions rather than inside the
+/// local-search loop. Under constraints the wire scan masks fixed and
+/// forbidden intervals and every candidate start is power-checked.
+PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
+                             const ConstraintPlan& plan) {
   PackedSchedule schedule;
   schedule.total_width = model.total_width;
   schedule.placements.reserve(state.order.size());
@@ -82,10 +267,22 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state) {
   std::vector<char> wire_free(static_cast<std::size_t>(width_total), 1);
 
   // Finds the leftmost wire window of `width` free wires during
-  // [start, start + time); returns -1 when none exists.
+  // [start, start + time) for `core`; returns -1 when none exists.
   const auto leftmost_window = [&](std::int64_t start, std::int64_t time,
-                                   int width) {
+                                   int width, int core) {
     std::fill(wire_free.begin(), wire_free.end(), char{1});
+    if (plan.any) {
+      const core::WireInterval window =
+          plan.window[static_cast<std::size_t>(core)];
+      for (int w = 0; w < width_total; ++w)
+        if (w < window.lo || w >= window.hi)
+          wire_free[static_cast<std::size_t>(w)] = 0;
+      for (const core::WireInterval& interval :
+           plan.forbidden[static_cast<std::size_t>(core)])
+        for (int w = std::max(0, interval.lo);
+             w < std::min(width_total, interval.hi); ++w)
+          wire_free[static_cast<std::size_t>(w)] = 0;
+    }
     for (const auto& p : schedule.placements) {
       if (p.start >= start + time || start >= p.end) continue;
       for (int w = p.wire; w < p.wire + p.width; ++w)
@@ -99,10 +296,18 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state) {
     return -1;
   };
 
+  const std::vector<int> order =
+      plan.any ? topo_project(state.order, plan) : state.order;
+  std::vector<std::int64_t> core_end(state.order.size(), 0);
+
   std::vector<std::int64_t> starts;
-  for (const int core : state.order) {
-    starts.assign(1, 0);
-    for (const auto& p : schedule.placements) starts.push_back(p.end);
+  for (const int core : order) {
+    const std::int64_t min_start =
+        plan.any ? start_floor(core, plan, core_end) : 0;
+    const std::int64_t power = plan.any ? plan.core_power(core) : 0;
+    starts.assign(1, min_start);
+    for (const auto& p : schedule.placements)
+      if (p.end > min_start) starts.push_back(p.end);
     std::sort(starts.begin(), starts.end());
     starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
 
@@ -112,27 +317,39 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state) {
                  static_cast<int>(rects.size()) - 1);
     PackedPlacement chosen{};
     bool have_chosen = false;
-    for (std::size_t c = static_cast<std::size_t>(first); c < rects.size();
-         ++c) {
-      const Rect& rect = rects[c];
-      for (const std::int64_t start : starts) {
-        if (have_chosen && start + rect.time > chosen.end) break;
-        const int wire = leftmost_window(start, rect.time, rect.width);
-        if (wire < 0) continue;
-        const PackedPlacement candidate{core, rect.width, wire, start,
-                                        start + rect.time};
-        const bool better =
-            !have_chosen || candidate.end < chosen.end ||
-            (candidate.end == chosen.end && rect.width < chosen.width);
-        if (better) {
-          chosen = candidate;
-          have_chosen = true;
+    const auto scan = [&](std::size_t from) {
+      for (std::size_t c = from; c < rects.size(); ++c) {
+        const Rect& rect = rects[c];
+        for (const std::int64_t start : starts) {
+          if (have_chosen && start + rect.time > chosen.end) break;
+          if (!power_window_ok(schedule.placements, plan, start, rect.time,
+                               power))
+            continue;  // a later start may have power headroom
+          const int wire = leftmost_window(start, rect.time, rect.width, core);
+          if (wire < 0) continue;
+          const PackedPlacement candidate{core, rect.width, wire, start,
+                                          start + rect.time};
+          const bool better =
+              !have_chosen || candidate.end < chosen.end ||
+              (candidate.end == chosen.end && rect.width < chosen.width);
+          if (better) {
+            chosen = candidate;
+            have_chosen = true;
+          }
+          break;  // later starts of the same rectangle only finish later
         }
-        break;  // later starts of the same rectangle only finish later
       }
-    }
+    };
+    scan(static_cast<std::size_t>(first));
+    if (!have_chosen && plan.any && first > 0) scan(0);
+    if (!have_chosen)
+      throw std::logic_error(
+          "rectpack: hole-filling found no feasible placement for core " +
+          std::to_string(core) +
+          " (constraints should have been validated)");
     schedule.placements.push_back(chosen);
     schedule.makespan = std::max(schedule.makespan, chosen.end);
+    core_end[static_cast<std::size_t>(core)] = chosen.end;
   }
 
   sort_placements(schedule.placements);
@@ -182,25 +399,158 @@ std::vector<std::pair<std::string, std::vector<int>>> seed_orders(
   return orders;
 }
 
+/// One seed ordering's hill-climbing walk, self-contained so walkers can
+/// run serially or on a pool with identical results: walker-local
+/// best-so-far tracking (strict improvement, so the earliest achiever of
+/// the final makespan is kept — exactly what interleaved serial offers
+/// produced) plus the walker's own repack count and interrupt verdict.
+struct WalkerOutcome {
+  PackedSchedule schedule;
+  std::int64_t makespan = 0;
+  int repacks = 0;
+  core::SolveInterrupt interrupt = core::SolveInterrupt::None;
+};
+
+/// `rng_seed` is the walker's pre-derived stream seed (the k-th output of
+/// the splitmix64 sequence over options.seed, derived in seed order by
+/// the caller so serial and pooled runs draw identical streams).
+WalkerOutcome run_walker(const RectModel& model,
+                         const core::TestTimeTable& table,
+                         const ConstraintPlan& plan,
+                         const core::ScheduleConstraints& constraints,
+                         const std::vector<int>& seed_order, int per_seed,
+                         std::uint64_t rng_seed,
+                         const core::SolveContext* context) {
+  const int n = model.core_count();
+  WalkerOutcome out;
+  const auto offer = [&out](PackedSchedule schedule) {
+    if (out.schedule.placements.empty() || schedule.makespan < out.makespan) {
+      out.makespan = schedule.makespan;
+      out.schedule = std::move(schedule);
+    }
+  };
+
+  common::Rng rng(rng_seed);
+  PackState current{seed_order,
+                    std::vector<int>(static_cast<std::size_t>(n), 0)};
+  PackedSchedule walker_schedule = greedy_pack(model, current, plan);
+  ++out.repacks;
+  offer(walker_schedule);
+
+  for (int iter = 0; iter < per_seed; ++iter) {
+    // The first greedy pack has already been offered, so the best-so-far
+    // schedule is complete whenever the context fires.
+    if (context != nullptr) {
+      out.interrupt = context->poll();
+      if (out.interrupt != core::SolveInterrupt::None) break;
+    }
+    PackState trial = current;
+
+    std::vector<int> critical;
+    for (const auto& p : walker_schedule.placements)
+      if (p.end == walker_schedule.makespan) critical.push_back(p.core);
+    const int pick_critical =
+        critical[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(critical.size()) - 1))];
+
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {  // force a critical core to a wider (faster) rectangle
+        auto& floor =
+            trial.min_candidate[static_cast<std::size_t>(pick_critical)];
+        const auto& rects =
+            model.candidates[static_cast<std::size_t>(pick_critical)];
+        const int last = static_cast<int>(rects.size() - 1);
+        const int next = std::min(floor + 1, last);
+        if (plan.any) {
+          // Skip the move when every candidate from the new floor is
+          // wider than the core's fixed window — it could only violate.
+          const core::WireInterval window =
+              plan.window[static_cast<std::size_t>(pick_critical)];
+          if (rects[static_cast<std::size_t>(next)].width >
+              window.hi - window.lo)
+            break;
+        }
+        floor = next;
+        break;
+      }
+      case 1: {  // promote a critical core to the front of the order
+        auto& order = trial.order;
+        order.erase(std::find(order.begin(), order.end(), pick_critical));
+        order.insert(order.begin(), pick_critical);
+        break;
+      }
+      case 2: {  // relax a random core back to its full candidate set
+        const auto core =
+            static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        trial.min_candidate[core] = 0;
+        break;
+      }
+      case 3: {  // swap two random order positions
+        const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        std::swap(trial.order[a], trial.order[b]);
+        break;
+      }
+      case 4: {  // compaction: re-place in the walker's start-time order
+        std::vector<int> order;
+        order.reserve(static_cast<std::size_t>(n));
+        for (const auto& p : walker_schedule.placements)
+          order.push_back(p.core);
+        trial.order = std::move(order);
+        break;
+      }
+    }
+
+    PackedSchedule schedule = greedy_pack(model, trial, plan);
+    ++out.repacks;
+    if (schedule.makespan <= walker_schedule.makespan) {  // accept sideways
+      current = std::move(trial);
+      walker_schedule = std::move(schedule);
+      offer(walker_schedule);
+    }
+  }
+
+  // Per-walker compaction: repack the walker's final state and its
+  // start-time order with hole filling, which can reclaim strip area
+  // the skyline had to write off. Skipped once interrupted — the
+  // quadratic compaction is exactly the kind of tail work a deadline
+  // is meant to cut.
+  if (out.interrupt == core::SolveInterrupt::None) {
+    PackState by_start = current;
+    by_start.order.clear();
+    for (const auto& p : walker_schedule.placements)
+      by_start.order.push_back(p.core);
+    for (const PackState& state : {current, by_start}) {
+      PackedSchedule schedule = holefill_pack(model, state, plan);
+      ++out.repacks;
+      // The hole-filling repack re-validates under the constraints; an
+      // offer that would regress the honored constraint set is dropped
+      // (defense in depth — construction should already guarantee it).
+      if (plan.any &&
+          !validate_packed_schedule(table, schedule, constraints).empty())
+        continue;
+      offer(std::move(schedule));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 RectPackResult rectpack_schedule(const core::TestTimeTable& table,
                                  int total_width,
                                  const RectPackOptions& options) {
   common::Stopwatch watch;
+  if (!options.constraints.empty()) {
+    const auto issues = core::validate_constraints(
+        options.constraints, table.core_count(), total_width);
+    if (!issues.empty())
+      throw std::invalid_argument("rectpack_schedule: invalid constraints: " +
+                                  issues.front());
+  }
   const RectModel model = build_rect_model(table, total_width);
-  const int n = model.core_count();
-
-  RectPackResult result;
-  const auto offer = [&result](PackedSchedule schedule,
-                               const std::string* seed_name = nullptr) {
-    if (result.schedule.placements.empty() ||
-        schedule.makespan < result.makespan) {
-      result.makespan = schedule.makespan;
-      result.schedule = std::move(schedule);
-      if (seed_name != nullptr) result.seed_ordering = *seed_name;
-    }
-  };
+  const ConstraintPlan plan =
+      build_plan(options.constraints, table.core_count(), total_width);
 
   auto seeds = seed_orders(model, table);
   const int per_seed =
@@ -215,96 +565,86 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
   // budget only ever extends trajectories and the best schedule seen
   // during the walks is monotone in the budget. (The final hole-fill
   // compaction runs on the budget-dependent end state, so overall
-  // monotonicity is near-certain rather than a hard guarantee.) The
-  // walker accepts sideways moves; the best schedule seen anywhere is
-  // tracked separately.
-  std::uint64_t seed_state = options.seed;
-  for (const auto& [seed_name, seed_order] : seeds) {
-    common::Rng rng(common::splitmix64(seed_state));
-    PackState current{seed_order,
-                      std::vector<int>(static_cast<std::size_t>(n), 0)};
-    PackedSchedule walker_schedule = greedy_pack(model, current);
-    ++result.repacks;
-    offer(walker_schedule, &seed_name);
-
-    for (int iter = 0; iter < per_seed; ++iter) {
-      // The first seed's greedy pack has already been offered, so the
-      // best-so-far schedule is complete whenever the context fires.
-      if (options.context != nullptr) {
-        result.interrupt = options.context->poll();
-        if (result.interrupt != core::SolveInterrupt::None) break;
-      }
-      PackState trial = current;
-
-      std::vector<int> critical;
-      for (const auto& p : walker_schedule.placements)
-        if (p.end == walker_schedule.makespan) critical.push_back(p.core);
-      const int pick_critical =
-          critical[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(critical.size()) - 1))];
-
-      switch (rng.uniform_int(0, 4)) {
-        case 0: {  // force a critical core to a wider (faster) rectangle
-          auto& floor =
-              trial.min_candidate[static_cast<std::size_t>(pick_critical)];
-          const int last = static_cast<int>(
-              model.candidates[static_cast<std::size_t>(pick_critical)]
-                  .size() -
-              1);
-          floor = std::min(floor + 1, last);
-          break;
-        }
-        case 1: {  // promote a critical core to the front of the order
-          auto& order = trial.order;
-          order.erase(std::find(order.begin(), order.end(), pick_critical));
-          order.insert(order.begin(), pick_critical);
-          break;
-        }
-        case 2: {  // relax a random core back to its full candidate set
-          const auto core =
-              static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-          trial.min_candidate[core] = 0;
-          break;
-        }
-        case 3: {  // swap two random order positions
-          const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-          const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-          std::swap(trial.order[a], trial.order[b]);
-          break;
-        }
-        case 4: {  // compaction: re-place in the walker's start-time order
-          std::vector<int> order;
-          order.reserve(static_cast<std::size_t>(n));
-          for (const auto& p : walker_schedule.placements)
-            order.push_back(p.core);
-          trial.order = std::move(order);
-          break;
-        }
-      }
-
-      PackedSchedule schedule = greedy_pack(model, trial);
-      ++result.repacks;
-      if (schedule.makespan <= walker_schedule.makespan) {  // accept sideways
-        current = std::move(trial);
-        walker_schedule = std::move(schedule);
-        offer(walker_schedule, &seed_name);
-      }
+  // monotonicity is near-certain rather than a hard guarantee.) Walkers
+  // are merged strictly in seed order with strict-improvement preference,
+  // which reproduces the serial offer sequence exactly — so the parallel
+  // path below is bit-identical to the serial one.
+  RectPackResult result;
+  const auto merge = [&result](WalkerOutcome&& outcome,
+                               const std::string& seed_name) {
+    result.repacks += outcome.repacks;
+    if (result.interrupt == core::SolveInterrupt::None)
+      result.interrupt = outcome.interrupt;
+    if (result.schedule.placements.empty() ||
+        outcome.makespan < result.makespan) {
+      result.makespan = outcome.makespan;
+      result.schedule = std::move(outcome.schedule);
+      result.seed_ordering = seed_name;
     }
+  };
 
-    // Per-walker compaction: repack the walker's final state and its
-    // start-time order with hole filling, which can reclaim strip area
-    // the skyline had to write off. Skipped once interrupted — the
-    // quadratic compaction is exactly the kind of tail work a deadline
-    // is meant to cut.
-    if (result.interrupt != core::SolveInterrupt::None) break;
-    PackState by_start = current;
-    by_start.order.clear();
-    for (const auto& p : walker_schedule.placements)
-      by_start.order.push_back(p.core);
-    for (const PackState& state : {current, by_start}) {
-      PackedSchedule schedule = holefill_pack(model, state);
-      ++result.repacks;
-      offer(std::move(schedule), &seed_name);
+  // Per-walker RNG stream seeds, derived in seed order from one
+  // splitmix64 sequence — identical whether walkers then run serially or
+  // on the pool.
+  std::uint64_t seed_state = options.seed;
+  std::vector<std::uint64_t> walker_seeds(seeds.size());
+  for (auto& walker_seed : walker_seeds)
+    walker_seed = common::splitmix64(seed_state);
+
+  const int threads =
+      options.threads == 0
+          ? common::ThreadPool::hardware_threads()
+          : options.threads;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      WalkerOutcome outcome =
+          run_walker(model, table, plan, options.constraints,
+                     seeds[i].second, per_seed, walker_seeds[i],
+                     options.context);
+      const bool interrupted =
+          outcome.interrupt != core::SolveInterrupt::None;
+      merge(std::move(outcome), seeds[i].first);
+      if (interrupted) break;  // stop launching walkers, like the old loop
+    }
+  } else {
+    const auto walker_count = seeds.size();
+    std::vector<WalkerOutcome> outcomes(walker_count);
+    std::exception_ptr first_error;
+    std::mutex done_mutex;
+    std::condition_variable all_done;
+    std::size_t done = 0;
+    common::ThreadPool pool(
+        std::min(threads, static_cast<int>(walker_count)));
+    for (std::size_t i = 0; i < walker_count; ++i) {
+      pool.submit([&, i] {
+        try {
+          outcomes[i] =
+              run_walker(model, table, plan, options.constraints,
+                         seeds[i].second, per_seed, walker_seeds[i],
+                         options.context);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        ++done;
+        all_done.notify_one();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      all_done.wait(lock, [&] { return done == walker_count; });
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    for (std::size_t i = 0; i < walker_count; ++i) {
+      // Mirror the serial loop: an interrupted walker is the last one
+      // merged (serial never launches the rest), so the deterministic
+      // pre-cancelled case yields byte-identical results at any thread
+      // count. Mid-run interrupts are timing-dependent either way.
+      const bool interrupted =
+          outcomes[i].interrupt != core::SolveInterrupt::None;
+      merge(std::move(outcomes[i]), seeds[i].first);
+      if (interrupted) break;
     }
   }
 

@@ -12,12 +12,24 @@
 // forced to wider (faster) candidates, promoted to the front of the
 // packing order, or swapped with seeded-random peers, and the whole strip
 // is repacked after every move. Fully deterministic for a fixed seed.
+//
+// The engine is constraint-complete (core::ScheduleConstraints): packing
+// orders are projected onto the precedence DAG, every placement goes
+// through the skyline's constrained spot search (power-over-time budget,
+// fixed/forbidden wire intervals, earliest starts), local-search moves
+// that would violate a constraint are skipped, and the hole-filling
+// compaction re-validates its repack before offering it. The per-seed
+// walkers are embarrassingly parallel: with threads > 1 they run on a
+// common::ThreadPool and are merged deterministically in seed order, so
+// results are bit-identical to the serial run at any thread count (the
+// same contract as the parallel partition search).
 
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "core/constraints.hpp"
 #include "core/solve_context.hpp"
 #include "core/test_time_table.hpp"
 #include "pack/packed_schedule.hpp"
@@ -31,6 +43,13 @@ struct RectPackOptions {
   int local_search_iterations = 2000;
   /// Seed for the perturbation stream (results are deterministic per seed).
   std::uint64_t seed = 1;
+  /// Worker threads for the per-seed walkers (1 = serial; 0 = one per
+  /// hardware thread). Results are bit-identical at any thread count.
+  int threads = 1;
+  /// Scenario constraints the packing must honor; must validate against
+  /// the table (rectpack_schedule throws std::invalid_argument
+  /// otherwise). Empty = the unconstrained packer, unchanged.
+  core::ScheduleConstraints constraints;
   /// Cooperative cancellation/deadline, polled once per local-search
   /// iteration. The first seed ordering is always packed greedily before
   /// the first poll, so an interrupted run still returns a complete,
@@ -50,8 +69,10 @@ struct RectPackResult {
 };
 
 /// Packs `table`'s cores into a strip of `total_width` wires. Throws
-/// std::invalid_argument when total_width is outside the table's range.
-/// The returned schedule always passes validate_packed_schedule.
+/// std::invalid_argument when total_width is outside the table's range or
+/// options.constraints do not validate for this model. The returned
+/// schedule always passes validate_packed_schedule, including the
+/// constraint-aware overload when constraints are set.
 [[nodiscard]] RectPackResult rectpack_schedule(
     const core::TestTimeTable& table, int total_width,
     const RectPackOptions& options = {});

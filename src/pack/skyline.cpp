@@ -40,6 +40,130 @@ Skyline::Spot Skyline::best_spot(int width) const {
   return best;
 }
 
+std::int64_t Skyline::earliest_power_feasible(std::int64_t from,
+                                              std::int64_t duration,
+                                              std::int64_t power,
+                                              std::int64_t budget) const {
+  if (budget <= 0 || power_spans_.empty()) return from;
+  const std::int64_t headroom = budget - power;
+
+  // Candidate starts: `from` itself and every recorded span end after it
+  // (the strip power only ever drops at span ends, so the earliest
+  // feasible start is one of these).
+  std::vector<std::int64_t> candidates{from};
+  for (const PowerSpan& span : power_spans_)
+    if (span.end > from) candidates.push_back(span.end);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (const std::int64_t start : candidates) {
+    // Peak of the existing profile over [start, start + duration): the
+    // profile is piecewise constant with breakpoints at span starts, so
+    // evaluating at `start` and at every span start inside the window
+    // covers every level the window sees.
+    bool feasible = true;
+    const auto power_at = [&](std::int64_t t) {
+      std::int64_t total = 0;
+      for (const PowerSpan& span : power_spans_)
+        if (span.start <= t && t < span.end) total += span.power;
+      return total;
+    };
+    if (power_at(start) > headroom) continue;
+    for (const PowerSpan& span : power_spans_) {
+      if (span.start <= start || span.start >= start + duration) continue;
+      if (power_at(span.start) > headroom) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) return start;
+  }
+  // Unreachable for power <= budget: past the last span end the profile
+  // is zero and that end is a candidate. Defensive fallback:
+  std::int64_t horizon = from;
+  for (const PowerSpan& span : power_spans_)
+    horizon = std::max(horizon, span.end);
+  return horizon;
+}
+
+std::optional<Skyline::Spot> Skyline::best_spot(const SpotQuery& query) const {
+  if (query.width < 1 || query.width > total_width())
+    throw std::invalid_argument("Skyline::best_spot: width outside strip");
+  const int window_lo = query.window.lo;
+  const int window_hi =
+      query.window.hi < 0 ? total_width() : query.window.hi;
+  if (window_lo < 0 || window_lo >= window_hi || window_hi > total_width())
+    throw std::invalid_argument("Skyline::best_spot: malformed wire window");
+  if (query.duration < 1)
+    throw std::invalid_argument("Skyline::best_spot: duration must be >= 1");
+  if (query.power_budget > 0 && query.power > query.power_budget)
+    return std::nullopt;  // this rectangle alone can never fit the budget
+
+  // Wires a window may not touch: outside the allowed range or inside a
+  // forbidden interval. A prefix count turns the per-window check into
+  // O(1); the common power-only query (full window, nothing forbidden)
+  // skips the mask entirely.
+  const bool wires_constrained =
+      window_lo != 0 || window_hi != total_width() ||
+      (query.forbidden != nullptr && !query.forbidden->empty());
+  std::vector<int> blocked_prefix;
+  if (wires_constrained) {
+    blocked_prefix.assign(static_cast<std::size_t>(total_width()) + 1, 0);
+    std::vector<char> blocked(static_cast<std::size_t>(total_width()), 0);
+    for (int wire = 0; wire < total_width(); ++wire)
+      if (wire < window_lo || wire >= window_hi)
+        blocked[static_cast<std::size_t>(wire)] = 1;
+    if (query.forbidden != nullptr)
+      for (const core::WireInterval& interval : *query.forbidden)
+        for (int wire = std::max(0, interval.lo);
+             wire < std::min(total_width(), interval.hi); ++wire)
+          blocked[static_cast<std::size_t>(wire)] = 1;
+    for (int wire = 0; wire < total_width(); ++wire)
+      blocked_prefix[static_cast<std::size_t>(wire) + 1] =
+          blocked_prefix[static_cast<std::size_t>(wire)] +
+          blocked[static_cast<std::size_t>(wire)];
+  }
+
+  // The power-feasible start depends only on the window's base time, and
+  // the skyline takes few distinct values across a strip — memoize per
+  // base so the span sweep runs once per distinct time, not per wire.
+  std::vector<std::pair<std::int64_t, std::int64_t>> feasible_cache;
+  const auto feasible_start = [&](std::int64_t from) {
+    if (query.power_budget <= 0) return from;
+    for (const auto& [base, start] : feasible_cache)
+      if (base == from) return start;
+    const std::int64_t start = earliest_power_feasible(
+        from, query.duration, query.power, query.power_budget);
+    feasible_cache.emplace_back(from, start);
+    return start;
+  };
+
+  std::optional<Spot> best;
+  std::deque<int> window;  // monotone deque, as in the unconstrained search
+  for (int wire = 0; wire < total_width(); ++wire) {
+    while (!window.empty() &&
+           free_time_[static_cast<std::size_t>(window.back())] <=
+               free_time_[static_cast<std::size_t>(wire)])
+      window.pop_back();
+    window.push_back(wire);
+    const int left = wire - query.width + 1;
+    if (left < 0) continue;
+    if (window.front() < left) window.pop_front();
+    if (wires_constrained &&
+        blocked_prefix[static_cast<std::size_t>(wire) + 1] -
+                blocked_prefix[static_cast<std::size_t>(left)] !=
+            0)
+      continue;  // window touches a blocked wire
+    const std::int64_t skyline_start =
+        free_time_[static_cast<std::size_t>(window.front())];
+    const std::int64_t start =
+        feasible_start(std::max(skyline_start, query.min_start));
+    if (!best.has_value() || start < best->start) best = Spot{left, start};
+  }
+  return best;
+}
+
 void Skyline::place(int wire, int width, std::int64_t end) {
   if (wire < 0 || width < 1 || wire + width > total_width())
     throw std::invalid_argument("Skyline::place: window outside strip");
@@ -49,12 +173,19 @@ void Skyline::place(int wire, int width, std::int64_t end) {
   }
 }
 
+void Skyline::place(int wire, int width, std::int64_t start, std::int64_t end,
+                    std::int64_t power) {
+  place(wire, width, end);
+  if (power > 0 && start < end) power_spans_.push_back({start, end, power});
+}
+
 std::int64_t Skyline::makespan() const noexcept {
   return *std::max_element(free_time_.begin(), free_time_.end());
 }
 
 void Skyline::clear() noexcept {
   std::fill(free_time_.begin(), free_time_.end(), 0);
+  power_spans_.clear();
 }
 
 }  // namespace wtam::pack

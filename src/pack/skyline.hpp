@@ -8,11 +8,25 @@
 // never overlap — at the cost of leaving holes, the classic skyline
 // trade-off). best_spot returns the bottom-left-justified choice: the
 // window with the minimum start time, ties broken to the leftmost wire.
+//
+// The skyline is also the constraint-checking placement engine of the
+// pack subsystem: the SpotQuery form of best_spot restricts the search to
+// an allowed wire window, rejects windows touching forbidden intervals,
+// floors the start at a precedence/earliest-start bound, and — when a
+// power budget is given — delays the start until the strip-wide
+// instantaneous power (tracked per placement via the power-aware place
+// overload) admits the rectangle for its whole duration. A constrained
+// placement may therefore float above the skyline; that is safe (nothing
+// below the skyline is ever free) and the hole-filling compaction of the
+// rectpack engine reclaims what it can.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
+
+#include "core/constraints.hpp"
 
 namespace wtam::pack {
 
@@ -39,9 +53,45 @@ class Skyline {
   /// std::invalid_argument when width is outside [1, total_width].
   [[nodiscard]] Spot best_spot(int width) const;
 
+  /// One constrained placement query: the unconstrained search plus every
+  /// restriction the constraint layer can impose on a single rectangle.
+  struct SpotQuery {
+    int width = 1;
+    /// Rectangle time extent — the window the power check sweeps.
+    std::int64_t duration = 1;
+    /// Earliest allowed start (precedence and earliest-start folded in by
+    /// the caller).
+    std::int64_t min_start = 0;
+    /// Allowed wire range [lo, hi); hi = -1 means the whole strip.
+    core::WireInterval window{0, -1};
+    /// Wire intervals the rectangle must not touch (non-owning; may be
+    /// null for none — queries are built in hot packing loops, so the
+    /// constraint lists are referenced rather than copied).
+    const std::vector<core::WireInterval>* forbidden = nullptr;
+    /// This rectangle's power draw and the strip-wide budget; budget 0 =
+    /// power-unconstrained.
+    std::int64_t power = 0;
+    std::int64_t power_budget = 0;
+  };
+
+  /// Constrained bottom-left spot: minimum feasible start, ties to the
+  /// leftmost wire. The start is the first cycle >= the window's skyline
+  /// and min_start at which the power profile stays within budget for the
+  /// whole duration. Returns nullopt when no window of `width` allowed
+  /// wires exists (or the rectangle's own power exceeds the budget).
+  /// Throws std::invalid_argument for width outside [1, total_width] or a
+  /// malformed window.
+  [[nodiscard]] std::optional<Spot> best_spot(const SpotQuery& query) const;
+
   /// Marks wires [wire, wire + width) busy until `end`. The caller places
   /// at a spot from best_spot, so free times only ever grow.
   void place(int wire, int width, std::int64_t end);
+
+  /// Power-aware placement: additionally records the rectangle on the
+  /// power timeline consulted by constrained best_spot calls (only when
+  /// `power` > 0 — zero-power rectangles cannot affect any budget).
+  void place(int wire, int width, std::int64_t start, std::int64_t end,
+             std::int64_t power);
 
   /// Highest skyline point — the makespan of everything placed so far.
   [[nodiscard]] std::int64_t makespan() const noexcept;
@@ -49,7 +99,22 @@ class Skyline {
   void clear() noexcept;
 
  private:
+  /// One placed rectangle's contribution to the strip power profile.
+  struct PowerSpan {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    std::int64_t power = 0;
+  };
+
+  /// Earliest start >= `from` at which `power` more units fit under
+  /// `budget` for `duration` cycles; candidates are `from` and the ends
+  /// of recorded spans.
+  [[nodiscard]] std::int64_t earliest_power_feasible(
+      std::int64_t from, std::int64_t duration, std::int64_t power,
+      std::int64_t budget) const;
+
   std::vector<std::int64_t> free_time_;
+  std::vector<PowerSpan> power_spans_;
 };
 
 }  // namespace wtam::pack

@@ -297,6 +297,61 @@ SyntheticSpec p93791_spec() {
   return spec;
 }
 
+core::PowerVector generate_core_powers(const Soc& soc, const IntRange& range,
+                                       std::uint64_t seed) {
+  check_range(range, "core power");
+  std::uint64_t stream = seed ^ 0x706f776572ULL;  // "power"
+  common::Rng rng(common::splitmix64(stream));
+  core::PowerVector power;
+  power.reserve(soc.cores.size());
+  for (std::size_t i = 0; i < soc.cores.size(); ++i)
+    power.push_back(draw_uniform(rng, range));
+  return power;
+}
+
+ConstrainedScenario generate_constrained_scenario(
+    const ConstrainedScenarioSpec& spec) {
+  if (spec.precedence_edges < 0)
+    throw std::invalid_argument(
+        "generate_constrained_scenario: precedence_edges must be >= 0");
+
+  ConstrainedScenario scenario;
+  scenario.soc = generate_soc(spec.soc);
+  const int n = scenario.soc.core_count();
+  if (spec.precedence_edges > 0 && n < 2)
+    throw std::invalid_argument(
+        "generate_constrained_scenario: precedence needs at least two cores");
+
+  scenario.constraints.power =
+      generate_core_powers(scenario.soc, spec.core_power, spec.seed);
+  std::int64_t total = 0;
+  std::int64_t largest = 0;
+  for (const std::int64_t p : scenario.constraints.power) {
+    total += p;
+    largest = std::max(largest, p);
+  }
+  // Clamping to the largest single draw keeps every core schedulable on
+  // its own — the feasibility precondition validate_constraints enforces.
+  scenario.constraints.power_budget = std::max(
+      largest,
+      static_cast<std::int64_t>(std::llround(
+          spec.power_budget_fraction * static_cast<double>(total))));
+
+  // Random acyclic precedence: every sampled pair is oriented low -> high
+  // core index, so cycles cannot arise; duplicates collapse on normalize.
+  std::uint64_t stream = spec.seed ^ 0x70726563ULL;  // "prec"
+  common::Rng rng(common::splitmix64(stream));
+  for (int edge = 0; edge < spec.precedence_edges; ++edge) {
+    const int a = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, n - 2));
+    const int other = b >= a ? b + 1 : b;  // distinct from a, uniform
+    scenario.constraints.precedence.push_back(
+        {std::min(a, other), std::max(a, other)});
+  }
+  scenario.constraints = core::normalized(std::move(scenario.constraints));
+  return scenario;
+}
+
 Soc p21241() { return generate_soc(p21241_spec()); }
 
 Soc p31108() {

@@ -29,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "core/constraints.hpp"
 #include "soc/soc.hpp"
 
 namespace wtam::soc {
@@ -73,5 +74,42 @@ struct SyntheticSpec {
 [[nodiscard]] SyntheticSpec p21241_spec();
 [[nodiscard]] SyntheticSpec p31108_spec();
 [[nodiscard]] SyntheticSpec p93791_spec();
+
+// ---- constrained scenarios --------------------------------------------------
+
+/// Seeded per-core power values for any SOC: each core draws uniformly
+/// from `range`, deterministically per (soc, seed) — the synthetic
+/// counterpart of core::scan_activity_power for benches/tests that want
+/// controlled magnitudes.
+[[nodiscard]] core::PowerVector generate_core_powers(const Soc& soc,
+                                                     const IntRange& range,
+                                                     std::uint64_t seed);
+
+struct ConstrainedScenarioSpec {
+  SyntheticSpec soc;         ///< the base synthetic SOC
+  std::uint64_t seed = 1;    ///< scenario stream (independent of soc.seed)
+  IntRange core_power = {50, 500};  ///< per-core power draw range
+  /// Peak budget as a fraction of the summed core powers; clamped up to
+  /// the largest single core's power, so the scenario is always feasible.
+  double power_budget_fraction = 0.5;
+  /// Random precedence edges, drawn as (a < b) index pairs so the DAG is
+  /// acyclic by construction (duplicates collapse).
+  int precedence_edges = 0;
+};
+
+/// A synthetic SOC bundled with generated scheduling constraints — the
+/// input unit of constrained benches and property tests.
+struct ConstrainedScenario {
+  Soc soc;
+  core::ScheduleConstraints constraints;
+};
+
+/// Generates the SOC from spec.soc and a feasible constraint set on top
+/// of it (validate_constraints always passes for the result). Fully
+/// deterministic per spec. Throws std::invalid_argument on inconsistent
+/// specs (bad power range, negative edge count, fewer than two cores
+/// with precedence_edges > 0).
+[[nodiscard]] ConstrainedScenario generate_constrained_scenario(
+    const ConstrainedScenarioSpec& spec);
 
 }  // namespace wtam::soc

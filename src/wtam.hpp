@@ -16,6 +16,7 @@
 #include "core/assignment_exact.hpp"    // IWYU pragma: export
 #include "core/backend.hpp"             // IWYU pragma: export
 #include "core/co_optimizer.hpp"        // IWYU pragma: export
+#include "core/constraints.hpp"         // IWYU pragma: export
 #include "core/core_assign.hpp"         // IWYU pragma: export
 #include "core/daisy_chain.hpp"         // IWYU pragma: export
 #include "core/exhaustive.hpp"          // IWYU pragma: export

@@ -1,0 +1,209 @@
+// core::ScheduleConstraints: the model (normalization, canonical form,
+// validation), the end-to-end constrained golden run on d695, and the
+// honest unsupported_constraint contract of the enumerative backend.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/solver.hpp"
+#include "core/backend.hpp"
+#include "core/constraints.hpp"
+#include "core/power.hpp"
+#include "core/test_time_table.hpp"
+#include "pack/packed_schedule.hpp"
+#include "pack/rectpack.hpp"
+#include "soc/benchmarks.hpp"
+
+namespace wtam::core {
+namespace {
+
+ScheduleConstraints sample() {
+  ScheduleConstraints constraints;
+  constraints.power = {10, 20, 30};
+  constraints.power_budget = 40;
+  constraints.precedence = {{1, 2}, {0, 2}, {1, 2}};
+  constraints.fixed = {{2, {0, 8}}};
+  constraints.forbidden = {{1, {12, 16}}, {1, {4, 8}}};
+  constraints.earliest = {{0, 100}};
+  return constraints;
+}
+
+TEST(ScheduleConstraints, EmptyDetection) {
+  EXPECT_TRUE(ScheduleConstraints{}.empty());
+  EXPECT_FALSE(sample().empty());
+  ScheduleConstraints only_precedence;
+  only_precedence.precedence = {{0, 1}};
+  EXPECT_FALSE(only_precedence.empty());
+}
+
+TEST(ScheduleConstraints, NormalizationSortsAndDedupes) {
+  const ScheduleConstraints normal = normalized(sample());
+  ASSERT_EQ(normal.precedence.size(), 2u);  // the duplicate collapsed
+  EXPECT_EQ(normal.precedence[0], (PrecedencePair{0, 2}));
+  EXPECT_EQ(normal.precedence[1], (PrecedencePair{1, 2}));
+  ASSERT_EQ(normal.forbidden.size(), 2u);
+  EXPECT_EQ(normal.forbidden[0].wires.lo, 4);  // sorted by (core, lo)
+  EXPECT_EQ(normal.forbidden[1].wires.lo, 12);
+}
+
+TEST(ScheduleConstraints, CanonicalFormIsPinned) {
+  // The canonical string feeds RequestKey hashes — a persistence format.
+  EXPECT_EQ(canonical_constraints(ScheduleConstraints{}), "");
+  EXPECT_EQ(canonical_constraints(sample()),
+            "power=10:20:30;budget=40;prec=0>2,1>2;fixed=2@0-8;"
+            "forbid=1@4-8,1@12-16;earliest=0@100");
+  // Phrasing order does not matter: permuted inputs render identically.
+  ScheduleConstraints permuted = sample();
+  std::reverse(permuted.precedence.begin(), permuted.precedence.end());
+  std::reverse(permuted.forbidden.begin(), permuted.forbidden.end());
+  EXPECT_EQ(canonical_constraints(permuted), canonical_constraints(sample()));
+}
+
+TEST(ScheduleConstraints, ValidationAcceptsTheSample) {
+  EXPECT_TRUE(validate_constraints(sample(), 3, 16).empty());
+  // Structural-only validation (no model yet) also passes.
+  EXPECT_TRUE(validate_constraints(sample(), -1, -1).empty());
+}
+
+TEST(ScheduleConstraints, ValidationCatchesEveryClass) {
+  const auto issues_contain = [](const std::vector<std::string>& issues,
+                                 const std::string& needle) {
+    return std::any_of(issues.begin(), issues.end(),
+                       [&](const std::string& issue) {
+                         return issue.find(needle) != std::string::npos;
+                       });
+  };
+
+  ScheduleConstraints bad = sample();
+  bad.power_budget = 0;
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16),
+                             "without a positive power_budget"));
+
+  bad = sample();
+  bad.power = {10, 20};  // wrong length
+  EXPECT_TRUE(
+      issues_contain(validate_constraints(bad, 3, 16), "entries for 3 cores"));
+
+  bad = sample();
+  bad.power[1] = 99;  // exceeds the budget alone
+  EXPECT_TRUE(
+      issues_contain(validate_constraints(bad, 3, 16), "exceeds the budget"));
+
+  bad = sample();
+  bad.precedence.push_back({2, 2});
+  EXPECT_TRUE(
+      issues_contain(validate_constraints(bad, 3, 16), "self-dependency"));
+
+  bad = sample();
+  bad.precedence.push_back({2, 0});  // 0>2 exists, 2>0 closes a cycle
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16), "cycle"));
+
+  bad = sample();
+  bad.precedence.push_back({0, 7});
+  EXPECT_TRUE(
+      issues_contain(validate_constraints(bad, 3, 16), "unknown core"));
+
+  bad = sample();
+  bad.fixed.push_back({0, {8, 4}});  // lo >= hi
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16),
+                             "0 <= lo < hi <= total width"));
+
+  bad = sample();
+  bad.fixed.push_back({2, {0, 4}});  // second fixed interval for core 2
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16),
+                             "more than one fixed interval"));
+
+  bad = sample();
+  bad.forbidden.push_back({2, {0, 16}});  // covers core 2's fixed window
+  EXPECT_TRUE(
+      issues_contain(validate_constraints(bad, 3, 16), "no allowed wires"));
+
+  bad = sample();
+  bad.earliest.push_back({1, -5});
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16), "negative"));
+
+  bad = sample();
+  bad.earliest.push_back({0, 200});
+  EXPECT_TRUE(issues_contain(validate_constraints(bad, 3, 16),
+                             "more than one earliest_start"));
+}
+
+// ---- the ISSUE-5 acceptance golden: constrained d695 ------------------------
+
+TEST(ConstrainedGolden, D695PowerBudgetRunIsValidAndSlower) {
+  // Scan-activity powers with a budget that genuinely binds (exactly the
+  // largest single core's draw, so the scan-heavy cores fully serialize):
+  // the packer must produce a validator-clean schedule whose
+  // instantaneous power never exceeds the budget, and it cannot beat the
+  // unconstrained golden pin (22270 at W=32,
+  // tests/test_golden_backends.cpp).
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 32);
+  ScheduleConstraints constraints;
+  constraints.power = scan_activity_power(soc_data);
+  std::int64_t largest = 0;
+  for (const std::int64_t p : constraints.power)
+    largest = std::max(largest, p);
+  constraints.power_budget = largest;
+
+  pack::RectPackOptions options;
+  options.constraints = constraints;
+  const auto result = pack::rectpack_schedule(table, 32, options);
+
+  const auto issues =
+      pack::validate_packed_schedule(table, result.schedule, constraints);
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues.front());
+  EXPECT_LE(pack::packed_peak_power(result.schedule, constraints.power),
+            constraints.power_budget);
+  EXPECT_GE(result.makespan, 22270);
+}
+
+TEST(ConstrainedGolden, EnumerativeHonorsThePowerBudget) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 32);
+  ScheduleConstraints constraints;
+  constraints.power = scan_activity_power(soc_data);
+  std::int64_t largest = 0;
+  for (const std::int64_t p : constraints.power)
+    largest = std::max(largest, p);
+  constraints.power_budget = largest + largest / 2;
+
+  BackendOptions options;
+  options.constraints = constraints;
+  const BackendOutcome outcome =
+      BackendRegistry::instance().at("enumerative").optimize(table, 32,
+                                                             options);
+  const auto issues =
+      pack::validate_packed_schedule(table, outcome.schedule, constraints);
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues.front());
+  EXPECT_LE(pack::packed_peak_power(outcome.schedule, constraints.power),
+            constraints.power_budget);
+  // The power-blind pin, delayed: never faster than the unconstrained run.
+  EXPECT_GE(outcome.testing_time, 21566);
+}
+
+TEST(ConstrainedGolden, EnumerativeRejectsUnsupportedClassesHonestly) {
+  BackendOptions options;
+  options.constraints.precedence = {{0, 1}};
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 16);
+  EXPECT_THROW((void)BackendRegistry::instance().at("enumerative").optimize(
+                   table, 16, options),
+               UnsupportedConstraintError);
+
+  // Through the Solver the refusal is an invalid_request whose error
+  // names the contract, never a silently unconstrained answer.
+  api::SolveRequest request;
+  request.soc = "d695";
+  request.width = 16;
+  request.backend = "enumerative";
+  request.options.constraints.precedence = {{0, 1}};
+  const api::SolveResult result = api::Solver().solve(request);
+  EXPECT_EQ(result.status, api::Status::InvalidRequest);
+  EXPECT_NE(result.error.find("unsupported_constraint"), std::string::npos);
+  EXPECT_NE(result.error.find("precedence"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtam::core

@@ -188,12 +188,83 @@ TEST(JobIo, JobRoundTripsThroughJson) {
   EXPECT_EQ(back.tag, request.tag);
 }
 
+TEST(JobIo, ConstraintsBlockRoundTripsThroughJson) {
+  SolveRequest request;
+  request.id = "constrained";
+  request.soc = "d695";
+  request.width = 32;
+  request.backend = "rectpack";
+  auto& constraints = request.options.constraints;
+  constraints.power = {100, 90, 80, 70, 60, 50, 40, 30, 20, 10};
+  constraints.power_budget = 250;
+  constraints.precedence = {{0, 2}, {1, 2}};
+  constraints.fixed = {{3, {0, 8}}};
+  constraints.forbidden = {{4, {8, 16}}, {4, {24, 32}}};
+  constraints.earliest = {{5, 12345}};
+
+  const auto jobs = parse_jobs(jobs_to_json({request}));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].options.constraints, constraints);
+
+  // An absent block stays absent (empty constraints are not serialized).
+  SolveRequest plain;
+  plain.soc = "d695";
+  plain.width = 8;
+  EXPECT_EQ(jobs_to_json({plain}).find("constraints"), std::string::npos);
+}
+
+TEST(JobIo, ConstraintsParsingIsStrict) {
+  const auto parse_constrained_job = [](const std::string& block) {
+    return parse_jobs(R"({"jobs": [{"soc": "d695", "width": 8,)"
+                      R"( "constraints": )" +
+                      block + "}]}");
+  };
+  // Happy path.
+  EXPECT_EQ(parse_constrained_job(
+                R"({"power": [1, 2], "power_budget": 3,)"
+                R"( "precedence": [[0, 1]], "earliest_start": [[1, 9]]})")
+                .at(0)
+                .options.constraints.precedence.size(),
+            1u);
+  // Unknown keys inside the block fail loudly.
+  EXPECT_THROW((void)parse_constrained_job(R"({"powerr": [1]})"),
+               std::runtime_error);
+  // Malformed shapes fail loudly.
+  EXPECT_THROW((void)parse_constrained_job(R"("power")"), std::runtime_error);
+  EXPECT_THROW((void)parse_constrained_job(R"({"power": 3})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_constrained_job(R"({"precedence": [[0]]})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_constrained_job(R"({"fixed": [[0, 1]]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_constrained_job(R"({"forbidden": [[0, 1, "x"]]})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_constrained_job(R"({"earliest_start": [[0, -1]]})"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_constrained_job(R"({"fixed": [[0, 1, 999]]})"),
+               std::runtime_error);  // wire index outside [0, 256]
+  EXPECT_THROW((void)parse_constrained_job(R"({"power_budget": -5})"),
+               std::runtime_error);  // negative budgets fail at parse time
+}
+
+// GCC 12's -Wmaybe-uninitialized misfires on the engaged optional<Soc>
+// here (the famous optional+string false positive; job_to_json only ever
+// reads has_value() on it).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 TEST(JobIo, InMemorySocValueIsNotSerializable) {
   SolveRequest request;
-  request.soc_value = soc::Soc{};
+  request.soc_value.emplace();
   request.width = 8;
   EXPECT_THROW((void)job_to_json(request), std::invalid_argument);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 // ---- results files --------------------------------------------------------
 

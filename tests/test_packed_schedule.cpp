@@ -115,6 +115,115 @@ TEST(PackedSchedule, FromArchitectureMatchesTestBusSemantics) {
   }
 }
 
+TEST(PackedSchedule, FromScheduleLowersPowerDelayedTestBusSchedules) {
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 24);
+  const auto arch = core::co_optimize(table, 24, {}).architecture;
+  const core::TestSchedule base = core::build_schedule(table, arch);
+  const auto packed = from_schedule(arch, base);
+  // With no delays the lowering agrees with from_architecture.
+  const auto reference = from_architecture(table, arch);
+  ASSERT_EQ(packed.placements.size(), reference.placements.size());
+  EXPECT_EQ(packed.makespan, reference.makespan);
+  EXPECT_TRUE(validate_packed_schedule(table, packed).empty());
+
+  core::TestSchedule bad = base;
+  bad.entries.front().tam = arch.tam_count();
+  EXPECT_THROW((void)from_schedule(arch, bad), std::invalid_argument);
+}
+
+TEST(PackedSchedule, ConstraintValidatorCorruptionMatrix) {
+  // A valid constrained schedule; corrupting any single constraint class
+  // must flip the validator's verdict to invalid, with a violation
+  // message naming that class. (Acceptance: ISSUE 5.)
+  const soc::Soc soc_data = soc::d695();
+  const core::TestTimeTable table(soc_data, 8);
+  const auto good = sequential_schedule(table, 8);  // one core at a time
+
+  // A constraint set the sequential schedule satisfies (full-width
+  // placements touch every wire, so no forbidden interval can hold).
+  core::ScheduleConstraints constraints;
+  constraints.power.assign(static_cast<std::size_t>(table.core_count()), 7);
+  constraints.power_budget = 7;  // sequential = exactly one core running
+  constraints.precedence = {{0, 1}, {1, 2}};
+  constraints.fixed = {{3, {0, 8}}};
+  constraints.earliest = {{0, 0}};
+  ASSERT_TRUE(
+      validate_packed_schedule(table, good, constraints).empty());
+  // Empty constraints reduce to the geometric validator exactly.
+  ASSERT_TRUE(
+      validate_packed_schedule(table, good, core::ScheduleConstraints{})
+          .empty());
+
+  const auto first_issue_containing =
+      [&](const core::ScheduleConstraints& corrupted, const char* needle) {
+        const auto issues =
+            validate_packed_schedule(table, good, corrupted);
+        return std::any_of(issues.begin(), issues.end(),
+                           [&](const std::string& issue) {
+                             return issue.find(needle) != std::string::npos;
+                           });
+      };
+
+  {  // power: tighten the budget below the (sequential) peak
+    auto corrupted = constraints;
+    corrupted.power_budget = 6;
+    EXPECT_TRUE(first_issue_containing(corrupted, "exceeds the budget"));
+  }
+  {  // precedence: demand the reverse order of two sequential cores
+    auto corrupted = constraints;
+    corrupted.precedence.push_back({2, 1});
+    EXPECT_TRUE(first_issue_containing(corrupted, "precedence"));
+  }
+  {  // fixed: shrink core 3's window below its full-width placement
+    auto corrupted = constraints;
+    corrupted.fixed = {{3, {0, 4}}};
+    EXPECT_TRUE(first_issue_containing(corrupted, "fixed interval"));
+  }
+  {  // forbidden: outlaw a wire every full-width placement touches
+    auto corrupted = constraints;
+    corrupted.forbidden = {{4, {7, 8}}};
+    EXPECT_TRUE(first_issue_containing(corrupted, "forbidden interval"));
+  }
+  {  // earliest_start: core 0 starts at 0, demand 1
+    auto corrupted = constraints;
+    corrupted.earliest = {{0, 1}};
+    EXPECT_TRUE(first_issue_containing(corrupted, "earliest_start"));
+  }
+  {  // malformed constraints can never validate a schedule
+    auto corrupted = constraints;
+    corrupted.precedence.push_back({1, 0});  // closes a cycle
+    EXPECT_TRUE(first_issue_containing(corrupted, "cycle"));
+  }
+  {  // an unknown core index is reported, never thrown, even with power
+    auto bad = good;
+    bad.placements[0].core = table.core_count();
+    std::vector<std::string> issues;
+    EXPECT_NO_THROW(issues =
+                        validate_packed_schedule(table, bad, constraints));
+    EXPECT_TRUE(std::any_of(issues.begin(), issues.end(),
+                            [](const std::string& issue) {
+                              return issue.find("unknown core") !=
+                                     std::string::npos;
+                            }));
+  }
+}
+
+TEST(PackedSchedule, PackedPeakPowerSweepsExactly) {
+  PackedSchedule schedule;
+  schedule.total_width = 4;
+  schedule.placements = {{0, 2, 0, 0, 10},   // power 5 over [0,10)
+                         {1, 2, 2, 5, 15},   // power 3 over [5,15)
+                         {2, 4, 0, 20, 30}};  // power 9 over [20,30)
+  schedule.makespan = 30;
+  const core::PowerVector power = {5, 3, 9};
+  EXPECT_EQ(packed_peak_power(schedule, power), 9);  // overlap 8, solo 9
+  EXPECT_EQ(packed_peak_power(PackedSchedule{}, power), 0);
+  const core::PowerVector short_power = {5};
+  EXPECT_THROW((void)packed_peak_power(schedule, short_power),
+               std::invalid_argument);
+}
+
 TEST(PackedSchedule, GanttRendersAndCollapsesWireRuns) {
   const soc::Soc soc_data = soc::d695();
   const core::TestTimeTable table(soc_data, 8);

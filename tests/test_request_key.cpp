@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -144,6 +145,65 @@ TEST(RequestKey, CanonicalTextFormIsStable) {
   EXPECT_EQ(key.to_string(),
             "soc:50b7104b26d5c3f4695a8654678f5f94/w32/enumerative"
             "{max_tams=10,min_tams=1,run_final_step=1}");
+}
+
+TEST(RequestKey, ConstraintsChangeTheKeyForEveryBackend) {
+  // The cache must never conflate constrained and unconstrained asks —
+  // same SOC/width/backend, different canonical constraints, different
+  // key; identical canonical constraints (any phrasing), identical key.
+  for (const char* backend : {"enumerative", "rectpack"}) {
+    SolveRequest plain;
+    plain.soc = "d695";
+    plain.width = 32;
+    plain.backend = backend;
+
+    SolveRequest constrained = plain;
+    constrained.options.constraints.power.assign(10, 100);
+    constrained.options.constraints.power_budget = 250;
+    EXPECT_NE(request_keys(constrained).front(),
+              request_keys(plain).front())
+        << backend;
+
+    SolveRequest tighter = constrained;
+    tighter.options.constraints.power_budget = 200;
+    EXPECT_NE(request_keys(tighter).front(),
+              request_keys(constrained).front())
+        << backend;
+  }
+
+  // Permuted phrasing normalizes to the same key.
+  SolveRequest a;
+  a.soc = "d695";
+  a.width = 24;
+  a.backend = "rectpack";
+  a.options.constraints.precedence = {{0, 2}, {1, 2}};
+  a.options.constraints.forbidden = {{3, {0, 4}}, {3, {8, 12}}};
+  SolveRequest b = a;
+  std::reverse(b.options.constraints.precedence.begin(),
+               b.options.constraints.precedence.end());
+  std::reverse(b.options.constraints.forbidden.begin(),
+               b.options.constraints.forbidden.end());
+  EXPECT_EQ(request_keys(a).front(), request_keys(b).front());
+}
+
+TEST(RequestKey, ConstrainedCanonicalTextFormIsPinned) {
+  // Pinned digest: constrained keys are a persistence format exactly like
+  // unconstrained ones (acceptance: ISSUE 5).
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 32;
+  request.backend = "rectpack";
+  request.options.constraints.power = {10, 10, 10, 10, 10,
+                                       10, 10, 10, 10, 10};
+  request.options.constraints.power_budget = 25;
+  request.options.constraints.precedence = {{0, 9}};
+  const RequestKey key = request_keys(request).front();
+  EXPECT_EQ(key.to_string(),
+            "soc:50b7104b26d5c3f4695a8654678f5f94/w32/rectpack"
+            "{constraints=power=10:10:10:10:10:10:10:10:10:10;budget=25;"
+            "prec=0>9,rectpack_iterations=2000,rectpack_seed=1}");
+  // And the unconstrained form is untouched (pinned in
+  // CanonicalTextFormIsStable above) — pre-constraint cache keys survive.
 }
 
 TEST(RequestKey, HashIsUsableForBucketing) {

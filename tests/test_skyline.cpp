@@ -65,5 +65,138 @@ TEST(Skyline, RejectsBadArguments) {
   EXPECT_THROW(sky.place(2, 3, 1), std::invalid_argument);
 }
 
+TEST(Skyline, FullWidthRectanglesStack) {
+  // A full-width rectangle always lands on the makespan, wire 0; a
+  // sequence of them serializes perfectly.
+  Skyline sky(8);
+  for (const std::int64_t duration : {10, 25, 5}) {
+    const auto spot = sky.best_spot(8);
+    EXPECT_EQ(spot.wire, 0);
+    EXPECT_EQ(spot.start, sky.makespan());
+    sky.place(spot.wire, 8, spot.start + duration);
+  }
+  EXPECT_EQ(sky.makespan(), 40);
+  // Even after an uneven partial placement, full width waits for the top.
+  sky.place(3, 2, 100);
+  EXPECT_EQ(sky.best_spot(8).start, 100);
+}
+
+TEST(Skyline, WidthOneStripDegeneratesToASerialLane) {
+  Skyline sky(1);
+  EXPECT_EQ(sky.best_spot(1).wire, 0);
+  sky.place(0, 1, 7);
+  EXPECT_EQ(sky.best_spot(1).start, 7);
+  sky.place(0, 1, 7 + 3);
+  EXPECT_EQ(sky.makespan(), 10);
+  // The constrained query agrees on the degenerate strip.
+  Skyline::SpotQuery query;
+  query.width = 1;
+  query.duration = 4;
+  const auto spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->wire, 0);
+  EXPECT_EQ(spot->start, 10);
+}
+
+TEST(Skyline, SlidingWindowMaxOverShrinkingSegments) {
+  // A strictly descending staircase: segments of decreasing height where
+  // every window's max is its leftmost wire. The monotone deque must
+  // evict exactly one candidate per step.
+  Skyline sky(6);
+  for (int wire = 0; wire < 6; ++wire)
+    sky.place(wire, 1, 60 - 10 * wire);  // heights 60,50,40,30,20,10
+  for (int width = 1; width <= 6; ++width) {
+    const auto spot = sky.best_spot(width);
+    // The lowest window of any width hugs the right edge; its max is its
+    // leftmost (tallest) wire.
+    EXPECT_EQ(spot.wire, 6 - width) << "width=" << width;
+    EXPECT_EQ(spot.start, 60 - 10 * (6 - width)) << "width=" << width;
+  }
+  // Shrink the last segment to a single low wire and re-query: windows
+  // that include wire 5 are capped by their interior maxima.
+  sky.place(5, 1, 55);  // now 60,50,40,30,20,55
+  const auto spot = sky.best_spot(2);
+  EXPECT_EQ(spot.wire, 3);  // [30,20] — max 30, the lowest 2-window
+  EXPECT_EQ(spot.start, 30);
+}
+
+TEST(Skyline, ConstrainedQueryHonorsWindowsAndForbiddenRows) {
+  Skyline sky(8);
+  Skyline::SpotQuery query;
+  query.width = 2;
+  query.duration = 10;
+  query.window = {4, 8};  // fixed interval: right half only
+  const auto right = sky.best_spot(query);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->wire, 4);
+
+  const std::vector<core::WireInterval> forbidden = {{4, 6}};
+  query.forbidden = &forbidden;
+  const auto shifted = sky.best_spot(query);
+  ASSERT_TRUE(shifted.has_value());
+  EXPECT_EQ(shifted->wire, 6);
+
+  query.width = 3;  // no 3-wide run inside [6, 8)
+  EXPECT_FALSE(sky.best_spot(query).has_value());
+
+  query.width = 2;
+  query.min_start = 123;  // precedence floor lifts the start
+  const auto floored = sky.best_spot(query);
+  ASSERT_TRUE(floored.has_value());
+  EXPECT_EQ(floored->start, 123);
+}
+
+TEST(Skyline, PowerRejectionAtExactlyAtBudgetBoundaries) {
+  Skyline sky(8);
+  sky.place(0, 2, 0, 10, /*power=*/3);  // [0,10) draws 3 of budget 5
+  Skyline::SpotQuery query;
+  query.width = 2;
+  query.duration = 5;
+  query.power_budget = 5;
+
+  // Exactly at budget: 3 + 2 == 5 fits, start 0 allowed.
+  query.power = 2;
+  auto spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->start, 0);
+
+  // One unit over: 3 + 3 > 5, the start is delayed to the span end.
+  query.power = 3;
+  spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->start, 10);
+
+  // Exactly the whole budget alone still fits (after the running span).
+  query.power = 5;
+  spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->start, 10);
+
+  // More than the budget can never fit anywhere.
+  query.power = 6;
+  EXPECT_FALSE(sky.best_spot(query).has_value());
+
+  // A window that only brushes the busy span's end is not delayed.
+  query.power = 3;
+  query.min_start = 10;
+  spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->start, 10);
+}
+
+TEST(Skyline, ClearResetsPowerTimelineToo) {
+  Skyline sky(4);
+  sky.place(0, 4, 0, 10, 5);
+  sky.clear();
+  Skyline::SpotQuery query;
+  query.width = 4;
+  query.duration = 5;
+  query.power = 5;
+  query.power_budget = 5;
+  const auto spot = sky.best_spot(query);
+  ASSERT_TRUE(spot.has_value());
+  EXPECT_EQ(spot->start, 0);
+}
+
 }  // namespace
 }  // namespace wtam::pack

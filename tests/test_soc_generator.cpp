@@ -200,5 +200,91 @@ TEST(Generator, DifferentSeedsGiveDifferentSocs) {
   EXPECT_TRUE(any_difference);
 }
 
+// ---- constrained scenarios --------------------------------------------------
+
+ConstrainedScenarioSpec small_scenario_spec() {
+  ConstrainedScenarioSpec spec;
+  spec.soc.name = "constrained_synth";
+  spec.soc.seed = 7;
+  spec.soc.logic_cores = 6;
+  spec.soc.logic.patterns = {20, 200};
+  spec.soc.logic.ios = {10, 80};
+  spec.soc.logic.chains = {1, 6};
+  spec.soc.logic.chain_len = {10, 90};
+  spec.soc.memory_cores = 3;
+  spec.soc.memory.patterns = {50, 800};
+  spec.soc.memory.ios = {8, 40};
+  spec.seed = 99;
+  spec.core_power = {50, 500};
+  spec.power_budget_fraction = 0.4;
+  spec.precedence_edges = 6;
+  return spec;
+}
+
+TEST(ConstrainedScenario, DeterministicAndAlwaysFeasible) {
+  const ConstrainedScenario a =
+      generate_constrained_scenario(small_scenario_spec());
+  const ConstrainedScenario b =
+      generate_constrained_scenario(small_scenario_spec());
+  EXPECT_EQ(a.constraints, b.constraints);
+  EXPECT_EQ(a.soc.core_count(), b.soc.core_count());
+
+  // The generated constraints must validate against the generated SOC at
+  // any width — the whole point of the generator is ready-to-run
+  // constrained inputs.
+  EXPECT_EQ(static_cast<int>(a.constraints.power.size()), a.soc.core_count());
+  for (const int width : {8, 32})
+    EXPECT_TRUE(core::validate_constraints(a.constraints, a.soc.core_count(),
+                                           width)
+                    .empty())
+        << "width " << width;
+
+  // Powers land in the requested range and the budget clears every core.
+  std::int64_t largest = 0;
+  for (const std::int64_t p : a.constraints.power) {
+    EXPECT_GE(p, 50);
+    EXPECT_LE(p, 500);
+    largest = std::max(largest, p);
+  }
+  EXPECT_GE(a.constraints.power_budget, largest);
+
+  // The precedence DAG is acyclic by construction and normalized.
+  for (const auto& pair : a.constraints.precedence)
+    EXPECT_LT(pair.before, pair.after);
+  EXPECT_EQ(a.constraints, core::normalized(a.constraints));
+}
+
+TEST(ConstrainedScenario, DifferentSeedsDifferentConstraints) {
+  ConstrainedScenarioSpec other = small_scenario_spec();
+  other.seed = 100;
+  EXPECT_NE(generate_constrained_scenario(small_scenario_spec()).constraints,
+            generate_constrained_scenario(other).constraints);
+}
+
+TEST(ConstrainedScenario, GeneratedPowersAreSeededPerSoc) {
+  const Soc soc = d695();
+  const core::PowerVector a = generate_core_powers(soc, {10, 20}, 1);
+  const core::PowerVector b = generate_core_powers(soc, {10, 20}, 1);
+  const core::PowerVector c = generate_core_powers(soc, {10, 20}, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ASSERT_EQ(static_cast<int>(a.size()), soc.core_count());
+  for (const std::int64_t p : a) {
+    EXPECT_GE(p, 10);
+    EXPECT_LE(p, 20);
+  }
+}
+
+TEST(ConstrainedScenario, RejectsBadSpecs) {
+  ConstrainedScenarioSpec bad = small_scenario_spec();
+  bad.precedence_edges = -1;
+  EXPECT_THROW((void)generate_constrained_scenario(bad),
+               std::invalid_argument);
+  ConstrainedScenarioSpec bad_power = small_scenario_spec();
+  bad_power.core_power = {500, 50};  // hi < lo
+  EXPECT_THROW((void)generate_constrained_scenario(bad_power),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace wtam::soc

@@ -451,6 +451,62 @@ TEST(SolverCache, BatchResultsAreByteIdenticalWithCacheOnAndOff) {
   EXPECT_GE(cache->stats().hits, 2u);
 }
 
+TEST(SolverCache, ConstrainedAndUnconstrainedRequestsNeverConflate) {
+  // Same SOC/width/backend; the constrained ask must be its own cache
+  // entry (distinct RequestKey), and a warm constrained re-ask must be
+  // byte-identical to its cold run.
+  const auto cache = std::make_shared<ResultCache>();
+  const Solver solver(SolverOptions::with_threads(1, cache));
+
+  SolveRequest plain = d695_request(16, "rectpack");
+  SolveRequest constrained = plain;
+  constrained.options.constraints.power.assign(10, 100);
+  constrained.options.constraints.power_budget = 200;
+
+  const SolveResult plain_cold = solver.solve(plain);
+  ASSERT_EQ(plain_cold.status, Status::Ok);
+  EXPECT_EQ(plain_cold.cache, CacheOutcome::Miss);
+
+  const SolveResult constrained_cold = solver.solve(constrained);
+  ASSERT_EQ(constrained_cold.status, Status::Ok);
+  EXPECT_EQ(constrained_cold.cache, CacheOutcome::Miss)
+      << "constrained ask must not hit the unconstrained entry";
+  EXPECT_TRUE(constrained_cold.schedule_valid);
+  EXPECT_GE(constrained_cold.outcome->testing_time,
+            plain_cold.outcome->testing_time);
+
+  const SolveResult constrained_warm = solver.solve(constrained);
+  EXPECT_EQ(constrained_warm.cache, CacheOutcome::Hit);
+  EXPECT_EQ(result_to_json(constrained_warm).dump_string(),
+            result_to_json(constrained_cold).dump_string());
+  const SolveResult plain_warm = solver.solve(plain);
+  EXPECT_EQ(plain_warm.cache, CacheOutcome::Hit);
+  EXPECT_EQ(result_to_json(plain_warm).dump_string(),
+            result_to_json(plain_cold).dump_string());
+  EXPECT_EQ(cache->stats().entries, 2u);
+}
+
+TEST(SolverApi, InvalidConstraintsAreAnInvalidRequest) {
+  SolveRequest request = d695_request(16, "rectpack");
+  request.options.constraints.power.assign(3, 10);  // 3 entries, 10 cores
+  request.options.constraints.power_budget = 20;
+  const SolveResult result = Solver().solve(request);
+  EXPECT_EQ(result.status, Status::InvalidRequest);
+  EXPECT_NE(result.error.find("invalid constraints"), std::string::npos);
+  EXPECT_FALSE(result.has_outcome());
+
+  // Structural problems are caught by validate() before any SOC loads.
+  SolveRequest cyclic = d695_request(16, "rectpack");
+  cyclic.options.constraints.precedence = {{0, 0}};
+  EXPECT_NE(validate(cyclic).find("invalid constraints"), std::string::npos);
+
+  // A lone negative budget is rejected, not silently unconstrained.
+  SolveRequest negative = d695_request(16, "rectpack");
+  negative.options.constraints.power_budget = -5;
+  EXPECT_NE(validate(negative).find("power_budget must be >= 0"),
+            std::string::npos);
+}
+
 TEST(SolverCache, DeadlineBoundRequestsBypassTheCache) {
   const auto cache = std::make_shared<ResultCache>();
   const Solver solver(SolverOptions::with_threads(1, cache));

@@ -14,10 +14,16 @@
 //   --list-backends   print the registered backends and exit
 //   --max-tams B      search B in [1, B] (default 10)
 //   --fixed-tams B    pin the number of TAMs (overrides --max-tams)
-//   --threads N       worker threads for the partition search and the
-//                     exhaustive baseline (default 1 = serial; 0 = one
-//                     per hardware thread); results are identical to
-//                     serial at any thread count
+//   --threads N       worker threads for the partition search, the
+//                     rectpack walkers, and the exhaustive baseline
+//                     (default 1 = serial; 0 = one per hardware thread);
+//                     results are identical to serial at any thread count
+//   --constraints F   JSON file with a scenario-constraints object
+//                     (power/power_budget/precedence/fixed/forbidden/
+//                     earliest_start — the jobs-file "constraints" block;
+//                     see README "Constraints"). rectpack honors every
+//                     class; enumerative honors the power budget and
+//                     rejects the rest as invalid_request
 //   --deadline S      wall-clock budget; an expired job returns its
 //                     best-so-far schedule with status deadline_exceeded
 //   --no-final-ilp    skip the exact re-optimization step
@@ -52,8 +58,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -65,8 +73,9 @@ namespace {
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: wtam_opt --soc NAME|FILE --width W [--backend NAME]\n"
                "                [--list-backends] [--max-tams B] [--fixed-tams B]\n"
-               "                [--threads N] [--deadline S] [--no-final-ilp]\n"
-               "                [--exhaustive] [--budget S] [--gantt] [--quiet]\n"
+               "                [--threads N] [--constraints FILE] [--deadline S]\n"
+               "                [--no-final-ilp] [--exhaustive] [--budget S]\n"
+               "                [--gantt] [--quiet]\n"
                "       wtam_opt --batch jobs.json [--threads N] [--out FILE]\n"
                "                [--timing] [--quiet]\n"
                "       either mode also takes [--cache] [--cache-mb M]\n"
@@ -161,6 +170,7 @@ int main(int argc, char** argv) {
   std::string backend = "enumerative";
   std::string batch_path;
   std::string out_path;
+  std::string constraints_path;
   int width = 0;
   int max_tams = 10;
   std::optional<int> fixed_tams;
@@ -210,8 +220,12 @@ int main(int argc, char** argv) {
       enumerative_flags.push_back(arg);
       single_only_flags.push_back(arg);
     } else if (arg == "--threads") {
+      // Honored by every backend (partition search, rectpack walkers)
+      // and the exhaustive baseline, so no backend-mismatch warning.
       threads = std::atoi(value());
-      enumerative_flags.push_back(arg);
+    } else if (arg == "--constraints") {
+      constraints_path = value();
+      single_only_flags.push_back(arg);
     } else if (arg == "--deadline") {
       deadline_s = std::atof(value());
       single_only_flags.push_back(arg);
@@ -275,8 +289,8 @@ int main(int argc, char** argv) {
     usage(("unknown backend " + backend + " (see --list-backends)").c_str());
   if (backend != "enumerative")
     for (const auto& flag : enumerative_flags) {
-      // --threads/--max-tams/--fixed-tams still drive the --exhaustive
-      // baseline; only --no-final-ilp is enumerative-only regardless.
+      // --max-tams/--fixed-tams still drive the --exhaustive baseline;
+      // only --no-final-ilp is enumerative-only regardless.
       if (exhaustive && flag != "--no-final-ilp") continue;
       std::cerr << "warning: " << flag << " is ignored by the " << backend
                 << " backend\n";
@@ -294,6 +308,16 @@ int main(int argc, char** argv) {
     request.options.threads = threads;
     request.options.run_final_step = final_ilp;
     request.deadline_s = deadline_s;
+    if (!constraints_path.empty()) {
+      std::ifstream in(constraints_path, std::ios::binary);
+      if (!in)
+        throw std::runtime_error("cannot open constraints file " +
+                                 constraints_path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      request.options.constraints =
+          api::constraints_from_json(api::JsonValue::parse(text.str()));
+    }
 
     const api::SolveResult result =
         api::Solver(api::SolverOptions::with_threads(1, std::move(cache)))

@@ -7,6 +7,8 @@
 //
 //   {"id": "a", "soc": "d695", "width": 32, "backend": "rectpack"}
 //   {"id": "b", "soc": "d695", "width": 16, "width_max": 24}
+//   {"id": "c", "soc": "d695", "width": 32, "backend": "rectpack",
+//    "constraints": {"power": [...], "power_budget": 2000}}
 //   {"op": "stats"}
 //   {"op": "cache_clear"}
 //   {"op": "shutdown"}
