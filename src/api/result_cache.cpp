@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
+
 namespace wtam::api {
 
 namespace {
@@ -32,16 +34,25 @@ std::size_t CachedSolve::approx_bytes() const noexcept {
 
 /// A computation in flight: the leader fills `value` under `mutex`, sets
 /// `done`, and notifies; coalesced waiters block on `cv`. `published`
-/// distinguishes a real result from an abandoned one.
+/// distinguishes a real result from an abandoned one. `key` is set once
+/// at creation (under the shard lock) and immutable afterwards, so it is
+/// deliberately unguarded.
 struct ResultCache::InFlight {
   RequestKey key;
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  bool published = false;
-  CachedSolve value;
+  common::Mutex mutex;
+  common::CondVar cv;
+  bool done WTAM_GUARDED_BY(mutex) = false;
+  bool published WTAM_GUARDED_BY(mutex) = false;
+  CachedSolve value WTAM_GUARDED_BY(mutex);
 };
 
+/// One shard: an LRU list + index of stored entries, the in-flight map
+/// for the coalescing protocol, and this shard's slice of the stats
+/// counters — all under one mutex, so any multi-field read taken inside
+/// a single critical section is a consistent snapshot. Lock ordering:
+/// the shard mutex and a flight mutex are never held together (publish/
+/// abandon update the shard map first, then the flight, in disjoint
+/// critical sections).
 struct ResultCache::Shard {
   struct Entry {
     RequestKey key;
@@ -49,16 +60,19 @@ struct ResultCache::Shard {
     std::size_t bytes = 0;
   };
 
-  mutable std::mutex mutex;
-  std::list<Entry> lru;  ///< front = most recently used
-  std::unordered_map<RequestKey, std::list<Entry>::iterator, KeyHash> index;
-  std::unordered_map<RequestKey, std::shared_ptr<InFlight>, KeyHash> inflight;
-  std::size_t bytes = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t coalesced = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
+  mutable common::Mutex mutex;
+  /// front = most recently used
+  std::list<Entry> lru WTAM_GUARDED_BY(mutex);
+  std::unordered_map<RequestKey, std::list<Entry>::iterator, KeyHash> index
+      WTAM_GUARDED_BY(mutex);
+  std::unordered_map<RequestKey, std::shared_ptr<InFlight>, KeyHash> inflight
+      WTAM_GUARDED_BY(mutex);
+  std::size_t bytes WTAM_GUARDED_BY(mutex) = 0;
+  std::uint64_t hits WTAM_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses WTAM_GUARDED_BY(mutex) = 0;
+  std::uint64_t coalesced WTAM_GUARDED_BY(mutex) = 0;
+  std::uint64_t insertions WTAM_GUARDED_BY(mutex) = 0;
+  std::uint64_t evictions WTAM_GUARDED_BY(mutex) = 0;
 };
 
 ResultCache::ResultCache(ResultCacheOptions options)
@@ -85,7 +99,7 @@ ResultCache::Fetch ResultCache::begin_fetch(const RequestKey& key,
   for (;;) {
     std::shared_ptr<InFlight> flight;
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const common::MutexLock lock(shard.mutex);
       if (const auto it = shard.index.find(key); it != shard.index.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         ++shard.hits;
@@ -111,25 +125,29 @@ ResultCache::Fetch ResultCache::begin_fetch(const RequestKey& key,
     // Someone else is computing this key right now: wait for them —
     // with the caller's interrupt polled so a cancelled/deadlined
     // request stays responsive instead of riding out the whole solve.
-    std::unique_lock<std::mutex> wait_lock(flight->mutex);
-    if (interrupt) {
-      while (!flight->cv.wait_for(wait_lock, std::chrono::milliseconds(10),
-                                  [&] { return flight->done; })) {
-        if (interrupt()) {
-          Fetch fetch;
-          fetch.outcome = FetchOutcome::Interrupted;
-          return fetch;
+    bool published = false;
+    Fetch fetch;
+    {
+      const common::MutexLock wait_lock(flight->mutex);
+      while (!flight->done) {
+        if (interrupt) {
+          flight->cv.wait_for(flight->mutex, std::chrono::milliseconds(10));
+          if (!flight->done && interrupt()) {
+            fetch.outcome = FetchOutcome::Interrupted;
+            return fetch;
+          }
+        } else {
+          flight->cv.wait(flight->mutex);
         }
       }
-    } else {
-      flight->cv.wait(wait_lock, [&] { return flight->done; });
+      published = flight->published;
+      if (published) {
+        fetch.outcome = FetchOutcome::Coalesced;
+        fetch.value = flight->value;
+      }
     }
-    if (flight->published) {
-      Fetch fetch;
-      fetch.outcome = FetchOutcome::Coalesced;
-      fetch.value = flight->value;
-      wait_lock.unlock();
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (published) {
+      const common::MutexLock lock(shard.mutex);
       ++shard.hits;
       ++shard.coalesced;
       return fetch;
@@ -141,7 +159,7 @@ ResultCache::Fetch ResultCache::begin_fetch(const RequestKey& key,
 
 std::optional<CachedSolve> ResultCache::lookup(const RequestKey& key) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const common::MutexLock lock(shard.mutex);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     ++shard.hits;
@@ -156,7 +174,7 @@ void ResultCache::publish(const Fetch& fetch, CachedSolve value) {
   const auto flight = std::static_pointer_cast<InFlight>(fetch.ticket);
   Shard& shard = shard_for(flight->key);
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const common::MutexLock lock(shard.mutex);
     shard.inflight.erase(flight->key);
     const std::size_t bytes = value.approx_bytes();
     if (const auto it = shard.index.find(flight->key);
@@ -183,7 +201,7 @@ void ResultCache::publish(const Fetch& fetch, CachedSolve value) {
     // cache into a one-slot buffer.
   }
   {
-    const std::lock_guard<std::mutex> lock(flight->mutex);
+    const common::MutexLock lock(flight->mutex);
     flight->done = true;
     flight->published = true;
     flight->value = std::move(value);
@@ -196,11 +214,11 @@ void ResultCache::abandon(const Fetch& fetch) {
   const auto flight = std::static_pointer_cast<InFlight>(fetch.ticket);
   Shard& shard = shard_for(flight->key);
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const common::MutexLock lock(shard.mutex);
     shard.inflight.erase(flight->key);
   }
   {
-    const std::lock_guard<std::mutex> lock(flight->mutex);
+    const common::MutexLock lock(flight->mutex);
     flight->done = true;
   }
   flight->cv.notify_all();
@@ -208,7 +226,7 @@ void ResultCache::abandon(const Fetch& fetch) {
 
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const common::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -218,8 +236,11 @@ void ResultCache::clear() {
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats total;
   total.max_bytes = options_.max_bytes;
+  // One critical section per shard: each shard's counters and gauges are
+  // read as a consistent snapshot (no torn multi-field reads), then the
+  // per-shard snapshots sum.
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const common::MutexLock lock(shard->mutex);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.coalesced += shard->coalesced;

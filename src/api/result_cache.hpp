@@ -17,8 +17,11 @@
 //     leader's published result instead of recomputing (begin_fetch /
 //     publish / abandon protocol);
 //   * observable: hit/miss/eviction/coalesce counters plus live
-//     entry/byte gauges (stats), and clear() for the server's
-//     cache_clear verb.
+//     entry/byte gauges (stats, one consistent snapshot per shard), and
+//     clear() for the server's cache_clear verb;
+//   * machine-checked: every shard and in-flight field is
+//     WTAM_GUARDED_BY its mutex (common/thread_annotations.hpp), so
+//     Clang's -Wthread-safety proves the coalescing protocol's locking.
 //
 // Only completed, uninterrupted solves are published; deadline-bound or
 // cancelled work is timing-dependent and bypasses the cache entirely
@@ -26,12 +29,10 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>

@@ -1,14 +1,13 @@
 #include "api/solver.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 
 #include "api/request_key.hpp"
 #include "api/result_cache.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/lower_bounds.hpp"
@@ -236,6 +235,8 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
     result.status = Status::InternalError;
     result.error = e.what();
   } catch (...) {
+    // execute()'s contract: the only way out is a SolveResult — a
+    // non-std exception from an engine becomes an InternalError status.
     result.status = Status::InternalError;
     result.error = "unknown exception";
   }
@@ -264,15 +265,20 @@ class ProgressSink {
  private:
   void emit(const ProgressEvent& event) {
     if (!fn_) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // The lock serializes callback invocations (the documented contract:
+    // progress events are never delivered concurrently).
+    const common::MutexLock lock(mutex_);
     try {
       fn_(event);
     } catch (...) {
+      // Swallowed by contract: a throwing progress callback must not
+      // take down the worker thread that happened to deliver the event.
     }
   }
 
   const ProgressFn& fn_;
-  std::mutex mutex_;
+  // wtam-lint: allow(unannotated-mutex) — serializes fn_ calls, no fields
+  common::Mutex mutex_;
 };
 
 }  // namespace
@@ -400,25 +406,19 @@ std::vector<SolveResult> Solver::solve_batch(
 
   // Declared before the pool so that even on an exceptional unwind the
   // pool's joining destructor runs first — no worker can touch the
-  // condition variable after it is destroyed. Notifying under the lock
-  // closes the same hole on the normal path: the waiter cannot wake,
-  // observe done == N, and destroy the CV while a worker is mid-notify.
-  std::mutex done_mutex;
-  std::condition_variable all_done;
-  std::size_t done = 0;
+  // latch after it is destroyed. The latch notifies under its lock, so
+  // the waiter cannot wake, observe done == N, and destroy it while a
+  // worker is mid-notify.
+  common::CompletionLatch latch;
   common::ThreadPool pool(
       std::min(threads, static_cast<int>(requests.size())));
   for (const std::size_t index : order) {
     pool.submit([&, index] {
       run_job(index);  // execute() never throws
-      const std::lock_guard<std::mutex> lock(done_mutex);
-      ++done;
-      all_done.notify_one();
+      latch.arrive();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  all_done.wait(lock, [&] { return done == requests.size(); });
-  lock.unlock();  // pool joins below; waiters are gone before the CV dies
+  latch.wait(requests.size());
   return results;
 }
 

@@ -13,19 +13,22 @@
 //   * the producer blocks once `max_in_flight` chunks are outstanding, so
 //     enumeration never races ahead of evaluation by more than a bounded
 //     amount of memory.
+//
+// All shared state is annotated for Clang's -Wthread-safety analysis
+// (see common/thread_annotations.hpp for the locking discipline).
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace wtam::common {
 
@@ -44,7 +47,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       stopping_ = true;
     }
     task_ready_.notify_all();
@@ -59,7 +62,7 @@ class ThreadPool {
   /// exception-prone work (for_each_chunk_ordered does this for you).
   void submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       queue_.push_back(std::move(task));
     }
     task_ready_.notify_one();
@@ -76,8 +79,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        const MutexLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) task_ready_.wait(mutex_);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -86,11 +89,56 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar task_ready_;
+  std::deque<std::function<void()>> queue_ WTAM_GUARDED_BY(mutex_);
+  bool stopping_ WTAM_GUARDED_BY(mutex_) = false;
+  // Written by the constructor, joined and destroyed by the destructor —
+  // owner-thread-only by construction, so deliberately unguarded.
   std::vector<std::thread> workers_;
+};
+
+/// Fan-out/join accounting for "submit N tasks, wait for all N" call
+/// sites (parallel rectpack walkers, Solver batches). Each task calls
+/// arrive() exactly once — record_error() first if it failed; the owner
+/// blocks in wait() and rethrows the first recorded error afterwards via
+/// take_error(). Notifying under the lock is deliberate: the waiter
+/// cannot wake, see the final count, and destroy the latch while a
+/// worker is still inside notify.
+class CompletionLatch {
+ public:
+  void arrive() {
+    const MutexLock lock(mutex_);
+    ++done_;
+    done_changed_.notify_all();
+  }
+
+  /// Records the first failure; later ones are dropped (one owner, one
+  /// rethrow).
+  void record_error(std::exception_ptr error) {
+    const MutexLock lock(mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+
+  /// Blocks until arrive() has been called `expected` times.
+  void wait(std::size_t expected) {
+    const MutexLock lock(mutex_);
+    while (done_ < expected) done_changed_.wait(mutex_);
+  }
+
+  /// The first recorded error (null if none); call after wait().
+  [[nodiscard]] std::exception_ptr take_error() {
+    const MutexLock lock(mutex_);
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    return error;
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar done_changed_;
+  std::size_t done_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ WTAM_GUARDED_BY(mutex_);
 };
 
 /// Producer/worker/merger pipeline with strictly ordered merging.
@@ -131,14 +179,15 @@ class OrderedChunkPipeline {
   /// Submits a chunk; blocks while `max_in_flight` chunks are unmerged.
   /// Returns false once any stage has failed — the producer should stop.
   bool push(Chunk chunk) {
+    std::uint64_t seq = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      space_or_done_.wait(
-          lock, [&] { return in_flight_ < max_in_flight_ || error_; });
+      const MutexLock lock(mutex_);
+      while (in_flight_ >= max_in_flight_ && !error_)
+        space_or_done_.wait(mutex_);
       if (error_) return false;
       ++in_flight_;
+      seq = sequence_++;
     }
-    const std::uint64_t seq = sequence_++;
     // The chunk is moved into the task; the outcome is deposited under
     // the lock and merged in order by whichever worker closes the gap.
     // The task notifies under the lock and touches no member afterwards,
@@ -149,10 +198,12 @@ class OrderedChunkPipeline {
       try {
         outcome = process_(work);
       } catch (...) {
+        // Deposited into error_ below so finish() rethrows it on the
+        // producer's thread; the (empty) outcome slot still advances
+        // the merge order.
         process_error = std::current_exception();
-        // The (empty) outcome slot below still advances the merge order.
       }
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (process_error && !error_) error_ = process_error;
       pending_.emplace(seq, std::move(outcome));
       drain_merges();
@@ -163,19 +214,20 @@ class OrderedChunkPipeline {
 
   /// Waits until every pushed chunk is merged; rethrows the first error.
   void finish() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_or_done_.wait(lock, [&] { return in_flight_ == 0; });
-    if (error_) {
-      std::exception_ptr error = error_;
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mutex_);
+      while (in_flight_ != 0) space_or_done_.wait(mutex_);
+      error = error_;
       error_ = nullptr;  // rethrow exactly once
-      std::rethrow_exception(error);
     }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
-  /// Requires mutex_ held. Merges every ready outcome in submission
-  /// order; merging is expected to be cheap next to processing.
-  void drain_merges() {
+  /// Merges every ready outcome in submission order; merging is expected
+  /// to be cheap next to processing.
+  void drain_merges() WTAM_REQUIRES(mutex_) {
     for (auto it = pending_.find(next_merge_); it != pending_.end();
          it = pending_.find(next_merge_)) {
       Outcome outcome = std::move(it->second);
@@ -184,6 +236,7 @@ class OrderedChunkPipeline {
         try {
           merge_(std::move(outcome));
         } catch (...) {
+          // First merge failure wins; kept for finish() to rethrow.
           error_ = std::current_exception();
         }
       }
@@ -197,13 +250,15 @@ class OrderedChunkPipeline {
   const std::function<void(Outcome&&)> merge_;
   const std::size_t max_in_flight_;
 
-  std::mutex mutex_;
-  std::condition_variable space_or_done_;
-  std::map<std::uint64_t, Outcome> pending_;  // processed, not yet merged
-  std::uint64_t next_merge_ = 0;
-  std::size_t in_flight_ = 0;  // pushed, not yet merged
-  std::uint64_t sequence_ = 0;
-  std::exception_ptr error_;
+  Mutex mutex_;
+  CondVar space_or_done_;
+  /// Processed, not yet merged.
+  std::map<std::uint64_t, Outcome> pending_ WTAM_GUARDED_BY(mutex_);
+  std::uint64_t next_merge_ WTAM_GUARDED_BY(mutex_) = 0;
+  /// Pushed, not yet merged.
+  std::size_t in_flight_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t sequence_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ WTAM_GUARDED_BY(mutex_);
 };
 
 }  // namespace wtam::common

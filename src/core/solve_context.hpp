@@ -36,6 +36,12 @@ enum class SolveInterrupt { None, Cancelled, DeadlineExceeded };
 /// Copyable handle to a shared cancellation flag. All copies observe a
 /// request_cancel() made through any of them; safe to signal from another
 /// thread while a solve is running.
+///
+/// Deliberately lock-free (release store / acquire load on one shared
+/// atomic), so there is no mutex for -Wthread-safety to track here: the
+/// token is polled from engine hot loops where a lock round-trip per
+/// iteration would be measurable. The acquire/release pair is what makes
+/// a post-cancel read on the polling thread well ordered.
 class CancelToken {
  public:
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}

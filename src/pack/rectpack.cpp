@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -609,10 +607,10 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
   } else {
     const auto walker_count = seeds.size();
     std::vector<WalkerOutcome> outcomes(walker_count);
-    std::exception_ptr first_error;
-    std::mutex done_mutex;
-    std::condition_variable all_done;
-    std::size_t done = 0;
+    // Each walker writes only its own outcomes[i] slot before arriving
+    // at the latch, whose lock hand-off publishes the writes to the
+    // waiting thread below.
+    common::CompletionLatch latch;
     common::ThreadPool pool(
         std::min(threads, static_cast<int>(walker_count)));
     for (std::size_t i = 0; i < walker_count; ++i) {
@@ -623,19 +621,16 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
                          seeds[i].second, per_seed, walker_seeds[i],
                          options.context);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(done_mutex);
-          if (!first_error) first_error = std::current_exception();
+          // Recorded for the owner to rethrow after the join — a walker
+          // must not throw through the pool.
+          latch.record_error(std::current_exception());
         }
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        ++done;
-        all_done.notify_one();
+        latch.arrive();
       });
     }
-    {
-      std::unique_lock<std::mutex> lock(done_mutex);
-      all_done.wait(lock, [&] { return done == walker_count; });
-    }
-    if (first_error) std::rethrow_exception(first_error);
+    latch.wait(walker_count);
+    if (std::exception_ptr error = latch.take_error())
+      std::rethrow_exception(error);
     for (std::size_t i = 0; i < walker_count; ++i) {
       // Mirror the serial loop: an interrupted walker is the last one
       // merged (serial never launches the rest), so the deterministic

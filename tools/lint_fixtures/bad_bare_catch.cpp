@@ -1,0 +1,19 @@
+// Fixture: catch (...) with no justification anywhere near it.
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+namespace fixture {
+
+int run(int (*risky)());
+
+int shield(int (*risky)()) {
+  int value = 0;
+
+  try {
+    value = risky();
+  } catch (...) {
+    value = -1;
+  }
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: printing from library code — results travel through return
+// values and detail lines; only tools own the terminal.
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+#include <iostream>
+
+namespace fixture {
+
+void report_progress(int done, int total) {
+  std::cout << "progress " << done << "/" << total << "\n";
+}
+
+}  // namespace fixture

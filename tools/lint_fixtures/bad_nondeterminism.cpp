@@ -1,0 +1,13 @@
+// Fixture: implementation-defined randomness in a determinism path —
+// library code must draw from the pinned RNG streams (common/rng.hpp).
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+#include <cstdlib>
+
+namespace fixture {
+
+int pick_seed_ordering(int count) {
+  return std::rand() % count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: raw std locking primitives must be rejected — the annotated
+// wrappers in src/common/thread_annotations.hpp are the house primitives.
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: a Mutex member in a file that never says what it guards —
+// the whole point of the wrappers is the WTAM_GUARDED_BY annotations.
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const wtam::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  wtam::common::Mutex mutex_;
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: what passing code looks like — annotated Mutex, justified
+// catch (...), and a reasoned waiver.
+// (Never compiled; scanned by tools/wtam_lint.py --self-test.)
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const wtam::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  void bump_noexcept() {
+    try {
+      bump();
+    } catch (...) {
+      // Justified: callers require noexcept progress accounting; a lost
+      // increment is preferable to terminating the worker.
+    }
+  }
+
+ private:
+  wtam::common::Mutex mutex_;
+  int count_ WTAM_GUARDED_BY(mutex_) = 0;
+  // wtam-lint: allow(unannotated-mutex) — guards only the stream state
+  wtam::common::Mutex waived_;
+};
+
+}  // namespace fixture

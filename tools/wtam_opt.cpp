@@ -416,6 +416,8 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (...) {
+    // CLI exit contract: runtime failures — even non-std exceptions —
+    // must end as exit 1 with a message, never a terminate() crash.
     std::cerr << "error: unknown exception\n";
     return 1;
   }

@@ -37,17 +37,16 @@
 // echoed when one can be salvaged) and the server keeps serving — a bad
 // client must not take the service down.
 
-#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/job_io.hpp"
 #include "api/result_cache.hpp"
 #include "api/solver.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 
 namespace {
@@ -69,12 +68,62 @@ class LineWriter {
  public:
   void write(const api::JsonValue& value) {
     const std::string line = value.dump_compact_string();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const wtam::common::MutexLock lock(mutex_);
     std::cout << line << '\n' << std::flush;
   }
 
  private:
-  std::mutex mutex_;
+  wtam::common::Mutex mutex_;
+};
+
+/// Job accounting shared between the read loop and the worker pool.
+/// Every field sits under one mutex so `stats` reads one consistent
+/// snapshot (accepted/completed/pending can never be observed torn) and
+/// the drain wait observes the same counters the workers update.
+class JobAccounting {
+ public:
+  struct Snapshot {
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::size_t pending = 0;
+  };
+
+  /// Registers a newly read job; returns its 1-based accept number
+  /// (used to synthesize ids for id-less requests).
+  [[nodiscard]] std::uint64_t job_accepted() {
+    const wtam::common::MutexLock lock(mutex_);
+    ++pending_;
+    return ++accepted_;
+  }
+
+  /// Marks one job finished and wakes the drain waiter when idle.
+  void job_completed() {
+    const wtam::common::MutexLock lock(mutex_);
+    --pending_;
+    ++completed_;
+    if (pending_ == 0) drained_.notify_all();
+  }
+
+  /// Blocks until no job is in flight; returns the counters as observed
+  /// in that same critical section (the shutdown ack reports `completed`
+  /// from here rather than re-reading it unlocked later).
+  [[nodiscard]] Snapshot wait_for_drain() {
+    const wtam::common::MutexLock lock(mutex_);
+    while (pending_ != 0) drained_.wait(mutex_);
+    return Snapshot{accepted_, completed_, pending_};
+  }
+
+  [[nodiscard]] Snapshot snapshot() const {
+    const wtam::common::MutexLock lock(mutex_);
+    return Snapshot{accepted_, completed_, pending_};
+  }
+
+ private:
+  mutable wtam::common::Mutex mutex_;
+  wtam::common::CondVar drained_;
+  std::size_t pending_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t accepted_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ WTAM_GUARDED_BY(mutex_) = 0;
 };
 
 api::JsonValue error_response(const std::string& id,
@@ -146,22 +195,13 @@ int main(int argc, char** argv) {
 
   // In-flight accounting: shutdown/EOF drain before exiting, and `stats`
   // reports progress.
-  std::mutex pending_mutex;
-  std::condition_variable drained;
-  std::size_t pending = 0;
-  std::uint64_t accepted = 0;
-  std::uint64_t completed = 0;
+  JobAccounting accounting;
 
   // Declared after everything its workers reference, so the pool's
   // joining destructor runs first on every exit path.
   const int workers =
       threads == 0 ? common::ThreadPool::hardware_threads() : threads;
   common::ThreadPool pool(workers);
-
-  const auto wait_for_drain = [&] {
-    std::unique_lock<std::mutex> lock(pending_mutex);
-    drained.wait(lock, [&] { return pending == 0; });
-  };
 
   if (!quiet)
     std::cerr << "wtam_serve: ready (" << workers << " workers, cache "
@@ -190,26 +230,26 @@ int main(int argc, char** argv) {
       try {
         const std::string verb = op->as_string();
         if (verb == "shutdown") {
-          wait_for_drain();
+          const JobAccounting::Snapshot drained = accounting.wait_for_drain();
           api::JsonValue response = api::JsonValue::object();
           response.set("op", api::JsonValue::string("shutdown"));
           response.set("ok", api::JsonValue::boolean(true));
-          response.set("jobs", api::JsonValue::number(
-                                   static_cast<std::int64_t>(completed)));
+          response.set("jobs",
+                       api::JsonValue::number(
+                           static_cast<std::int64_t>(drained.completed)));
           out.write(response);
           return 0;
         } else if (verb == "stats") {
           api::JsonValue response = api::JsonValue::object();
           response.set("op", api::JsonValue::string("stats"));
-          {
-            const std::lock_guard<std::mutex> lock(pending_mutex);
-            response.set("accepted", api::JsonValue::number(
-                                         static_cast<std::int64_t>(accepted)));
-            response.set("completed", api::JsonValue::number(
-                                          static_cast<std::int64_t>(completed)));
-            response.set("pending", api::JsonValue::number(
-                                        static_cast<std::int64_t>(pending)));
-          }
+          const JobAccounting::Snapshot now = accounting.snapshot();
+          response.set("accepted", api::JsonValue::number(
+                                       static_cast<std::int64_t>(now.accepted)));
+          response.set("completed",
+                       api::JsonValue::number(
+                           static_cast<std::int64_t>(now.completed)));
+          response.set("pending", api::JsonValue::number(
+                                      static_cast<std::int64_t>(now.pending)));
           if (cache) {
             const api::ResultCacheStats stats = cache->stats();
             api::JsonValue cache_json = api::JsonValue::object();
@@ -257,12 +297,7 @@ int main(int argc, char** argv) {
                                    e.what()));
       continue;
     }
-    std::uint64_t job_number = 0;
-    {
-      const std::lock_guard<std::mutex> lock(pending_mutex);
-      ++pending;
-      job_number = ++accepted;
-    }
+    const std::uint64_t job_number = accounting.job_accepted();
     if (request.id.empty())
       request.id = "job-" + std::to_string(job_number);
 
@@ -270,16 +305,11 @@ int main(int argc, char** argv) {
       // Solver::solve never throws: every failure mode is a Status.
       const api::SolveResult result = solver.solve(request);
       out.write(api::result_to_json(result, write_options));
-      {
-        const std::lock_guard<std::mutex> lock(pending_mutex);
-        --pending;
-        ++completed;
-        if (pending == 0) drained.notify_all();
-      }
+      accounting.job_completed();
     });
   }
 
   // EOF: drain and exit like a silent shutdown.
-  wait_for_drain();
+  (void)accounting.wait_for_drain();
   return 0;
 }
