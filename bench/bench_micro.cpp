@@ -27,6 +27,7 @@
 #include "core/partition_evaluate.hpp"
 #include "core/test_time_table.hpp"
 #include "lp/simplex.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 #include "soc/benchmarks.hpp"
 #include "wrapper/wrapper.hpp"
@@ -210,6 +211,30 @@ int main() {
         core::build_assignment_ilp(d695_table, kWidths6_10);
     (void)lp::solve(problem.lp).objective;
   }));
+
+  // Observability overhead: the price a hot path pays to bump a counter
+  // or record a histogram sample (sharded slot, one uncontended mutex
+  // acquire). Bodies run kObsOps operations per call so the per-call
+  // column reads as per-operation cost — the instrumented solver paths
+  // budget low double-digit nanoseconds here.
+  constexpr std::int64_t kObsOps = 4096;
+  obs::MetricsRegistry obs_registry;  // local, not the process instance
+  obs::Counter& obs_counter = obs_registry.counter("bench.counter");
+  obs::Histogram& obs_histogram = obs_registry.histogram("bench.histogram");
+  {
+    Measurement m = measure("metrics_counter_increment", [&] {
+      for (std::int64_t op = 0; op < kObsOps; ++op) obs_counter.increment();
+    });
+    m.iterations *= kObsOps;
+    measurements.push_back(m);
+  }
+  {
+    Measurement m = measure("metrics_histogram_record", [&] {
+      for (std::int64_t op = 0; op < kObsOps; ++op) obs_histogram.record(op);
+    });
+    m.iterations *= kObsOps;
+    measurements.push_back(m);
+  }
 
   common::TextTable micro_table("Micro benchmarks (per-call wall clock)");
   micro_table.set_header({"benchmark", "iterations", "total (s)", "per call (us)"},

@@ -1,0 +1,262 @@
+// bench_serve — serve-session load generator. Drives the api::Solver the
+// way tools/wtam_serve.cpp does (one job per request on a worker pool,
+// every job sharing one memoizing ResultCache) and publishes throughput,
+// cache hit rate, and tail-latency percentiles to BENCH_serve.json.
+//
+// Three phases, extending the CI serve soak (cmake/cli_checks.cmake):
+//   * cold — unique (soc, width) points: every request is a cache miss,
+//     so this phase prices the raw solve path;
+//   * soak — the 102-request mix (34 x {d695 w12/w14/w16 rectpack}): the
+//     first request per point computes, concurrent duplicates coalesce
+//     onto it, the rest hit — the steady-state serve workload;
+//   * warm — the same 102 requests replayed against the hot cache: the
+//     pure lookup path, the floor the server can promise.
+//
+// Per-request latency (submit -> result) feeds an obs::Histogram;
+// p50/p90/p95/p99 come from its merged quantiles. Determinism is part of
+// the contract: every result for the same point must report the same
+// testing time in every phase — cache hits are byte-identical to the
+// cold run — else this bench exits 1.
+
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/result_cache.hpp"
+#include "api/solver.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace wtam;
+
+/// Fixed worker count so the artifact is comparable across machines
+/// (mirrors a small serve deployment; the box's hardware_threads is
+/// recorded alongside).
+constexpr int kWorkers = 4;
+
+api::SolveRequest make_request(std::string id, int width) {
+  api::SolveRequest request;
+  request.id = std::move(id);
+  request.soc = "d695";
+  request.width = width;
+  request.backend = "rectpack";
+  return request;
+}
+
+struct PhaseStats {
+  std::string name;
+  std::size_t requests = 0;
+  double wall_s = 0.0;
+  std::int64_t hits = 0;       // cache lookup deltas over the phase
+  std::int64_t misses = 0;
+  std::int64_t coalesced = 0;
+  obs::HistogramData latency;  // submit -> result, ns
+
+  [[nodiscard]] double throughput_rps() const {
+    return wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0;
+  }
+  /// Share of lookups served without running an engine (hit or
+  /// coalesced onto an in-flight duplicate).
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t lookups = hits + misses + coalesced;
+    return lookups > 0
+               ? static_cast<double>(hits + coalesced) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
+};
+
+/// Runs one phase: submits every request to the pool, waits for the
+/// batch, and deposits each point's testing time into `reference` —
+/// first writer sets the expected value, later phases must agree.
+PhaseStats run_phase(const std::string& name,
+                     const std::vector<api::SolveRequest>& requests,
+                     const api::Solver& solver, const api::ResultCache& cache,
+                     common::ThreadPool& pool,
+                     std::map<int, std::int64_t>& reference,
+                     bool& deterministic) {
+  obs::Histogram latency;
+  // One slot per request, each task writes only its own index.
+  std::vector<std::int64_t> testing_times(requests.size(), -1);
+  common::CompletionLatch latch;
+
+  const api::ResultCacheStats before = cache.stats();
+  common::Stopwatch wall;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool.submit([&, i, queued = common::Stopwatch()] {
+      try {
+        const api::SolveResult result = solver.solve(requests[i]);
+        if (result.has_outcome())
+          testing_times[i] = result.outcome->testing_time;
+        latency.record_ns(queued.elapsed_ns());
+      } catch (...) {
+        latch.record_error(std::current_exception());
+      }
+      latch.arrive();
+    });
+  }
+  latch.wait(requests.size());
+
+  PhaseStats stats;
+  stats.name = name;
+  stats.requests = requests.size();
+  stats.wall_s = wall.elapsed_s();
+  if (const std::exception_ptr error = latch.take_error())
+    std::rethrow_exception(error);
+
+  const api::ResultCacheStats after = cache.stats();
+  stats.hits = static_cast<std::int64_t>(after.hits - before.hits);
+  stats.misses = static_cast<std::int64_t>(after.misses - before.misses);
+  stats.coalesced =
+      static_cast<std::int64_t>(after.coalesced - before.coalesced);
+  stats.latency = latency.merged();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const int width = requests[i].width;
+    if (testing_times[i] < 0) {
+      std::cerr << "FATAL: " << name << " request " << requests[i].id
+                << " produced no outcome\n";
+      deterministic = false;
+      continue;
+    }
+    const auto [it, inserted] = reference.emplace(width, testing_times[i]);
+    if (!inserted && it->second != testing_times[i]) {
+      std::cerr << "FATAL: " << name << " request " << requests[i].id
+                << " returned " << testing_times[i] << " cycles; width "
+                << width << " previously returned " << it->second << "\n";
+      deterministic = false;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const auto cache = std::make_shared<api::ResultCache>();
+  // One solve worker per job, exactly like wtam_serve: concurrency comes
+  // from the pool, duplicate suppression from the shared cache.
+  const api::Solver solver(api::SolverOptions::with_threads(1, cache));
+  common::ThreadPool pool(kWorkers);
+
+  // Phase request mixes. The soak mirrors cmake/cli_checks.cmake: 34
+  // rounds of the three points, interleaved, 102 requests total.
+  std::vector<api::SolveRequest> cold;
+  for (int width = 17; width <= 28; ++width)
+    cold.push_back(make_request("cold-w" + std::to_string(width), width));
+
+  std::vector<api::SolveRequest> soak;
+  for (int round = 0; round < 34; ++round) {
+    const std::string suffix = std::to_string(round);
+    soak.push_back(make_request("x" + suffix, 12));
+    soak.push_back(make_request("y" + suffix, 14));
+    soak.push_back(make_request("z" + suffix, 16));
+  }
+
+  std::map<int, std::int64_t> reference;
+  bool deterministic = true;
+  std::vector<PhaseStats> phases;
+  try {
+    phases.push_back(run_phase("cold", cold, solver, *cache, pool, reference,
+                               deterministic));
+    phases.push_back(run_phase("soak", soak, solver, *cache, pool, reference,
+                               deterministic));
+    phases.push_back(run_phase("warm", soak, solver, *cache, pool, reference,
+                               deterministic));
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: " << e.what() << "\n";
+    return 1;
+  }
+
+  // --- human-readable table ------------------------------------------------
+  common::TextTable table("serve soak (" + std::to_string(kWorkers) +
+                          " workers, shared result cache)");
+  table.set_header({"phase", "requests", "wall (s)", "req/s", "hit rate",
+                    "p50 (ms)", "p90 (ms)", "p95 (ms)", "p99 (ms)",
+                    "max (ms)"},
+                   {common::Align::Left, common::Align::Right,
+                    common::Align::Right, common::Align::Right,
+                    common::Align::Right, common::Align::Right,
+                    common::Align::Right, common::Align::Right,
+                    common::Align::Right, common::Align::Right});
+  const auto ms = [](double ns) { return ns / 1e6; };
+  for (const auto& phase : phases)
+    table.add_row({phase.name, std::to_string(phase.requests),
+                   common::format_fixed(phase.wall_s, 3),
+                   common::format_fixed(phase.throughput_rps(), 1),
+                   common::format_fixed(phase.hit_rate() * 100.0, 1) + "%",
+                   common::format_fixed(ms(phase.latency.quantile(0.5)), 3),
+                   common::format_fixed(ms(phase.latency.quantile(0.9)), 3),
+                   common::format_fixed(ms(phase.latency.quantile(0.95)), 3),
+                   common::format_fixed(ms(phase.latency.quantile(0.99)), 3),
+                   common::format_fixed(
+                       ms(static_cast<double>(phase.latency.max)), 3)});
+  std::cout << table << '\n';
+
+  // --- machine-readable artifact -------------------------------------------
+  bench::Json document = bench::Json::object();
+  document.set("bench", bench::Json::string("serve"));
+  document.set("hardware_threads",
+               bench::Json::number(static_cast<std::int64_t>(
+                   common::ThreadPool::hardware_threads())));
+  document.set("workers",
+               bench::Json::number(static_cast<std::int64_t>(kWorkers)));
+
+  std::size_t total_requests = 0;
+  double total_wall = 0.0;
+  bench::Json phase_array = bench::Json::array();
+  for (const auto& phase : phases) {
+    total_requests += phase.requests;
+    total_wall += phase.wall_s;
+    bench::Json entry = bench::Json::object();
+    entry.set("name", bench::Json::string(phase.name));
+    entry.set("requests", bench::Json::number(
+                              static_cast<std::int64_t>(phase.requests)));
+    entry.set("wall_s", bench::Json::number(phase.wall_s));
+    entry.set("throughput_rps", bench::Json::number(phase.throughput_rps()));
+    entry.set("cache_hits", bench::Json::number(phase.hits));
+    entry.set("cache_misses", bench::Json::number(phase.misses));
+    entry.set("cache_coalesced", bench::Json::number(phase.coalesced));
+    entry.set("hit_rate", bench::Json::number(phase.hit_rate()));
+    bench::Json latency = bench::Json::object();
+    latency.set("p50", bench::Json::number(phase.latency.quantile(0.5)));
+    latency.set("p90", bench::Json::number(phase.latency.quantile(0.9)));
+    latency.set("p95", bench::Json::number(phase.latency.quantile(0.95)));
+    latency.set("p99", bench::Json::number(phase.latency.quantile(0.99)));
+    latency.set("max", bench::Json::number(phase.latency.max));
+    latency.set("mean", bench::Json::number(phase.latency.mean()));
+    entry.set("latency_ns", std::move(latency));
+    phase_array.push(std::move(entry));
+  }
+  document.set("phases", std::move(phase_array));
+
+  bench::Json total = bench::Json::object();
+  total.set("requests",
+            bench::Json::number(static_cast<std::int64_t>(total_requests)));
+  total.set("wall_s", bench::Json::number(total_wall));
+  total.set("throughput_rps",
+            bench::Json::number(total_wall > 0
+                                    ? static_cast<double>(total_requests) /
+                                          total_wall
+                                    : 0.0));
+  document.set("total", std::move(total));
+
+  const std::string path = "BENCH_serve.json";
+  bench::write_json_file(path, document);
+  std::cout << "wrote " << path << "\n";
+
+  if (!deterministic) {
+    std::cerr << "FATAL: results diverged across phases (see above)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -4,7 +4,8 @@
 #       "error: ..." message instead of std::terminate,
 #   2 — usage error (unknown flags, missing/invalid values),
 # plus the wtam_serve NDJSON protocol smoke check (requests in, results
-# out, cache hits on resubmission, control verbs, clean shutdown).
+# out, cache hits on resubmission, control verbs, clean shutdown) and a
+# metrics-verb scrape whose counters must equal the jobs submitted.
 # Run via:  cmake -DWTAM_OPT=<binary> -DWTAM_SERVE=<binary>
 #                 -DWORK_DIR=<dir> -P cli_checks.cmake
 
@@ -113,6 +114,17 @@ expect_run(0 "" --batch ${WORK_DIR}/cli_jobs.json --threads 2 --cache
 file(READ ${WORK_DIR}/cli_results_cached.json results_cached)
 if(NOT results STREQUAL results_cached)
   message(FATAL_ERROR "batch results differ with --cache on")
+endif()
+
+# Observability is reporting, not behavior: the same batch with
+# --metrics/--trace on must still produce the byte-identical results
+# file (spans and scrapes go to stderr only).
+expect_run(0 "# TYPE solver_requests counter"
+             --batch ${WORK_DIR}/cli_jobs.json --threads 2 --metrics --trace
+             --out ${WORK_DIR}/cli_results_obs.json --quiet)
+file(READ ${WORK_DIR}/cli_results_obs.json results_obs)
+if(NOT results STREQUAL results_obs)
+  message(FATAL_ERROR "batch results differ with --metrics/--trace on")
 endif()
 
 # ---- constrained batch round trip ------------------------------------------
@@ -278,4 +290,85 @@ if(NOT ok_count EQUAL 102)
   message(FATAL_ERROR "wtam_serve soak: ${ok_count} ok results, expected 102")
 endif()
 
-message(STATUS "wtam_serve NDJSON protocol holds (smoke + 102-request soak)")
+# ---- wtam_serve metrics verb (scrape smoke) --------------------------------
+# A fresh session: three jobs (one a duplicate of the first, so the
+# cache serves it), one malformed line (counted by serve.errors), then a
+# drained metrics scrape in both formats. The acceptance criterion: the
+# scraped job counters equal exactly the jobs this check submitted.
+file(WRITE ${WORK_DIR}/serve_metrics.ndjson
+"{\"id\": \"m1\", \"soc\": \"d695\", \"width\": 12, \"backend\": \"rectpack\"}
+{\"id\": \"m2\", \"soc\": \"d695\", \"width\": 14, \"backend\": \"rectpack\"}
+{\"id\": \"m3\", \"soc\": \"d695\", \"width\": 12, \"backend\": \"rectpack\"}
+this is not json
+{\"op\": \"metrics\", \"drain\": true}
+{\"op\": \"metrics\", \"drain\": true, \"format\": \"prometheus\"}
+{\"op\": \"shutdown\"}
+")
+execute_process(COMMAND ${WTAM_SERVE} --quiet --threads 2
+                INPUT_FILE ${WORK_DIR}/serve_metrics.ndjson
+                OUTPUT_VARIABLE metrics_out
+                ERROR_VARIABLE metrics_err
+                RESULT_VARIABLE metrics_code)
+if(NOT metrics_code EQUAL 0)
+  message(FATAL_ERROR "wtam_serve metrics: exit ${metrics_code}\n"
+                      "stderr: ${metrics_err}")
+endif()
+string(REGEX REPLACE "\n+$" "" metrics_out "${metrics_out}")
+string(REPLACE ";" "<semi>" metrics_escaped "${metrics_out}")
+string(REPLACE "\n" ";" metrics_lines "${metrics_escaped}")
+set(json_scrape "")
+set(prom_body "")
+foreach(line IN LISTS metrics_lines)
+  string(REPLACE "<semi>" ";" line "${line}")
+  string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+  if(NOT no_op STREQUAL "NOTFOUND")
+    continue()  # job result or the error-line response
+  endif()
+  if(NOT op STREQUAL "metrics")
+    continue()  # shutdown ack
+  endif()
+  string(JSON body ERROR_VARIABLE no_body GET "${line}" body)
+  if(no_body STREQUAL "NOTFOUND")
+    set(prom_body "${body}")
+  else()
+    set(json_scrape "${line}")
+  endif()
+endforeach()
+if(json_scrape STREQUAL "" OR prom_body STREQUAL "")
+  message(FATAL_ERROR "wtam_serve metrics: missing scrape response(s):\n"
+                      "${metrics_out}")
+endif()
+# Drained counters must equal what was submitted: 3 jobs, 1 error line.
+string(JSON accepted GET "${json_scrape}" counters serve.jobs_accepted)
+string(JSON completed GET "${json_scrape}" counters serve.jobs_completed)
+string(JSON errors GET "${json_scrape}" counters serve.errors)
+if(NOT accepted EQUAL 3 OR NOT completed EQUAL 3)
+  message(FATAL_ERROR "wtam_serve metrics: jobs_accepted=${accepted} "
+                      "jobs_completed=${completed}, expected 3/3")
+endif()
+if(NOT errors EQUAL 1)
+  message(FATAL_ERROR "wtam_serve metrics: serve.errors=${errors}, expected 1")
+endif()
+string(JSON inflight GET "${json_scrape}" gauges serve.inflight_jobs)
+string(JSON queue_depth GET "${json_scrape}" gauges serve.queue_depth)
+if(NOT inflight EQUAL 0 OR NOT queue_depth EQUAL 0)
+  message(FATAL_ERROR "wtam_serve metrics: drained scrape reports "
+                      "inflight=${inflight} queue_depth=${queue_depth}")
+endif()
+string(JSON job_samples GET "${json_scrape}" histograms serve.job_ns count)
+if(NOT job_samples EQUAL 3)
+  message(FATAL_ERROR "wtam_serve metrics: serve.job_ns count "
+                      "${job_samples}, expected 3")
+endif()
+# The Prometheus exposition reports the same totals under sanitized names.
+if(NOT prom_body MATCHES "serve_jobs_accepted 3")
+  message(FATAL_ERROR "wtam_serve metrics: prometheus body lacks "
+                      "'serve_jobs_accepted 3':\n${prom_body}")
+endif()
+if(NOT prom_body MATCHES "# TYPE serve_job_ns summary")
+  message(FATAL_ERROR "wtam_serve metrics: prometheus body lacks the "
+                      "serve_job_ns summary:\n${prom_body}")
+endif()
+
+message(STATUS "wtam_serve NDJSON protocol holds (smoke + 102-request soak "
+               "+ metrics scrape)")

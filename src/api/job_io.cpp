@@ -394,6 +394,17 @@ JsonValue result_to_json(const SolveResult& result,
               JsonValue::string(std::string(to_string(result.cache))));
   if (options.include_timing)
     entry.set("wall_s", JsonValue::number(result.wall_s));
+  if (options.include_trace && !result.trace.empty()) {
+    JsonValue spans = JsonValue::array();
+    for (const obs::TraceSpan& span : result.trace) {
+      JsonValue entry_span = JsonValue::object();
+      entry_span.set("stage", JsonValue::string(span.stage));
+      entry_span.set("start_ns", JsonValue::number(span.start_ns));
+      entry_span.set("duration_ns", JsonValue::number(span.duration_ns));
+      spans.push(std::move(entry_span));
+    }
+    entry.set("trace", std::move(spans));
+  }
   return entry;
 }
 

@@ -66,6 +66,10 @@ struct ResultsWriteOptions {
   /// provenance, not part of the canonical result bytes, so results stay
   /// byte-identical with the cache on or off. wtam_serve turns it on.
   bool include_cache = false;
+  /// Include the `trace` span array (SolveResult::trace). Off by default
+  /// for the same reason — span timings are execution provenance. Only
+  /// meaningful when the Solver ran with SolverOptions::trace.
+  bool include_trace = false;
 };
 
 [[nodiscard]] JsonValue result_to_json(const SolveResult& result,

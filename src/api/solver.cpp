@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/test_time_table.hpp"
+#include "obs/metrics.hpp"
 #include "pack/packed_schedule.hpp"
 #include "soc/load.hpp"
 #include "soc/soc_io.hpp"
@@ -51,6 +52,7 @@ WidthSolve solve_width(const core::OptimizerBackend& backend,
   // The constraint-aware validator: a constrained request's schedule is
   // only "valid" when it honors the constraints too (the overload
   // reduces to the geometric validator for empty constraints).
+  obs::SpanTimer span(context.trace, "validate");
   solve.schedule_valid =
       pack::validate_packed_schedule(table, solve.outcome.schedule,
                                      options.constraints)
@@ -59,10 +61,14 @@ WidthSolve solve_width(const core::OptimizerBackend& backend,
 }
 
 /// Runs one validated-or-not request start to finish. Catches everything;
-/// the only way out is a SolveResult.
-SolveResult execute(const SolveRequest& request, std::size_t index,
-                    const CancelToken& cancel, ResultCache* cache) {
+/// the only way out is a SolveResult. `trace`, when non-null, was
+/// created at job submission — its epoch is the submit instant, so the
+/// first recorded span (queue-wait) is simply [0, execution start).
+SolveResult execute_impl(const SolveRequest& request, std::size_t index,
+                         const CancelToken& cancel, ResultCache* cache,
+                         obs::SolveTrace* trace) {
   common::Stopwatch watch;
+  if (trace != nullptr) trace->record("queue-wait", 0, trace->now_ns());
   SolveResult result;
   result.id = request.id.empty() ? "job-" + std::to_string(index + 1)
                                  : request.id;
@@ -79,6 +85,7 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
 
   SolveContext context;
   context.cancel = cancel;
+  context.trace = trace;
   if (request.deadline_s.has_value())
     context.deadline = SolveContext::deadline_after(*request.deadline_s);
 
@@ -91,6 +98,7 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
 
   soc::Soc soc;
   try {
+    obs::SpanTimer span(trace, "soc-resolve");
     soc = resolve_soc(request);
   } catch (const std::exception& e) {
     result.status = Status::InvalidRequest;
@@ -145,9 +153,17 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
       SolveInterrupt fired = SolveInterrupt::None;
       if (cacheable) {
         key.width = w;
+        obs::SpanTimer lookup_span(trace, "cache-lookup");
         const ResultCache::Fetch fetch = cache->begin_fetch(
             key,
             [&context] { return context.poll() != SolveInterrupt::None; });
+        // A lookup that blocked on another job's identical in-flight
+        // solve is a different stage than a map probe — rename it so
+        // traces show coalescing waits for what they are.
+        if (fetch.outcome == ResultCache::FetchOutcome::Coalesced ||
+            fetch.outcome == ResultCache::FetchOutcome::Interrupted)
+          lookup_span.set_stage("cache-coalesce-wait");
+        lookup_span.finish();
         if (fetch.outcome == ResultCache::FetchOutcome::Interrupted) {
           // Cancelled while waiting on another thread's identical solve;
           // this width was neither served nor computed.
@@ -211,6 +227,7 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
         best->lower_bound =
             core::testing_time_lower_bounds(*best_table, best_width)
                 .combined();
+        obs::SpanTimer span(trace, "validate");
         best->schedule_valid =
             pack::validate_packed_schedule(*best_table, best->outcome.schedule,
                                            request.options.constraints)
@@ -241,6 +258,33 @@ SolveResult execute(const SolveRequest& request, std::size_t index,
     result.error = "unknown exception";
   }
   result.wall_s = watch.elapsed_s();
+  return result;
+}
+
+/// execute_impl plus process-wide metrics: every job — whatever its
+/// status — bumps solver.requests and its per-status/per-cache-outcome
+/// counters, moves the in-flight gauge, and records its latency into
+/// solver.solve_ns. Recording is unconditional (it does not touch the
+/// result payload); the trace, in contrast, rides only when requested.
+SolveResult execute(const SolveRequest& request, std::size_t index,
+                    const CancelToken& cancel, ResultCache* cache,
+                    obs::SolveTrace* trace) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& requests_total = registry.counter("solver.requests");
+  static obs::Gauge& inflight = registry.gauge("solver.inflight");
+  static obs::Histogram& solve_hist = registry.histogram("solver.solve_ns");
+
+  inflight.add(1);
+  common::ScopedTimer<obs::Histogram> timer(&solve_hist);
+  SolveResult result = execute_impl(request, index, cancel, cache, trace);
+  inflight.add(-1);
+  requests_total.increment();
+  registry
+      .counter("solver.status." + std::string(to_string(result.status)))
+      .increment();
+  registry.counter("solver.cache." + std::string(to_string(result.cache)))
+      .increment();
+  if (trace != nullptr) result.trace = trace->spans();
   return result;
 }
 
@@ -368,7 +412,10 @@ SolveResult Solver::solve(const SolveRequest& request, CancelToken cancel,
                           const ProgressFn& progress) const {
   ProgressSink sink(progress);
   sink.started(0, 1, request);
-  SolveResult result = execute(request, 0, cancel, options_.cache.get());
+  const auto trace =
+      options_.trace ? std::make_unique<obs::SolveTrace>() : nullptr;
+  SolveResult result =
+      execute(request, 0, cancel, options_.cache.get(), trace.get());
   sink.finished(0, 1, request, result);
   return result;
 }
@@ -388,11 +435,21 @@ std::vector<SolveResult> Solver::solve_batch(
                      return requests[a].priority > requests[b].priority;
                    });
 
+  // One span log per job, allocated at submission so each trace's epoch
+  // is the submit instant — queue-wait then falls out as the gap between
+  // epoch and execution start.
+  std::vector<std::unique_ptr<obs::SolveTrace>> traces;
+  if (options_.trace) {
+    traces.resize(requests.size());
+    for (auto& trace : traces) trace = std::make_unique<obs::SolveTrace>();
+  }
+
   ProgressSink sink(progress);
   const auto run_job = [&](std::size_t index) {
     sink.started(index, requests.size(), requests[index]);
     results[index] =
-        execute(requests[index], index, cancel, options_.cache.get());
+        execute(requests[index], index, cancel, options_.cache.get(),
+                options_.trace ? traces[index].get() : nullptr);
     sink.finished(index, requests.size(), requests[index], results[index]);
   };
 

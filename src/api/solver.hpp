@@ -43,6 +43,7 @@
 
 #include "core/backend.hpp"
 #include "core/solve_context.hpp"
+#include "obs/trace.hpp"
 #include "soc/soc.hpp"
 
 namespace wtam::api {
@@ -138,6 +139,12 @@ struct SolveResult {
   /// to the cold run that populated the entry).
   CacheOutcome cache = CacheOutcome::Bypass;
   double wall_s = 0.0;  ///< queued-to-finished wall clock of this job
+  /// Stage spans of this solve (queue-wait, soc-resolve, cache-lookup /
+  /// cache-coalesce-wait, partition-search, exact-step, walker:<seed>,
+  /// validate), timestamped in ns from job submission. Populated only
+  /// when SolverOptions::trace is set — opt-in like --timing, so the
+  /// solve payload stays byte-identical either way.
+  std::vector<obs::TraceSpan> trace;
 
   [[nodiscard]] bool has_outcome() const noexcept {
     return outcome.has_value();
@@ -178,6 +185,11 @@ struct SolverOptions {
   /// identical requests coalesce on its in-flight entries instead of
   /// recomputing. Deadline-bound requests always bypass it.
   std::shared_ptr<ResultCache> cache;
+  /// Collect per-solve stage spans into SolveResult::trace. Off by
+  /// default: tracing allocates a span log per job and takes a lock per
+  /// recorded stage, and the serve/CLI layers only forward spans their
+  /// caller asked for.
+  bool trace = false;
 
   /// Named builders, because brace-initializing a subset of an aggregate
   /// trips -Wmissing-field-initializers on the toolchains CI pins.

@@ -1,10 +1,22 @@
-// Wall-clock stopwatch used for all reported CPU-time columns.
+// Wall-clock stopwatch used for all reported CPU-time columns, plus the
+// one place raw steady_clock reads are allowed to live: wtam_lint's
+// raw-clock-now rule bans std::chrono::*_clock::now() everywhere else so
+// all timing flows through this instrumented path (steady_now() for
+// deadline arithmetic, Stopwatch/ScopedTimer for durations).
 
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace wtam::common {
+
+/// The single sanctioned "what time is it" read. Steady (monotonic) by
+/// construction — wall-clock dates never enter the library.
+[[nodiscard]] inline std::chrono::steady_clock::time_point
+steady_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
 
 class Stopwatch {
  public:
@@ -19,9 +31,49 @@ class Stopwatch {
 
   [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
 
+  /// Elapsed time in integer nanoseconds — the unit the obs histograms
+  /// record in.
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer that records its lifetime into a histogram on destruction.
+/// Histogram is any type with record_ns(std::int64_t) — a template so
+/// common/ stays independent of obs/ (obs::Histogram is the intended
+/// instantiation). A null histogram disables recording; elapsed_s()/
+/// elapsed_ns() still work, which lets existing cpu_s call sites route
+/// their one Stopwatch through the instrumented path:
+///
+///   common::ScopedTimer<obs::Histogram> timer(&histogram);
+///   ...
+///   out.cpu_s = timer.elapsed_s();   // recorded into `histogram` on scope exit
+template <typename Histogram>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->record_ns(watch_.elapsed_ns());
+  }
+
+  [[nodiscard]] double elapsed_s() const noexcept { return watch_.elapsed_s(); }
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return watch_.elapsed_ns();
+  }
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_;
 };
 
 }  // namespace wtam::common

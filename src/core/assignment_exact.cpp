@@ -8,6 +8,7 @@
 
 #include "common/math_util.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace wtam::core {
 
@@ -220,7 +221,11 @@ ilp::Problem build_assignment_ilp(const TestTimeProvider& table,
 ExactResult solve_assignment_exact(const TestTimeProvider& table,
                                    std::span<const int> widths,
                                    const ExactOptions& options) {
-  common::Stopwatch watch;
+  // Exact-step cost is both reported per call (cpu_s) and recorded
+  // process-wide so scrapes can see it without per-job tracing.
+  static obs::Histogram& exact_hist =
+      obs::MetricsRegistry::instance().histogram("core.exact_step_ns");
+  common::ScopedTimer<obs::Histogram> watch(&exact_hist);
   const int n = table.core_count();
   const int b = static_cast<int>(widths.size());
 

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace wtam::core {
 
 CoOptimizeResult co_optimize(const TestTimeProvider& table, int total_width,
                              const CoOptimizeOptions& options) {
   const SolveContext* context = options.search.context;
+  obs::SolveTrace* trace = context != nullptr ? context->trace : nullptr;
   CoOptimizeResult result;
-  result.heuristic = partition_evaluate(table, total_width, options.search);
+  {
+    obs::SpanTimer span(trace, "partition-search");
+    result.heuristic = partition_evaluate(table, total_width, options.search);
+  }
   result.heuristic_cpu_s = result.heuristic.cpu_s;
   result.interrupt = result.heuristic.interrupt;
   if (options.run_final_step &&
@@ -22,6 +28,7 @@ CoOptimizeResult co_optimize(const TestTimeProvider& table, int total_width,
       exact.time_limit_s = std::min(exact.time_limit_s, context->remaining_s());
       exact.context = context;
     }
+    obs::SpanTimer span(trace, "exact-step");
     result.final_step =
         solve_assignment_exact(table, result.heuristic.best.widths, exact);
     result.final_cpu_s = result.final_step.cpu_s;

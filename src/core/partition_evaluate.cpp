@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 
 namespace wtam::core {
@@ -261,7 +262,11 @@ PartitionEvaluateResult partition_evaluate(
                           ? common::ThreadPool::hardware_threads()
                           : options.threads;
 
-  common::Stopwatch total_watch;
+  // Total search time both reported (cpu_s) and recorded process-wide,
+  // so scrapes can see heuristic-search cost without per-job tracing.
+  static obs::Histogram& search_hist =
+      obs::MetricsRegistry::instance().histogram("core.partition_search_ns");
+  common::ScopedTimer<obs::Histogram> total_watch(&search_hist);
   PartitionEvaluateResult result;
   std::int64_t global_best = kInfinity;
 

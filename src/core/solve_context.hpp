@@ -18,6 +18,12 @@
 #include <optional>
 #include <string_view>
 
+#include "common/timer.hpp"
+
+namespace wtam::obs {
+class SolveTrace;
+}  // namespace wtam::obs
+
 namespace wtam::core {
 
 /// Why a search stopped early (None = it ran to completion).
@@ -65,11 +71,18 @@ struct SolveContext {
   CancelToken cancel;
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
+  /// Optional per-solve span log (obs/trace.hpp). Non-owning: the
+  /// api::Solver allocates it when tracing is requested and keeps it
+  /// alive for the job's duration; engines record through
+  /// obs::SpanTimer, which no-ops on nullptr, so untraced solves pay
+  /// one pointer test per stage.
+  obs::SolveTrace* trace = nullptr;
+
   /// The time point `seconds` from now (the one conversion every
   /// deadline in the codebase uses).
   [[nodiscard]] static std::chrono::steady_clock::time_point deadline_after(
       double seconds) {
-    return std::chrono::steady_clock::now() +
+    return common::steady_now() +
            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                std::chrono::duration<double>(seconds));
   }
@@ -82,7 +95,7 @@ struct SolveContext {
 
   [[nodiscard]] SolveInterrupt poll() const noexcept {
     if (cancel.cancel_requested()) return SolveInterrupt::Cancelled;
-    if (deadline && std::chrono::steady_clock::now() >= *deadline)
+    if (deadline && common::steady_now() >= *deadline)
       return SolveInterrupt::DeadlineExceeded;
     return SolveInterrupt::None;
   }
@@ -91,8 +104,8 @@ struct SolveContext {
   /// negative. Used to derive time limits for non-polling inner solvers.
   [[nodiscard]] double remaining_s() const noexcept {
     if (!deadline) return std::numeric_limits<double>::infinity();
-    const auto left = std::chrono::duration<double>(
-        *deadline - std::chrono::steady_clock::now());
+    const auto left =
+        std::chrono::duration<double>(*deadline - common::steady_now());
     return left.count() > 0.0 ? left.count() : 0.0;
   }
 };

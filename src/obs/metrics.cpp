@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace wtam::obs {
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  // Threads take slots round-robin; a thread keeps its slot for life, so
+  // per-thread recording never migrates between shards mid-sequence.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricSlots;
+  return slot;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Counter
+
+void Counter::increment(std::int64_t delta) {
+  Slot& slot = slots_[detail::thread_slot()];
+  common::MutexLock lock(slot.mu);
+  slot.value += delta;
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const Slot& slot : slots_) {
+    common::MutexLock lock(slot.mu);
+    total += slot.value;
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Slot& slot : slots_) {
+    common::MutexLock lock(slot.mu);
+    slot.value = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::set(std::int64_t value) {
+  common::MutexLock lock(mu_);
+  value_ = value;
+}
+
+void Gauge::add(std::int64_t delta) {
+  common::MutexLock lock(mu_);
+  value_ += delta;
+}
+
+std::int64_t Gauge::value() const {
+  common::MutexLock lock(mu_);
+  return value_;
+}
+
+void Gauge::reset() {
+  common::MutexLock lock(mu_);
+  value_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::bucket_index(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  constexpr std::uint64_t kSub = 1u << kHistogramSubBits;
+  if (v < kSub) return static_cast<int>(v);  // exact unit buckets 0..7
+  // Highest set bit selects the octave; the kHistogramSubBits bits below
+  // it select the sub-bucket within the octave.
+  const int exp = std::bit_width(v) - 1;  // >= kHistogramSubBits
+  const int shift = exp - kHistogramSubBits;
+  const auto sub = static_cast<int>((v >> shift) & (kSub - 1));
+  return ((exp - kHistogramSubBits) << kHistogramSubBits) + sub +
+         static_cast<int>(kSub);
+}
+
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_bounds(
+    int index) noexcept {
+  constexpr int kSub = 1 << kHistogramSubBits;
+  if (index < 0) index = 0;
+  if (index >= kHistogramBuckets) index = kHistogramBuckets - 1;
+  if (index < kSub) return {index, index + 1};
+  const int block = (index - kSub) >> kHistogramSubBits;
+  const int sub = (index - kSub) & (kSub - 1);
+  const auto lo = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(kSub + sub) << block);
+  const std::uint64_t width = std::uint64_t{1} << block;
+  const std::uint64_t hi = static_cast<std::uint64_t>(lo) + width;
+  constexpr auto kMax =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return {lo, hi > kMax ? std::numeric_limits<std::int64_t>::max()
+                        : static_cast<std::int64_t>(hi)};
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const int index = bucket_index(value);
+  Slot& slot = slots_[detail::thread_slot()];
+  common::MutexLock lock(slot.mu);
+  if (slot.count == 0 || value < slot.min) slot.min = value;
+  if (slot.count == 0 || value > slot.max) slot.max = value;
+  slot.count += 1;
+  slot.sum += value;
+  slot.buckets[static_cast<std::size_t>(index)] += 1;
+}
+
+HistogramData Histogram::merged() const {
+  HistogramData data;
+  data.buckets.assign(kHistogramBuckets, 0);
+  bool any = false;
+  for (const Slot& slot : slots_) {
+    common::MutexLock lock(slot.mu);
+    if (slot.count == 0) continue;
+    if (!any || slot.min < data.min) data.min = slot.min;
+    if (!any || slot.max > data.max) data.max = slot.max;
+    any = true;
+    data.count += slot.count;
+    data.sum += slot.sum;
+    for (int i = 0; i < kHistogramBuckets; ++i)
+      data.buckets[static_cast<std::size_t>(i)] +=
+          slot.buckets[static_cast<std::size_t>(i)];
+  }
+  return data;
+}
+
+void Histogram::reset() {
+  for (Slot& slot : slots_) {
+    common::MutexLock lock(slot.mu);
+    slot.count = 0;
+    slot.sum = 0;
+    slot.min = 0;
+    slot.max = 0;
+    slot.buckets.fill(0);
+  }
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, count]; the bucket holding that rank is the
+  // quantile bucket, with linear interpolation inside it.
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = cumulative;
+    cumulative += static_cast<double>(buckets[i]);
+    if (cumulative + 1e-9 < target) continue;
+    const auto [lo, hi] = Histogram::bucket_bounds(static_cast<int>(i));
+    const double fraction =
+        (target - before) / static_cast<double>(buckets[i]);
+    double estimate = static_cast<double>(lo) +
+                      (static_cast<double>(hi) - static_cast<double>(lo)) *
+                          fraction;
+    // Clamp to the observed range: a single sample reports itself
+    // exactly rather than its bucket midpoint.
+    estimate = std::max(estimate, static_cast<double>(min));
+    estimate = std::min(estimate, static_cast<double>(max));
+    return estimate;
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  common::MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  common::MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  common::MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Collect stable pointers under the registry lock, then read each
+  // metric outside it: metric reads take slot locks, and holding mu_
+  // across them would serialize against every concurrent increment.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    common::MutexLock lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+      counters.emplace_back(name, counter.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_)
+      gauges.emplace_back(name, gauge.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+      histograms.emplace_back(name, histogram.get());
+  }
+
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters.size());
+  for (const auto& [name, counter] : counters)
+    snapshot.counters.push_back({name, counter->value()});
+  snapshot.gauges.reserve(gauges.size());
+  for (const auto& [name, gauge] : gauges)
+    snapshot.gauges.push_back({name, gauge->value()});
+  snapshot.histograms.reserve(histograms.size());
+  for (const auto& [name, histogram] : histograms) {
+    const HistogramData data = histogram->merged();
+    HistogramValue value;
+    value.name = name;
+    value.count = data.count;
+    value.sum = data.sum;
+    value.min = data.min;
+    value.max = data.max;
+    value.mean = data.mean();
+    value.p50 = data.quantile(0.50);
+    value.p90 = data.quantile(0.90);
+    value.p95 = data.quantile(0.95);
+    value.p99 = data.quantile(0.99);
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  {
+    common::MutexLock lock(mu_);
+    for (auto& [name, counter] : counters_) counters.push_back(counter.get());
+    for (auto& [name, gauge] : gauges_) gauges.push_back(gauge.get());
+    for (auto& [name, histogram] : histograms_)
+      histograms.push_back(histogram.get());
+  }
+  for (Counter* counter : counters) counter->reset();
+  for (Gauge* gauge : gauges) gauge->reset();
+  for (Histogram* histogram : histograms) histogram->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string format_sample_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  std::ostringstream out;
+  out.precision(9);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterValue& counter : snapshot.counters) {
+    const std::string name = sanitize_metric_name(counter.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << counter.value << "\n";
+  }
+  for (const GaugeValue& gauge : snapshot.gauges) {
+    const std::string name = sanitize_metric_name(gauge.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << gauge.value << "\n";
+  }
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    const std::string name = sanitize_metric_name(histogram.name);
+    out << "# TYPE " << name << " summary\n";
+    out << name << "{quantile=\"0.5\"} " << format_sample_value(histogram.p50)
+        << "\n";
+    out << name << "{quantile=\"0.9\"} " << format_sample_value(histogram.p90)
+        << "\n";
+    out << name << "{quantile=\"0.95\"} "
+        << format_sample_value(histogram.p95) << "\n";
+    out << name << "{quantile=\"0.99\"} "
+        << format_sample_value(histogram.p99) << "\n";
+    out << name << "_sum " << histogram.sum << "\n";
+    out << name << "_count " << histogram.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wtam::obs

@@ -1,0 +1,37 @@
+#include "obs/metrics_json.hpp"
+
+namespace wtam::obs {
+
+api::JsonValue metrics_to_json(const MetricsSnapshot& snapshot) {
+  api::JsonValue root = api::JsonValue::object();
+
+  api::JsonValue counters = api::JsonValue::object();
+  for (const CounterValue& counter : snapshot.counters)
+    counters.set(counter.name, api::JsonValue::number(counter.value));
+  root.set("counters", std::move(counters));
+
+  api::JsonValue gauges = api::JsonValue::object();
+  for (const GaugeValue& gauge : snapshot.gauges)
+    gauges.set(gauge.name, api::JsonValue::number(gauge.value));
+  root.set("gauges", std::move(gauges));
+
+  api::JsonValue histograms = api::JsonValue::object();
+  for (const HistogramValue& histogram : snapshot.histograms) {
+    api::JsonValue entry = api::JsonValue::object();
+    entry.set("count", api::JsonValue::number(histogram.count));
+    entry.set("sum", api::JsonValue::number(histogram.sum));
+    entry.set("min", api::JsonValue::number(histogram.min));
+    entry.set("max", api::JsonValue::number(histogram.max));
+    entry.set("mean", api::JsonValue::number(histogram.mean));
+    entry.set("p50", api::JsonValue::number(histogram.p50));
+    entry.set("p90", api::JsonValue::number(histogram.p90));
+    entry.set("p95", api::JsonValue::number(histogram.p95));
+    entry.set("p99", api::JsonValue::number(histogram.p99));
+    histograms.set(histogram.name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms));
+
+  return root;
+}
+
+}  // namespace wtam::obs

@@ -1,0 +1,17 @@
+// JSON rendering of a MetricsSnapshot — kept out of obs/metrics.hpp so
+// the metrics core depends only on common/ while the document model
+// (api::JsonValue, a leaf header) stays a rendering concern.
+
+#pragma once
+
+#include "api/json_value.hpp"
+#include "obs/metrics.hpp"
+
+namespace wtam::obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+/// sum, min, max, mean, p50, p90, p95, p99}}} — names in sorted order
+/// (snapshot order), so equal snapshots dump byte-identically.
+[[nodiscard]] api::JsonValue metrics_to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace wtam::obs

@@ -1,0 +1,31 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace wtam::obs {
+
+void SolveTrace::record(std::string stage, std::int64_t start_ns,
+                        std::int64_t duration_ns) {
+  TraceSpan span;
+  span.stage = std::move(stage);
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  common::MutexLock lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> SolveTrace::spans() const {
+  std::vector<TraceSpan> out;
+  {
+    common::MutexLock lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.stage < b.stage;
+            });
+  return out;
+}
+
+}  // namespace wtam::obs

@@ -1,0 +1,96 @@
+// Per-solve stage tracing: where does a 1.3 s constrained rectpack solve
+// actually spend its time?
+//
+// A SolveTrace is a thread-safe span log owned by one solve. The Solver
+// creates it when SolverOptions.trace is set, hangs it off the job's
+// core::SolveContext, and every layer underneath records the stages it
+// owns (soc-resolve, cache-lookup / cache-coalesce-wait, walker:<seed>,
+// validate, partition-search, exact-step, queue-wait — see the README
+// span glossary). Timestamps are nanoseconds relative to the trace's
+// construction, taken from the same steady clock as every Stopwatch, so
+// spans from concurrent walker threads order consistently.
+//
+// Tracing is opt-in exactly like --timing: with the flag off no trace is
+// allocated, every recording site sees a null pointer and skips, and
+// solver results stay byte-identical.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/timer.hpp"
+
+namespace wtam::obs {
+
+/// One recorded stage: [start_ns, start_ns + duration_ns) relative to
+/// the owning trace's epoch.
+struct TraceSpan {
+  std::string stage;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// Append-only span log for one solve. record() may be called from any
+/// thread (rectpack's pooled walkers record concurrently).
+class SolveTrace {
+ public:
+  SolveTrace() = default;
+  SolveTrace(const SolveTrace&) = delete;
+  SolveTrace& operator=(const SolveTrace&) = delete;
+
+  /// Nanoseconds since this trace was constructed.
+  [[nodiscard]] std::int64_t now_ns() const noexcept {
+    return epoch_.elapsed_ns();
+  }
+
+  void record(std::string stage, std::int64_t start_ns,
+              std::int64_t duration_ns);
+
+  /// All spans so far, sorted by (start_ns, stage) so concurrent
+  /// recordings render deterministically for equal timestamps.
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+
+ private:
+  common::Stopwatch epoch_;
+  mutable common::Mutex mu_;
+  std::vector<TraceSpan> spans_ WTAM_GUARDED_BY(mu_);
+};
+
+/// RAII span: starts timing at construction, records on destruction (or
+/// at an explicit finish()). Null-trace-safe — every instrumentation
+/// site passes `context ? context->trace : nullptr` and pays only a
+/// pointer test when tracing is off.
+class SpanTimer {
+ public:
+  SpanTimer(SolveTrace* trace, std::string stage)
+      : trace_(trace),
+        stage_(std::move(stage)),
+        start_ns_(trace != nullptr ? trace->now_ns() : 0) {}
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() { finish(); }
+
+  /// Renames the span before it is recorded (cache-lookup becomes
+  /// cache-coalesce-wait once the lookup is known to have blocked on
+  /// another job's in-flight computation).
+  void set_stage(std::string stage) { stage_ = std::move(stage); }
+
+  /// Records now instead of at scope exit; further calls are no-ops.
+  void finish() {
+    if (trace_ == nullptr) return;
+    trace_->record(std::move(stage_), start_ns_, trace_->now_ns() - start_ns_);
+    trace_ = nullptr;
+  }
+
+ private:
+  SolveTrace* trace_;
+  std::string stage_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace wtam::obs

@@ -11,6 +11,8 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pack/skyline.hpp"
 
 namespace wtam::pack {
@@ -538,7 +540,13 @@ WalkerOutcome run_walker(const RectModel& model,
 RectPackResult rectpack_schedule(const core::TestTimeTable& table,
                                  int total_width,
                                  const RectPackOptions& options) {
-  common::Stopwatch watch;
+  // Whole-engine cost is both reported per call (cpu_s) and recorded
+  // process-wide; per-walker pack time is traced when the job asks.
+  static obs::Histogram& pack_hist =
+      obs::MetricsRegistry::instance().histogram("pack.rectpack_ns");
+  common::ScopedTimer<obs::Histogram> watch(&pack_hist);
+  obs::SolveTrace* trace =
+      options.context != nullptr ? options.context->trace : nullptr;
   if (!options.constraints.empty()) {
     const auto issues = core::validate_constraints(
         options.constraints, table.core_count(), total_width);
@@ -595,10 +603,12 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
           : options.threads;
   if (threads <= 1) {
     for (std::size_t i = 0; i < seeds.size(); ++i) {
+      obs::SpanTimer span(trace, "walker:" + seeds[i].first);
       WalkerOutcome outcome =
           run_walker(model, table, plan, options.constraints,
                      seeds[i].second, per_seed, walker_seeds[i],
                      options.context);
+      span.finish();
       const bool interrupted =
           outcome.interrupt != core::SolveInterrupt::None;
       merge(std::move(outcome), seeds[i].first);
@@ -616,6 +626,9 @@ RectPackResult rectpack_schedule(const core::TestTimeTable& table,
     for (std::size_t i = 0; i < walker_count; ++i) {
       pool.submit([&, i] {
         try {
+          // Concurrent recording into the shared trace is the designed
+          // case (SolveTrace locks internally; TSan covers this path).
+          obs::SpanTimer span(trace, "walker:" + seeds[i].first);
           outcomes[i] =
               run_walker(model, table, plan, options.constraints,
                          seeds[i].second, per_seed, walker_seeds[i],

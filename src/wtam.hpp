@@ -30,6 +30,9 @@
 #include "core/time_provider.hpp"       // IWYU pragma: export
 #include "ilp/branch_and_bound.hpp"     // IWYU pragma: export
 #include "lp/simplex.hpp"               // IWYU pragma: export
+#include "obs/metrics.hpp"              // IWYU pragma: export
+#include "obs/metrics_json.hpp"         // IWYU pragma: export
+#include "obs/trace.hpp"                // IWYU pragma: export
 #include "pack/packed_schedule.hpp"     // IWYU pragma: export
 #include "pack/rect_model.hpp"          // IWYU pragma: export
 #include "pack/rectpack.hpp"            // IWYU pragma: export

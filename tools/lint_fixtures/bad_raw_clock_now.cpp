@@ -1,0 +1,10 @@
+// Deliberately-bad fixture: reads the monotonic clock directly instead
+// of going through common::steady_now()/Stopwatch (src/common/timer.hpp).
+// Must trigger exactly the raw-clock-now rule.
+
+#include <chrono>
+
+long long raw_clock_read() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

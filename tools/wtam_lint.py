@@ -21,6 +21,11 @@ repo-specific discipline, so this linter enforces it mechanically:
   library-io         no std::cout/std::cerr/printf in library code; the
                      library reports through return values — tools own the
                      terminal.                                    [src]
+  raw-clock-now      no raw std::chrono::*_clock::now() outside
+                     src/common/timer.hpp (common::steady_now/Stopwatch)
+                     and src/core/time_provider.hpp — one sanctioned
+                     clock read keeps timing mockable and the
+                     nondeterminism surface auditable.            [src, tools]
   bare-catch         catch (...) must carry a justification comment on the
                      same line, the line above, or the first two lines of
                      the handler: swallowing everything is sometimes right,
@@ -74,6 +79,14 @@ NONDETERMINISM_RES = [
      "steady_clock"),
 ]
 LIBRARY_IO_RE = re.compile(r"std::(cout|cerr)\b|(?<![\w.:>])f?printf\s*\(")
+RAW_CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+# The only files allowed to read a clock directly: the sanctioned
+# steady_now()/Stopwatch seam and the mockable deadline provider.
+CLOCK_ALLOWED = {
+    str(Path("src") / "common" / "timer.hpp"),
+    str(Path("src") / "core" / "time_provider.hpp"),
+}
 BARE_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 COMMENT_RE = re.compile(r"//|/\*")
 
@@ -124,6 +137,12 @@ def lint_file(path, rel, lines, scopes):
                    "raw std locking primitive — use the annotated "
                    "common::Mutex/MutexLock/CondVar "
                    "(src/common/thread_annotations.hpp)")
+
+        if rel not in CLOCK_ALLOWED and RAW_CLOCK_RE.search(line):
+            report(idx, "raw-clock-now",
+                   "raw *_clock::now() — read time through "
+                   "common::steady_now()/Stopwatch (src/common/timer.hpp) "
+                   "so timing stays mockable and auditable")
 
         if in_library:
             for pattern, message in NONDETERMINISM_RES:

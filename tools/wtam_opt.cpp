@@ -41,6 +41,13 @@
 //   --quiet           suppress the per-job progress lines on stderr
 //
 // Either mode:
+//   --metrics         after the run, print the process metrics snapshot
+//                     (Prometheus text) on stderr — counters, gauges,
+//                     and stage histograms. Results output is unchanged
+//   --trace           collect per-solve stage spans and print them on
+//                     stderr per job (queue-wait, soc-resolve,
+//                     cache-lookup, walkers, exact step, validation).
+//                     Results output is unchanged
 //   --cache           memoize results (api::ResultCache): repeated
 //                     identical (SOC, width, backend, options) points are
 //                     served from the cache, byte-identical to the cold
@@ -79,11 +86,31 @@ namespace {
                "       wtam_opt --batch jobs.json [--threads N] [--out FILE]\n"
                "                [--timing] [--quiet]\n"
                "       either mode also takes [--cache] [--cache-mb M]\n"
+               "                              [--metrics] [--trace]\n"
                "built-in SOCs:";
   for (const std::string_view name : wtam::soc::builtin_soc_names())
     std::cerr << " " << name;
   std::cerr << "\n";
   std::exit(2);
+}
+
+// --trace report for one solve: the stage spans, ordered by start time,
+// in microseconds relative to the job's submission. Stderr only — the
+// results JSON/stdout contract is untouched.
+void report_trace(const wtam::api::SolveResult& result) {
+  if (result.trace.empty()) return;
+  std::cerr << "trace " << (result.id.empty() ? "(job)" : result.id) << ":\n";
+  for (const auto& span : result.trace)
+    std::cerr << "  " << span.stage << "  +" << span.start_ns / 1000 << "us  "
+              << span.duration_ns / 1000 << "us\n";
+}
+
+// --metrics report: the process-wide registry snapshot in Prometheus text
+// exposition, the same bytes the wtam_serve `metrics` verb serves.
+void report_metrics() {
+  std::cerr << "metrics:\n"
+            << wtam::obs::to_prometheus(
+                   wtam::obs::MetricsRegistry::instance().snapshot());
 }
 
 [[noreturn]] void list_backends() {
@@ -101,6 +128,7 @@ namespace {
 
 int run_batch(const std::string& jobs_path, int threads,
               const std::string& out_path, bool include_timing, bool quiet,
+              bool metrics, bool trace,
               std::shared_ptr<wtam::api::ResultCache> cache) {
   using namespace wtam;
   try {
@@ -125,9 +153,16 @@ int run_batch(const std::string& jobs_path, int threads,
         std::cerr << "\n";
       };
 
-    api::Solver solver(api::SolverOptions::with_threads(threads, cache));
+    api::SolverOptions solver_options =
+        api::SolverOptions::with_threads(threads, cache);
+    solver_options.trace = trace;
+    api::Solver solver(solver_options);
     const std::vector<api::SolveResult> results =
         solver.solve_batch(jobs, {}, progress);
+
+    if (trace)
+      for (const auto& result : results) report_trace(result);
+    if (metrics) report_metrics();
 
     if (cache != nullptr && !quiet) {
       const api::ResultCacheStats stats = cache->stats();
@@ -182,6 +217,8 @@ int main(int argc, char** argv) {
   double budget = 30.0;
   bool gantt = false;
   bool quiet = false;
+  bool metrics = false;
+  bool trace = false;
   bool use_cache = false;
   int cache_mb = 64;
   // Flags only the enumerative backend honors; remembered so selecting
@@ -242,6 +279,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--gantt") {
       gantt = true;
       single_only_flags.push_back(arg);
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--cache") {
       use_cache = true;
     } else if (arg == "--cache-mb") {
@@ -273,8 +314,8 @@ int main(int argc, char** argv) {
              " (configure jobs in the jobs file)")
                 .c_str());
     if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
-    return run_batch(batch_path, threads, out_path, timing, quiet,
-                     std::move(cache));
+    return run_batch(batch_path, threads, out_path, timing, quiet, metrics,
+                     trace, std::move(cache));
   }
   if (!out_path.empty()) usage("--out requires --batch");
   if (timing) usage("--timing requires --batch");
@@ -319,9 +360,12 @@ int main(int argc, char** argv) {
           api::constraints_from_json(api::JsonValue::parse(text.str()));
     }
 
-    const api::SolveResult result =
-        api::Solver(api::SolverOptions::with_threads(1, std::move(cache)))
-            .solve(request);
+    api::SolverOptions solver_options =
+        api::SolverOptions::with_threads(1, std::move(cache));
+    solver_options.trace = trace;
+    const api::SolveResult result = api::Solver(solver_options).solve(request);
+    if (trace) report_trace(result);
+    if (metrics) report_metrics();
     if (result.status == api::Status::InvalidRequest ||
         result.status == api::Status::InternalError || !result.has_outcome()) {
       std::cerr << "error: "

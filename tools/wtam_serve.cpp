@@ -19,7 +19,14 @@
 // carries `cache: hit|miss|bypass` (the memoizing ResultCache is on by
 // default; an identical resubmission is served byte-identically without
 // running an engine). Control verbs:
-//   stats        — jobs accepted/completed plus cache counters
+//   stats        — jobs accepted/started/completed, error-response and
+//                  in-flight/queue-depth gauges, plus cache counters
+//   metrics      — full MetricsRegistry snapshot. Options on the verb:
+//                  {"op": "metrics", "drain": true} waits for in-flight
+//                  jobs first (deterministic counters for scripted
+//                  scrapes); {"op": "metrics", "format": "prometheus"}
+//                  returns the text exposition in a "body" string field
+//                  (the response stays one NDJSON line either way)
 //   cache_clear  — drop every cached entry, then ack
 //   shutdown     — stop reading, drain in-flight jobs, ack, exit 0
 // EOF on stdin behaves like shutdown (without the ack line).
@@ -30,6 +37,8 @@
 //   --no-cache     disable the result cache
 //   --timing       include cpu_s/wall_s in results (off by default so
 //                  responses are byte-identical across runs)
+//   --trace        include per-solve stage spans (`trace` array) in
+//                  results — opt-in execution provenance like --timing
 //   --quiet        no startup banner on stderr
 //
 // Exit status: 0 on clean shutdown/EOF, 2 on usage errors. Malformed
@@ -37,6 +46,8 @@
 // echoed when one can be salvaged) and the server keeps serving — a bad
 // client must not take the service down.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -48,6 +59,9 @@
 #include "api/solver.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
 
 namespace {
 
@@ -56,7 +70,7 @@ using namespace wtam;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: wtam_serve [--threads N] [--cache-mb M] [--no-cache]\n"
-               "                  [--timing] [--quiet]\n"
+               "                  [--timing] [--trace] [--quiet]\n"
                "NDJSON protocol on stdin/stdout; see README (wtam_serve).\n";
   std::exit(2);
 }
@@ -84,8 +98,19 @@ class JobAccounting {
  public:
   struct Snapshot {
     std::uint64_t accepted = 0;
+    std::uint64_t started = 0;
     std::uint64_t completed = 0;
+    std::uint64_t errors = 0;
     std::size_t pending = 0;
+
+    /// Jobs a worker is executing right now.
+    [[nodiscard]] std::uint64_t running() const noexcept {
+      return started - completed;
+    }
+    /// Jobs accepted but still waiting for a worker.
+    [[nodiscard]] std::uint64_t queue_depth() const noexcept {
+      return accepted - started;
+    }
   };
 
   /// Registers a newly read job; returns its 1-based accept number
@@ -96,6 +121,12 @@ class JobAccounting {
     return ++accepted_;
   }
 
+  /// Marks one job picked up by a worker (running = started - completed).
+  void job_started() {
+    const wtam::common::MutexLock lock(mutex_);
+    ++started_;
+  }
+
   /// Marks one job finished and wakes the drain waiter when idle.
   void job_completed() {
     const wtam::common::MutexLock lock(mutex_);
@@ -104,26 +135,45 @@ class JobAccounting {
     if (pending_ == 0) drained_.notify_all();
   }
 
+  /// Counts one per-line error response (malformed JSON, bad op, bad
+  /// job) — previously invisible in `stats`.
+  void error_recorded() {
+    const wtam::common::MutexLock lock(mutex_);
+    ++errors_;
+  }
+
   /// Blocks until no job is in flight; returns the counters as observed
   /// in that same critical section (the shutdown ack reports `completed`
   /// from here rather than re-reading it unlocked later).
   [[nodiscard]] Snapshot wait_for_drain() {
     const wtam::common::MutexLock lock(mutex_);
     while (pending_ != 0) drained_.wait(mutex_);
-    return Snapshot{accepted_, completed_, pending_};
+    return snapshot_locked();
   }
 
   [[nodiscard]] Snapshot snapshot() const {
     const wtam::common::MutexLock lock(mutex_);
-    return Snapshot{accepted_, completed_, pending_};
+    return snapshot_locked();
   }
 
  private:
+  [[nodiscard]] Snapshot snapshot_locked() const WTAM_REQUIRES(mutex_) {
+    Snapshot snapshot;
+    snapshot.accepted = accepted_;
+    snapshot.started = started_;
+    snapshot.completed = completed_;
+    snapshot.errors = errors_;
+    snapshot.pending = pending_;
+    return snapshot;
+  }
+
   mutable wtam::common::Mutex mutex_;
   wtam::common::CondVar drained_;
   std::size_t pending_ WTAM_GUARDED_BY(mutex_) = 0;
   std::uint64_t accepted_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t started_ WTAM_GUARDED_BY(mutex_) = 0;
   std::uint64_t completed_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t errors_ WTAM_GUARDED_BY(mutex_) = 0;
 };
 
 api::JsonValue error_response(const std::string& id,
@@ -142,6 +192,43 @@ std::string salvage_id(const api::JsonValue& value) {
   return {};
 }
 
+/// Syncs the serve gauges from job accounting, snapshots the process
+/// registry, and folds the cache's counters in, so one scrape shows the
+/// whole service. Counter/gauge lists are re-sorted so the merged
+/// snapshot keeps the registry's deterministic name order.
+obs::MetricsSnapshot scrape_metrics(const JobAccounting::Snapshot& jobs,
+                                    const api::ResultCache* cache) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.gauge("serve.inflight_jobs")
+      .set(static_cast<std::int64_t>(jobs.running()));
+  registry.gauge("serve.queue_depth")
+      .set(static_cast<std::int64_t>(jobs.queue_depth()));
+  obs::MetricsSnapshot snapshot = registry.snapshot();
+  if (cache != nullptr) {
+    const api::ResultCacheStats stats = cache->stats();
+    const auto counter = [&snapshot](const char* name, std::uint64_t value) {
+      snapshot.counters.push_back({name, static_cast<std::int64_t>(value)});
+    };
+    counter("serve.cache.hits", stats.hits);
+    counter("serve.cache.misses", stats.misses);
+    counter("serve.cache.coalesced", stats.coalesced);
+    counter("serve.cache.insertions", stats.insertions);
+    counter("serve.cache.evictions", stats.evictions);
+    const auto gauge = [&snapshot](const char* name, std::uint64_t value) {
+      snapshot.gauges.push_back({name, static_cast<std::int64_t>(value)});
+    };
+    gauge("serve.cache.entries", stats.entries);
+    gauge("serve.cache.bytes", stats.bytes);
+    gauge("serve.cache.max_bytes", stats.max_bytes);
+    const auto by_name = [](const auto& a, const auto& b) {
+      return a.name < b.name;
+    };
+    std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+    std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  }
+  return snapshot;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +236,7 @@ int main(int argc, char** argv) {
   std::size_t cache_mb = 64;
   bool use_cache = true;
   bool timing = false;
+  bool trace = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +257,8 @@ int main(int argc, char** argv) {
       use_cache = false;
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -186,16 +276,38 @@ int main(int argc, char** argv) {
   }
   // Each job runs through one shared Solver (single-solve calls are
   // thread-safe; the cache coalesces concurrent identical jobs).
-  const api::Solver solver(api::SolverOptions::with_threads(1, cache));
+  api::SolverOptions solver_options = api::SolverOptions::with_threads(1, cache);
+  solver_options.trace = trace;
+  const api::Solver solver(std::move(solver_options));
   api::ResultsWriteOptions write_options;
   write_options.include_timing = timing;
   write_options.include_cache = true;
+  write_options.include_trace = trace;
 
   LineWriter out;
 
   // In-flight accounting: shutdown/EOF drain before exiting, and `stats`
   // reports progress.
   JobAccounting accounting;
+
+  // Process-wide serve metrics, scraped by the `metrics` verb alongside
+  // everything the solver/engines record.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  obs::Counter& jobs_accepted_counter = registry.counter("serve.jobs_accepted");
+  obs::Counter& jobs_completed_counter =
+      registry.counter("serve.jobs_completed");
+  obs::Counter& errors_counter = registry.counter("serve.errors");
+  obs::Histogram& job_hist = registry.histogram("serve.job_ns");
+
+  // Every per-line error response goes through here so `stats` and the
+  // serve.errors counter see it.
+  const auto write_error = [&accounting, &errors_counter, &out](
+                               const std::string& id,
+                               const std::string& message) {
+    accounting.error_recorded();
+    errors_counter.increment();
+    out.write(error_response(id, message));
+  };
 
   // Declared after everything its workers reference, so the pool's
   // joining destructor runs first on every exit path.
@@ -222,8 +334,7 @@ int main(int argc, char** argv) {
     try {
       value = api::JsonValue::parse(line);
     } catch (const std::exception& e) {
-      out.write(error_response({}, "line " + std::to_string(line_number) +
-                                       ": " + e.what()));
+      write_error({}, "line " + std::to_string(line_number) + ": " + e.what());
       continue;
     }
     if (const api::JsonValue* op = value.find("op")) {
@@ -250,6 +361,13 @@ int main(int argc, char** argv) {
                            static_cast<std::int64_t>(now.completed)));
           response.set("pending", api::JsonValue::number(
                                       static_cast<std::int64_t>(now.pending)));
+          response.set("errors", api::JsonValue::number(
+                                     static_cast<std::int64_t>(now.errors)));
+          response.set("running", api::JsonValue::number(
+                                      static_cast<std::int64_t>(now.running())));
+          response.set("queue_depth",
+                       api::JsonValue::number(
+                           static_cast<std::int64_t>(now.queue_depth())));
           if (cache) {
             const api::ResultCacheStats stats = cache->stats();
             api::JsonValue cache_json = api::JsonValue::object();
@@ -268,6 +386,39 @@ int main(int argc, char** argv) {
             response.set("cache", std::move(cache_json));
           }
           out.write(response);
+        } else if (verb == "metrics") {
+          bool drain = false;
+          if (const api::JsonValue* flag = value.find("drain"))
+            drain = flag->as_bool();
+          std::string format = "json";
+          if (const api::JsonValue* requested = value.find("format"))
+            format = requested->as_string();
+          if (format != "json" && format != "prometheus") {
+            write_error(salvage_id(value),
+                        "metrics format must be \"json\" or \"prometheus\"");
+            continue;
+          }
+          // drain waits for in-flight jobs first, so a scripted scrape
+          // observes deterministic counters (the CI smoke asserts
+          // accepted == completed == jobs submitted).
+          const JobAccounting::Snapshot now =
+              drain ? accounting.wait_for_drain() : accounting.snapshot();
+          const obs::MetricsSnapshot snapshot =
+              scrape_metrics(now, cache.get());
+          api::JsonValue response = api::JsonValue::object();
+          response.set("op", api::JsonValue::string("metrics"));
+          if (format == "prometheus") {
+            response.set("format", api::JsonValue::string("prometheus"));
+            response.set("body",
+                         api::JsonValue::string(obs::to_prometheus(snapshot)));
+          } else {
+            // Materialized first: members() returns a reference into the
+            // document, which must outlive the loop.
+            const api::JsonValue sections = obs::metrics_to_json(snapshot);
+            for (const auto& [section, content] : sections.members())
+              response.set(section, content);
+          }
+          out.write(response);
         } else if (verb == "cache_clear") {
           if (cache) cache->clear();
           api::JsonValue response = api::JsonValue::object();
@@ -275,15 +426,13 @@ int main(int argc, char** argv) {
           response.set("ok", api::JsonValue::boolean(cache != nullptr));
           out.write(response);
         } else {
-          out.write(error_response(
-              salvage_id(value), "unknown op '" + verb +
-                                     "' (known: stats, cache_clear, "
-                                     "shutdown)"));
+          write_error(salvage_id(value), "unknown op '" + verb +
+                                             "' (known: stats, metrics, "
+                                             "cache_clear, shutdown)");
         }
       } catch (const std::exception& e) {
-        out.write(error_response(salvage_id(value),
-                                 "line " + std::to_string(line_number) + ": " +
-                                     e.what()));
+        write_error(salvage_id(value), "line " + std::to_string(line_number) +
+                                           ": " + e.what());
       }
       continue;
     }
@@ -292,19 +441,34 @@ int main(int argc, char** argv) {
     try {
       request = api::job_from_json(value);
     } catch (const std::exception& e) {
-      out.write(error_response(salvage_id(value),
-                               "line " + std::to_string(line_number) + ": " +
-                                   e.what()));
+      write_error(salvage_id(value),
+                  "line " + std::to_string(line_number) + ": " + e.what());
       continue;
     }
     const std::uint64_t job_number = accounting.job_accepted();
+    jobs_accepted_counter.increment();
     if (request.id.empty())
       request.id = "job-" + std::to_string(job_number);
 
-    pool.submit([&, request = std::move(request)] {
+    pool.submit([&, request = std::move(request),
+                 queued = common::Stopwatch()] {
+      accounting.job_started();
+      const std::int64_t queue_ns = queued.elapsed_ns();  // accept -> pickup
       // Solver::solve never throws: every failure mode is a Status.
-      const api::SolveResult result = solver.solve(request);
+      api::SolveResult result = solver.solve(request);
+      if (trace) {
+        // The solver timed its own (empty) queue: overwrite with the
+        // accept-to-execution wait this server actually imposed, so the
+        // echoed trace shows real queueing under load.
+        for (auto& span : result.trace)
+          if (span.stage == "queue-wait") {
+            span.duration_ns = queue_ns;
+            break;
+          }
+      }
       out.write(api::result_to_json(result, write_options));
+      job_hist.record_ns(queued.elapsed_ns());
+      jobs_completed_counter.increment();
       accounting.job_completed();
     });
   }
