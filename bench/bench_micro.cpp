@@ -25,6 +25,7 @@
 #include "core/co_optimizer.hpp"
 #include "core/core_assign.hpp"
 #include "core/partition_evaluate.hpp"
+#include "core/power.hpp"
 #include "core/test_time_table.hpp"
 #include "lp/simplex.hpp"
 #include "obs/metrics.hpp"
@@ -211,6 +212,26 @@ int main() {
         core::build_assignment_ilp(d695_table, kWidths6_10);
     (void)lp::solve(problem.lp).objective;
   }));
+
+  // The shared power-window feasibility kernel: the inner check of every
+  // power-budgeted placement (skyline + hole filling), pinned so the
+  // extraction into core/power stays as cheap as the packers' former
+  // inlined loops. 64 spans ~ a large SOC's placement count; the probe
+  // sweeps starts so both accept and reject paths are exercised.
+  {
+    std::vector<core::PowerSpan> power_spans;
+    for (std::int64_t i = 0; i < 64; ++i)
+      power_spans.push_back({i * 3, i * 3 + 40, 1 + (i % 7)});
+    constexpr std::int64_t kWindowOps = 256;
+    std::int64_t fits = 0;
+    Measurement m = measure("power_window_fits_64spans", [&] {
+      for (std::int64_t op = 0; op < kWindowOps; ++op)
+        fits += core::power_window_fits(power_spans, op, 25, 3, 20) ? 1 : 0;
+    });
+    if (fits < 0) std::abort();  // keep the result observable
+    m.iterations *= kWindowOps;
+    measurements.push_back(m);
+  }
 
   // Observability overhead: the price a hot path pays to bump a counter
   // or record a histogram sample (sharded slot, one uncontended mutex

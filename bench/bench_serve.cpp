@@ -3,14 +3,25 @@
 // every job sharing one memoizing ResultCache) and publishes throughput,
 // cache hit rate, and tail-latency percentiles to BENCH_serve.json.
 //
-// Three phases, extending the CI serve soak (cmake/cli_checks.cmake):
+// Five phases, extending the CI serve soak (cmake/cli_checks.cmake):
 //   * cold — unique (soc, width) points: every request is a cache miss,
 //     so this phase prices the raw solve path;
 //   * soak — the 102-request mix (34 x {d695 w12/w14/w16 rectpack}): the
 //     first request per point computes, concurrent duplicates coalesce
 //     onto it, the rest hit — the steady-state serve workload;
 //   * warm — the same 102 requests replayed against the hot cache: the
-//     pure lookup path, the floor the server can promise.
+//     pure lookup path, the floor the server can promise;
+//   * warm_boot — the cache is snapshotted to disk (api/cache_store),
+//     loaded into a FRESH cache, and the cold sweep replayed against it:
+//     every request must hit (100% — asserted) with testing times
+//     byte-identical to the cold run, pricing the restart story;
+//   * fleet — the distributed tier end-to-end: a wtam_router with two
+//     wtam_serve workers (found next to this binary) first replays the
+//     sweep (testing times must match the in-process reference), then
+//     takes a 40-job unique-key burst against --queue-limit 4 — the
+//     saturated fleet must SHED (status "overloaded", serve.router.shed
+//     counted — both asserted) rather than stall: every burst job gets
+//     an answer or this bench exits 1.
 //
 // Per-request latency (submit -> result) feeds an obs::Histogram;
 // p50/p90/p95/p99 come from its merged quantiles. Determinism is part of
@@ -18,17 +29,25 @@
 // testing time in every phase — cache hits are byte-identical to the
 // cold run — else this bench exits 1.
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "api/cache_store.hpp"
+#include "api/job_io.hpp"
+#include "api/json_value.hpp"
 #include "api/result_cache.hpp"
 #include "api/solver.hpp"
 #include "bench_util.hpp"
+#include "common/subprocess.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -139,9 +158,184 @@ PhaseStats run_phase(const std::string& name,
   return stats;
 }
 
+/// Everything the fleet phase measures beyond the common PhaseStats.
+struct FleetOutcome {
+  PhaseStats stats;
+  std::int64_t ok_responses = 0;
+  std::int64_t shed_responses = 0;
+  std::int64_t router_shed_counter = 0;  // serve.router.shed from metrics
+  std::int64_t respawns = 0;
+  bool completed = false;  // every submitted job answered before timeout
+};
+
+/// Drives wtam_router (2 wtam_serve workers, --queue-limit 4) over its
+/// NDJSON stdin/stdout: first the 12-width sweep (results must match
+/// the in-process reference), then a 40-job unique-key burst that
+/// saturates the fleet — the router must shed, not stall.
+FleetOutcome run_fleet_phase(const std::string& bin_dir,
+                             std::map<int, std::int64_t>& reference,
+                             bool& deterministic) {
+  FleetOutcome outcome;
+  outcome.stats.name = "fleet";
+
+  common::Subprocess router({bin_dir + "/wtam_router", "--workers", "2",
+                             "--queue-limit", "4", "--serve",
+                             bin_dir + "/wtam_serve", "--quiet"});
+
+  common::Mutex mutex;
+  // All three are only touched under `mutex` (reader thread + main).
+  std::unordered_map<std::string, common::Stopwatch> pending;
+  std::vector<api::JsonValue> responses;
+  std::vector<api::JsonValue> op_acks;
+  obs::Histogram latency;
+
+  std::thread reader([&] {
+    while (const std::optional<std::string> line = router.read_line()) {
+      api::JsonValue value;
+      try {
+        value = api::JsonValue::parse(*line);
+      } catch (const std::exception&) {
+        continue;
+      }
+      const common::MutexLock lock(mutex);
+      const api::JsonValue* id = value.find("id");
+      if (id != nullptr && id->kind() == api::JsonValue::Kind::String) {
+        if (const auto it = pending.find(id->as_string());
+            it != pending.end()) {
+          latency.record_ns(it->second.elapsed_ns());
+          pending.erase(it);
+        }
+        responses.push_back(std::move(value));
+      } else if (value.find("op") != nullptr) {
+        op_acks.push_back(std::move(value));
+      }
+    }
+  });
+
+  const auto submit = [&](const api::SolveRequest& request) {
+    const std::string line =
+        api::job_to_json(request).dump_compact_string();
+    {
+      const common::MutexLock lock(mutex);
+      pending.emplace(request.id, common::Stopwatch());
+    }
+    (void)router.write_line(line);
+  };
+  // Bounded wait: a fleet that stalls is exactly the failure this phase
+  // exists to catch, so the timeout is an assertion, not a convenience.
+  const auto wait_until = [&](const auto& done) {
+    for (int i = 0; i < 36000; ++i) {
+      {
+        const common::MutexLock lock(mutex);
+        if (done()) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  };
+
+  common::Stopwatch wall;
+
+  // Sweep: same 12 points as the cold phase; fresh worker caches, so
+  // these are real solves routed by key — the reference ties the fleet
+  // to the in-process results byte-for-byte (testing_time equality).
+  for (int width = 17; width <= 28; ++width) {
+    api::SolveRequest request = make_request("fleet-w" + std::to_string(width),
+                                             width);
+    submit(request);
+  }
+  if (!wait_until([&] { return responses.size() >= 12; })) {
+    std::cerr << "FATAL: fleet sweep stalled (responses never arrived)\n";
+    deterministic = false;
+    return outcome;
+  }
+
+  // Saturation burst: unique keys (per-job rectpack seed) so nothing
+  // caches; 40 near-simultaneous jobs against 2x queue-limit 4 must
+  // drive the router into shedding.
+  for (int i = 0; i < 40; ++i) {
+    api::SolveRequest request =
+        make_request("burst-" + std::to_string(i), 17 + (i % 12));
+    request.options.rectpack.seed = 1000 + i;
+    submit(request);
+  }
+  if (!wait_until(
+          [&] { return responses.size() >= 52; })) {
+    std::cerr << "FATAL: fleet burst stalled (shed or answer never came)\n";
+    deterministic = false;
+    return outcome;
+  }
+  outcome.completed = true;
+  outcome.stats.requests = 52;
+
+  // Scrape the fleet before shutdown: merged stats carry the router
+  // section, merged metrics the serve.router.* counters.
+  (void)router.write_line("{\"op\": \"stats\"}");
+  (void)router.write_line("{\"op\": \"metrics\", \"drain\": true}");
+  (void)router.write_line("{\"op\": \"shutdown\"}");
+  if (!wait_until(
+          [&] { return op_acks.size() >= 3; })) {
+    std::cerr << "FATAL: fleet control verbs went unanswered\n";
+    deterministic = false;
+  }
+  router.close_stdin();
+  reader.join();
+  (void)router.wait();
+  outcome.stats.wall_s = wall.elapsed_s();
+  outcome.stats.latency = latency.merged();
+
+  const common::MutexLock lock(mutex);
+  for (const api::JsonValue& response : responses) {
+    const api::JsonValue* status = response.find("status");
+    if (status == nullptr) continue;
+    if (status->as_string() == "overloaded") {
+      ++outcome.shed_responses;
+      continue;
+    }
+    if (status->as_string() != "ok") {
+      std::cerr << "FATAL: fleet job " << response.find("id")->as_string()
+                << " came back " << status->as_string() << "\n";
+      deterministic = false;
+      continue;
+    }
+    ++outcome.ok_responses;
+    // Sweep responses must agree with the in-process phases.
+    const std::string& id = response.find("id")->as_string();
+    if (id.rfind("fleet-w", 0) == 0) {
+      const int width = static_cast<int>(response.find("width")->as_int());
+      const std::int64_t testing_time =
+          response.find("testing_time")->as_int();
+      const auto [it, inserted] = reference.emplace(width, testing_time);
+      if (!inserted && it->second != testing_time) {
+        std::cerr << "FATAL: fleet width " << width << " returned "
+                  << testing_time << " cycles; in-process reference is "
+                  << it->second << "\n";
+        deterministic = false;
+      }
+    }
+  }
+  for (const api::JsonValue& ack : op_acks) {
+    const api::JsonValue* op = ack.find("op");
+    if (op == nullptr) continue;
+    if (op->as_string() == "stats") {
+      if (const api::JsonValue* cache_section = ack.find("cache")) {
+        outcome.stats.hits = cache_section->find("hits")->as_int();
+        outcome.stats.misses = cache_section->find("misses")->as_int();
+      }
+      if (const api::JsonValue* router_section = ack.find("router"))
+        outcome.respawns = router_section->find("respawns")->as_int();
+    } else if (op->as_string() == "metrics") {
+      if (const api::JsonValue* counters = ack.find("counters"))
+        if (const api::JsonValue* shed = counters->find("serve.router.shed"))
+          outcome.router_shed_counter = shed->as_int();
+    }
+  }
+  return outcome;
+}
+
 }  // namespace
 
-int main() {
+int main(int, char** argv) {
   const auto cache = std::make_shared<api::ResultCache>();
   // One solve worker per job, exactly like wtam_serve: concurrency comes
   // from the pool, duplicate suppression from the shared cache.
@@ -175,6 +369,61 @@ int main() {
   } catch (const std::exception& e) {
     std::cerr << "FATAL: " << e.what() << "\n";
     return 1;
+  }
+
+  // --- warm-boot persistence phase -----------------------------------------
+  // Snapshot to disk, load into a FRESH cache, replay the cold sweep:
+  // the restart path must serve 100% hits, byte-identical to the cold
+  // run (run_phase's reference check enforces the identity).
+  const std::string snapshot_path = "BENCH_serve_cache.bin";
+  try {
+    (void)api::save_cache_file(*cache, snapshot_path);
+    const auto booted = std::make_shared<api::ResultCache>();
+    const api::CacheLoadStats loaded =
+        api::load_cache_file(*booted, snapshot_path);
+    const api::Solver booted_solver(
+        api::SolverOptions::with_threads(1, booted));
+    booted->reset_stats();
+    std::vector<api::SolveRequest> replay = cold;
+    for (std::size_t i = 0; i < replay.size(); ++i)
+      replay[i].id = "boot-w" + std::to_string(replay[i].width);
+    phases.push_back(run_phase("warm_boot", replay, booted_solver, *booted,
+                               pool, reference, deterministic));
+    const PhaseStats& boot = phases.back();
+    if (!loaded.clean_tail || boot.misses != 0 ||
+        boot.hits != static_cast<std::int64_t>(boot.requests)) {
+      std::cerr << "FATAL: warm boot not fully warm (loaded "
+                << loaded.entries_loaded << " entries, " << boot.hits << "/"
+                << boot.requests << " hits, " << boot.misses << " misses)\n";
+      deterministic = false;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: warm boot phase: " << e.what() << "\n";
+    deterministic = false;
+  }
+  std::remove(snapshot_path.c_str());
+
+  // --- distributed fleet phase ---------------------------------------------
+  // wtam_router + 2 wtam_serve workers live next to this binary in the
+  // build tree.
+  const std::string self = argv[0];
+  const std::size_t slash = self.find_last_of('/');
+  const std::string bin_dir =
+      slash == std::string::npos ? std::string(".") : self.substr(0, slash);
+  FleetOutcome fleet;
+  try {
+    fleet = run_fleet_phase(bin_dir, reference, deterministic);
+    phases.push_back(fleet.stats);
+    if (!fleet.completed) deterministic = false;
+    if (fleet.shed_responses == 0 || fleet.router_shed_counter == 0) {
+      std::cerr << "FATAL: saturation burst never shed (responses "
+                << fleet.shed_responses << ", serve.router.shed "
+                << fleet.router_shed_counter << ")\n";
+      deterministic = false;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: fleet phase: " << e.what() << "\n";
+    deterministic = false;
   }
 
   // --- human-readable table ------------------------------------------------
@@ -227,6 +476,13 @@ int main() {
     entry.set("cache_misses", bench::Json::number(phase.misses));
     entry.set("cache_coalesced", bench::Json::number(phase.coalesced));
     entry.set("hit_rate", bench::Json::number(phase.hit_rate()));
+    if (phase.name == "fleet") {
+      entry.set("ok_responses", bench::Json::number(fleet.ok_responses));
+      entry.set("shed_responses", bench::Json::number(fleet.shed_responses));
+      entry.set("router_shed_counter",
+                bench::Json::number(fleet.router_shed_counter));
+      entry.set("worker_respawns", bench::Json::number(fleet.respawns));
+    }
     bench::Json latency = bench::Json::object();
     latency.set("p50", bench::Json::number(phase.latency.quantile(0.5)));
     latency.set("p90", bench::Json::number(phase.latency.quantile(0.9)));

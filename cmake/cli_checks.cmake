@@ -372,3 +372,179 @@ endif()
 
 message(STATUS "wtam_serve NDJSON protocol holds (smoke + 102-request soak "
                "+ metrics scrape)")
+
+# ---- wtam_serve --cache-file (persistence smoke) ---------------------------
+# A cold session solves two jobs and snapshots its cache on shutdown;
+# a warm session boots from that snapshot and must serve both jobs from
+# the cache with the identical testing times. The shutdown ack of the
+# cold run reports the entries it persisted.
+set(serve_cache ${WORK_DIR}/serve_cache.bin)
+file(REMOVE ${serve_cache})
+file(WRITE ${WORK_DIR}/serve_persist.ndjson
+"{\"id\": \"p1\", \"soc\": \"d695\", \"width\": 18, \"backend\": \"rectpack\"}
+{\"id\": \"p2\", \"soc\": \"d695\", \"width\": 20, \"backend\": \"rectpack\"}
+{\"op\": \"shutdown\"}
+")
+foreach(phase cold warm)
+  execute_process(COMMAND ${WTAM_SERVE} --quiet --threads 2
+                          --cache-file ${serve_cache}
+                  INPUT_FILE ${WORK_DIR}/serve_persist.ndjson
+                  OUTPUT_VARIABLE persist_out
+                  ERROR_VARIABLE persist_err
+                  RESULT_VARIABLE persist_code)
+  if(NOT persist_code EQUAL 0)
+    message(FATAL_ERROR "wtam_serve ${phase} persistence run: exit "
+                        "${persist_code}\nstderr: ${persist_err}")
+  endif()
+  if(NOT EXISTS ${serve_cache})
+    message(FATAL_ERROR "wtam_serve ${phase} persistence run: no snapshot "
+                        "at ${serve_cache}")
+  endif()
+  string(REGEX REPLACE "\n+$" "" persist_out "${persist_out}")
+  string(REPLACE "\n" ";" persist_lines "${persist_out}")
+  foreach(line IN LISTS persist_lines)
+    string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+    if(no_op STREQUAL "NOTFOUND")
+      continue()  # shutdown ack
+    endif()
+    string(JSON id GET "${line}" id)
+    string(JSON status GET "${line}" status)
+    string(JSON cache_state GET "${line}" cache)
+    string(JSON t GET "${line}" testing_time)
+    if(NOT status STREQUAL "ok")
+      message(FATAL_ERROR "wtam_serve ${phase} persistence run: job ${id} "
+                          "status '${status}':\n${line}")
+    endif()
+    if(phase STREQUAL "cold")
+      set(persist_${id}_time ${t})
+    else()
+      if(NOT cache_state STREQUAL "hit")
+        message(FATAL_ERROR "wtam_serve warm-boot run: job ${id} reported "
+                            "cache '${cache_state}', expected 'hit':\n${line}")
+      endif()
+      if(NOT persist_${id}_time EQUAL ${t})
+        message(FATAL_ERROR "wtam_serve warm-boot run: job ${id} testing "
+                            "time ${t} differs from the cold run's "
+                            "${persist_${id}_time}")
+      endif()
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "wtam_serve --cache-file persistence holds (cold store -> "
+               "warm-boot hits, identical results)")
+
+# ---- wtam_router (fleet smoke + crash replay) ------------------------------
+
+if(NOT DEFINED WTAM_ROUTER)
+  message(FATAL_ERROR "pass -DWTAM_ROUTER=<binary>")
+endif()
+
+# Two runs over the same seven jobs (six distinct + one resubmission).
+# The clean run establishes the per-id reference responses; the crash
+# run SIGKILLs worker 0 mid-batch via the kill_worker verb and must
+# still answer every id with the identical result — replay makes the
+# crash invisible apart from cache provenance, which the comparison
+# strips (a replayed solve recomputes what the dead worker had cached).
+set(fleet_jobs
+"{\"id\": \"f1\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"id\": \"f2\", \"soc\": \"d695\", \"width\": 17, \"backend\": \"rectpack\"}
+{\"id\": \"f3\", \"soc\": \"d695\", \"width\": 18, \"backend\": \"rectpack\"}
+")
+set(fleet_jobs_tail
+"{\"id\": \"f4\", \"soc\": \"d695\", \"width\": 19, \"backend\": \"rectpack\"}
+{\"id\": \"f5\", \"soc\": \"d695\", \"width\": 20, \"backend\": \"rectpack\"}
+{\"id\": \"f6\", \"soc\": \"d695\", \"width\": 21, \"backend\": \"rectpack\"}
+{\"id\": \"f1again\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"op\": \"stats\"}
+{\"op\": \"shutdown\"}
+")
+file(WRITE ${WORK_DIR}/fleet_clean.ndjson
+     "${fleet_jobs}${fleet_jobs_tail}")
+file(WRITE ${WORK_DIR}/fleet_crash.ndjson
+     "${fleet_jobs}{\"op\": \"kill_worker\", \"worker\": 0}\n${fleet_jobs_tail}")
+
+foreach(phase clean crash)
+  execute_process(COMMAND ${WTAM_ROUTER} --quiet --workers 2
+                          --serve ${WTAM_SERVE}
+                  INPUT_FILE ${WORK_DIR}/fleet_${phase}.ndjson
+                  OUTPUT_VARIABLE fleet_out
+                  ERROR_VARIABLE fleet_err
+                  RESULT_VARIABLE fleet_code)
+  if(NOT fleet_code EQUAL 0)
+    message(FATAL_ERROR "wtam_router ${phase} run: exit ${fleet_code}\n"
+                        "stderr: ${fleet_err}")
+  endif()
+  string(REGEX REPLACE "\n+$" "" fleet_out "${fleet_out}")
+  string(REPLACE ";" "<semi>" fleet_escaped "${fleet_out}")
+  string(REPLACE "\n" ";" fleet_lines "${fleet_escaped}")
+  set(fleet_ok_count 0)
+  foreach(line IN LISTS fleet_lines)
+    string(REPLACE "<semi>" ";" line "${line}")
+    string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+    if(no_op STREQUAL "NOTFOUND")
+      if(NOT op STREQUAL "stats")
+        continue()  # kill_worker / shutdown ack
+      endif()
+      string(JSON fleet_workers GET "${line}" workers)
+      string(JSON fleet_routed GET "${line}" router routed)
+      string(JSON fleet_respawns GET "${line}" router respawns)
+      if(NOT fleet_workers EQUAL 2)
+        message(FATAL_ERROR "wtam_router ${phase} run: stats reports "
+                            "${fleet_workers} workers, expected 2")
+      endif()
+      if(NOT fleet_routed EQUAL 7)
+        message(FATAL_ERROR "wtam_router ${phase} run: stats reports "
+                            "${fleet_routed} routed jobs, expected 7")
+      endif()
+      set(fleet_${phase}_respawns ${fleet_respawns})
+      continue()
+    endif()
+    string(JSON id GET "${line}" id)
+    string(JSON status GET "${line}" status)
+    if(NOT status STREQUAL "ok")
+      message(FATAL_ERROR "wtam_router ${phase} run: job ${id} status "
+                          "'${status}':\n${line}")
+    endif()
+    math(EXPR fleet_ok_count "${fleet_ok_count} + 1")
+    # The resubmission shards to the worker that cached the original,
+    # so the clean run must serve it from the fleet's cache.
+    if(phase STREQUAL "clean" AND id STREQUAL "f1again")
+      string(JSON cache_state GET "${line}" cache)
+      if(NOT cache_state STREQUAL "hit")
+        message(FATAL_ERROR "wtam_router clean run: resubmitted job "
+                            "reported cache '${cache_state}', expected "
+                            "'hit':\n${line}")
+      endif()
+    endif()
+    # Cache provenance is the one legitimate difference between the
+    # runs (a respawned worker recomputes), so strip it before the
+    # per-id byte comparison.
+    string(REGEX REPLACE "\"cache\": \"[a-z]+\"" "\"cache\": \"-\""
+           stripped "${line}")
+    set(fleet_${phase}_${id} "${stripped}")
+  endforeach()
+  if(NOT fleet_ok_count EQUAL 7)
+    message(FATAL_ERROR "wtam_router ${phase} run: ${fleet_ok_count} ok "
+                        "results, expected 7:\n${fleet_out}")
+  endif()
+endforeach()
+
+foreach(id f1 f2 f3 f4 f5 f6 f1again)
+  if(NOT fleet_clean_${id} STREQUAL fleet_crash_${id})
+    message(FATAL_ERROR "wtam_router: job ${id} differs between the clean "
+                        "and the crash run\nclean: ${fleet_clean_${id}}\n"
+                        "crash: ${fleet_crash_${id}}")
+  endif()
+endforeach()
+if(NOT fleet_clean_respawns EQUAL 0)
+  message(FATAL_ERROR "wtam_router clean run: ${fleet_clean_respawns} "
+                      "respawns, expected 0")
+endif()
+if(NOT fleet_crash_respawns GREATER 0)
+  message(FATAL_ERROR "wtam_router crash run: no respawn recorded after "
+                      "kill_worker")
+endif()
+
+message(STATUS "wtam_router fleet smoke holds (7 jobs over 2 workers, "
+               "crash replay byte-identical modulo cache provenance)")

@@ -1,0 +1,69 @@
+// On-disk persistence for the ResultCache (warm boots across restarts).
+//
+// A service restart normally starts cold: every design point solves
+// again even though the fleet computed it minutes earlier. This module
+// snapshots a cache to a file and loads it back on boot:
+//
+//   * format: an 11-byte versioned magic ("WTAMCACHE1\n") followed by
+//     self-delimiting records — [u32 key length][key text: the
+//     RequestKey::to_string form][u32 payload length][payload: the
+//     binary CachedSolve codec][u64 checksum over key + payload bytes].
+//     Integers are little-endian, written byte by byte, so snapshots
+//     move between machines;
+//   * append-friendly and greppable: keys are stored as canonical text,
+//     so `strings snapshot | grep soc:` works, and records concatenate;
+//   * torn-tail tolerant: a crash mid-save (or a truncated copy) loses
+//     only the tail — load salvages every intact record before the first
+//     framing/checksum failure and reports the salvage in its stats;
+//   * version-strict: a snapshot from a different format version (wrong
+//     magic) throws rather than guessing — stale caches must never leak
+//     wrong results into a new binary;
+//   * atomic: save writes "<path>.tmp" and renames, so readers never see
+//     a half-written snapshot at the final path.
+//
+// The record *payload* codec is deliberately exact: load-then-save of an
+// untouched cache reproduces the file byte for byte, which the tests pin
+// (round-trip byte identity is the cheapest proof that no field is
+// silently dropped).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "api/result_cache.hpp"
+
+namespace wtam::api {
+
+/// Exact binary serialization of one cached solve (the record payload).
+[[nodiscard]] std::string encode_cached_solve(const CachedSolve& value);
+
+/// Inverse of encode_cached_solve. Throws std::runtime_error on a
+/// malformed payload (truncated, trailing bytes, impossible lengths).
+[[nodiscard]] CachedSolve decode_cached_solve(std::string_view payload);
+
+struct CacheSaveStats {
+  std::size_t entries = 0;  ///< records written
+  std::size_t bytes = 0;    ///< final file size
+};
+
+/// Snapshots every stored entry to `path` (atomic: tmp + rename).
+/// Throws std::runtime_error when the file cannot be written.
+CacheSaveStats save_cache_file(const ResultCache& cache,
+                               const std::string& path);
+
+struct CacheLoadStats {
+  std::size_t entries_loaded = 0;    ///< records inserted into the cache
+  std::size_t entries_rejected = 0;  ///< checksum-clean but undecodable
+  bool found = false;       ///< false when `path` did not exist (fresh boot)
+  bool clean_tail = true;   ///< false when a torn tail was truncated away
+};
+
+/// Loads a snapshot into `cache` via ResultCache::insert (normal LRU and
+/// budget rules apply). A missing file is a fresh boot, not an error. A
+/// wrong or foreign header throws std::runtime_error (version mismatch);
+/// a torn tail is salvaged up to the last intact record.
+CacheLoadStats load_cache_file(ResultCache& cache, const std::string& path);
+
+}  // namespace wtam::api

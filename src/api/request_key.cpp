@@ -1,7 +1,9 @@
 #include "api/request_key.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "api/solver.hpp"
@@ -42,6 +44,62 @@ std::string RequestKey::to_string() const {
   out << "soc:" << soc_hash.hex() << "/w" << width << "/" << backend << "{"
       << options << "}";
   return out.str();
+}
+
+RequestKey RequestKey::parse(std::string_view text) {
+  const auto fail = [&text](const char* why) {
+    throw std::invalid_argument("RequestKey::parse: " + std::string(why) +
+                                " in \"" + std::string(text) + "\"");
+  };
+  constexpr std::string_view kPrefix = "soc:";
+  if (!text.starts_with(kPrefix)) fail("missing soc: prefix");
+  std::string_view rest = text.substr(kPrefix.size());
+  if (rest.size() < 32) fail("truncated soc hash");
+
+  RequestKey key;
+  for (int i = 0; i < 32; ++i) {
+    const char c = rest[static_cast<std::size_t>(i)];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9')
+      nibble = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    else
+      fail("non-hex soc hash digit");
+    auto& word = i < 16 ? key.soc_hash.hi : key.soc_hash.lo;
+    word = (word << 4) | nibble;
+  }
+  rest.remove_prefix(32);
+
+  if (!rest.starts_with("/w")) fail("missing /w<width> segment");
+  rest.remove_prefix(2);
+  std::size_t digits = 0;
+  int width = 0;
+  while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+    if (width > (std::numeric_limits<int>::max() - 9) / 10)
+      fail("width out of range");
+    width = width * 10 + (rest[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0) fail("missing width digits");
+  key.width = width;
+  rest.remove_prefix(digits);
+
+  if (!rest.starts_with('/')) fail("missing /<backend> segment");
+  rest.remove_prefix(1);
+  // Backend names never contain '{', and canonical options never contain
+  // braces, so the first '{' and a final '}' delimit unambiguously.
+  const std::size_t brace = rest.find('{');
+  if (brace == std::string_view::npos || rest.back() != '}' ||
+      brace + 1 > rest.size() - 1)
+    fail("missing {options} segment");
+  key.backend = std::string(rest.substr(0, brace));
+  if (key.backend.empty()) fail("empty backend name");
+  key.options = std::string(rest.substr(brace + 1, rest.size() - brace - 2));
+  if (key.options.find('{') != std::string::npos ||
+      key.options.find('}') != std::string::npos)
+    fail("nested braces in options");
+  return key;
 }
 
 std::string canonical_options(const std::string& backend,

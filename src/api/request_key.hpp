@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -48,6 +49,13 @@ struct RequestKey {
   ///   "soc:2f1a.../w32/enumerative{max_tams=10,min_tams=1,run_final_step=1}"
   /// — stable, so it doubles as a log/debug identity.
   [[nodiscard]] std::string to_string() const;
+
+  /// Inverse of to_string(): parses the canonical text form back into a
+  /// key (the persistence layer stores keys as text, so a snapshot is
+  /// greppable and version-skew shows up as a parse failure rather than
+  /// silent misattribution). Throws std::invalid_argument on malformed
+  /// text. Round-trip contract: parse(k.to_string()) == k.
+  [[nodiscard]] static RequestKey parse(std::string_view text);
 };
 
 /// Normalizes `options` for `backend`: only fields the named backend

@@ -233,6 +233,55 @@ void ResultCache::clear() {
   }
 }
 
+void ResultCache::reset_stats() {
+  for (const auto& shard : shards_) {
+    const common::MutexLock lock(shard->mutex);
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->coalesced = 0;
+    shard->insertions = 0;
+    shard->evictions = 0;
+  }
+}
+
+void ResultCache::insert(const RequestKey& key, CachedSolve value) {
+  Shard& shard = shard_for(key);
+  const common::MutexLock lock(shard.mutex);
+  const std::size_t bytes = value.approx_bytes();
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  // Same storage rules as publish(): evict LRU tails to fit, and never
+  // store an entry bigger than the whole shard budget.
+  if (bytes > shard_budget_) return;
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    shard.bytes -= shard.lru.back().bytes;
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Shard::Entry{key, std::move(value), bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+}
+
+std::vector<std::pair<RequestKey, CachedSolve>> ResultCache::export_entries()
+    const {
+  std::vector<std::pair<RequestKey, CachedSolve>> entries;
+  for (const auto& shard : shards_) {
+    const common::MutexLock lock(shard->mutex);
+    // Least-recently-used first: re-insert()ing the sequence into a
+    // fresh cache reproduces each shard's recency order exactly, which
+    // makes save -> load -> save byte-identical (pinned by tests).
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it)
+      entries.emplace_back(it->key, it->value);
+  }
+  return entries;
+}
+
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats total;
   total.max_bytes = options_.max_bytes;

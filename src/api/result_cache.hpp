@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "api/request_key.hpp"
@@ -130,6 +131,24 @@ class ResultCache {
 
   /// Drops every stored entry (in-flight computations are unaffected).
   void clear();
+
+  /// Zeroes the hit/miss/coalesce/insert/evict counters (gauges — live
+  /// entries and bytes — are untouched: they describe state, not
+  /// history). Backs the server's cache_clear verb, whose post-clear
+  /// scrapes must read deterministically from zero.
+  void reset_stats();
+
+  /// Direct insertion, the persistence load path: stores `value` under
+  /// `key` with the usual LRU eviction and oversized-entry rules, no
+  /// in-flight protocol involved. Replaces an existing entry in place.
+  void insert(const RequestKey& key, CachedSolve value);
+
+  /// Every stored entry, in deterministic order (shard index ascending,
+  /// then least- to most-recently used within the shard, so re-inserting
+  /// the sequence reproduces the recency order) — the persistence save
+  /// path. Copies; the cache stays usable concurrently.
+  [[nodiscard]] std::vector<std::pair<RequestKey, CachedSolve>>
+  export_entries() const;
 
   [[nodiscard]] ResultCacheStats stats() const;
 

@@ -340,6 +340,7 @@ std::string_view to_string(Status status) noexcept {
     case Status::InvalidRequest: return "invalid_request";
     case Status::DeadlineExceeded: return "deadline_exceeded";
     case Status::Cancelled: return "cancelled";
+    case Status::Overloaded: return "overloaded";
     case Status::InternalError: break;
   }
   return "internal_error";
@@ -348,7 +349,7 @@ std::string_view to_string(Status status) noexcept {
 std::optional<Status> parse_status(std::string_view text) noexcept {
   for (const Status status :
        {Status::Ok, Status::InvalidRequest, Status::DeadlineExceeded,
-        Status::Cancelled, Status::InternalError})
+        Status::Cancelled, Status::InternalError, Status::Overloaded})
     if (to_string(status) == text) return status;
   return std::nullopt;
 }

@@ -60,6 +60,9 @@ enum class Status {
   DeadlineExceeded,  ///< stopped at the deadline; best-so-far outcome
   Cancelled,         ///< stopped by the cancel token; best-so-far outcome
   InternalError,     ///< an engine threw; `error` carries the message
+  Overloaded,        ///< shed by admission control before execution; the
+                     ///< client should retry later (serve/router only —
+                     ///< the in-process Solver never sheds)
 };
 
 [[nodiscard]] std::string_view to_string(Status status) noexcept;

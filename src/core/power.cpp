@@ -7,6 +7,61 @@
 
 namespace wtam::core {
 
+namespace {
+
+/// Profile level at instant `t`: sum of the spans covering it.
+std::int64_t power_at(std::span<const PowerSpan> spans, std::int64_t t) {
+  std::int64_t total = 0;
+  for (const PowerSpan& span : spans)
+    if (span.start <= t && t < span.end) total += span.power;
+  return total;
+}
+
+}  // namespace
+
+std::int64_t peak_power_over_window(std::span<const PowerSpan> spans,
+                                    std::int64_t start,
+                                    std::int64_t duration) {
+  if (duration <= 0) return 0;
+  std::int64_t peak = power_at(spans, start);
+  for (const PowerSpan& span : spans) {
+    if (span.start <= start || span.start >= start + duration) continue;
+    peak = std::max(peak, power_at(spans, span.start));
+  }
+  return peak;
+}
+
+bool power_window_fits(std::span<const PowerSpan> spans, std::int64_t start,
+                       std::int64_t duration, std::int64_t power,
+                       std::int64_t budget) {
+  if (budget <= 0) return true;
+  const std::int64_t headroom = budget - power;
+  if (headroom < 0) return false;
+  if (duration <= 0 || spans.empty()) return true;
+  if (power_at(spans, start) > headroom) return false;
+  for (const PowerSpan& span : spans) {
+    if (span.start <= start || span.start >= start + duration) continue;
+    if (power_at(spans, span.start) > headroom) return false;
+  }
+  return true;
+}
+
+std::int64_t peak_power(std::span<const PowerSpan> spans) {
+  std::map<std::int64_t, std::int64_t> delta;  // time -> power change
+  for (const PowerSpan& span : spans) {
+    if (span.start >= span.end || span.power == 0) continue;
+    delta[span.start] += span.power;
+    delta[span.end] -= span.power;
+  }
+  std::int64_t peak = 0;
+  std::int64_t current = 0;
+  for (const auto& [time, change] : delta) {
+    current += change;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
 PowerVector scan_activity_power(const soc::Soc& soc) {
   PowerVector power;
   power.reserve(soc.cores.size());

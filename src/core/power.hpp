@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/constraints.hpp"  // PowerVector lives with the constraints
@@ -25,6 +26,39 @@
 #include "core/test_time_table.hpp"
 
 namespace wtam::core {
+
+/// One [start, end) interval drawing `power` — the unit of the
+/// peak-power-over-window helpers below, shared by every consumer of an
+/// instantaneous power profile (skyline placement, the hole-filling
+/// compaction, the packed-schedule validator). Half-open on the right:
+/// a span ending at t and a span starting at t never overlap.
+struct PowerSpan {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t power = 0;
+};
+
+/// Peak of the piecewise-constant sum of `spans` over the window
+/// [start, start + duration). The profile only changes at span starts,
+/// so it is evaluated at `start` and at every span start strictly inside
+/// the window — O(k^2) in the spans overlapping the window, O(1) extra
+/// space (the packers call this per candidate start, so no sweep-line
+/// allocation). Returns 0 for an empty window or no overlapping spans.
+[[nodiscard]] std::int64_t peak_power_over_window(
+    std::span<const PowerSpan> spans, std::int64_t start,
+    std::int64_t duration);
+
+/// True iff adding a `power`-draw rectangle over [start, start + duration)
+/// on top of `spans` keeps every instant within `budget`. budget <= 0
+/// means unconstrained (always fits). Early-outs on the first violating
+/// breakpoint instead of computing the full peak.
+[[nodiscard]] bool power_window_fits(std::span<const PowerSpan> spans,
+                                     std::int64_t start, std::int64_t duration,
+                                     std::int64_t power, std::int64_t budget);
+
+/// Exact peak of the whole span profile (sweep line over start/end
+/// events; 0 when empty). The validator's one-shot global check.
+[[nodiscard]] std::int64_t peak_power(std::span<const PowerSpan> spans);
 
 /// Default model: power ~ scan activity = functional I/Os + scan bits
 /// (every wrapper/scan cell toggles each shift cycle).

@@ -1,9 +1,10 @@
 #include "pack/packed_schedule.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/power.hpp"
 
 namespace wtam::pack {
 
@@ -91,25 +92,19 @@ std::vector<std::string> validate_packed_schedule(
 
 std::int64_t packed_peak_power(const PackedSchedule& schedule,
                                const core::PowerVector& power) {
-  // Sweep line over placement starts/ends, as core::power_profile does
-  // for test-bus schedules.
-  std::map<std::int64_t, std::int64_t> delta;  // time -> power change
+  // Lower the placements to power spans and take the shared sweep-line
+  // peak (core::peak_power), as core::power_profile does for test-bus
+  // schedules.
+  std::vector<core::PowerSpan> spans;
+  spans.reserve(schedule.placements.size());
   for (const auto& p : schedule.placements) {
     if (p.core < 0 || p.core >= static_cast<int>(power.size()))
       throw std::invalid_argument(
           "packed_peak_power: power vector too small for " +
           placement_label(p));
-    const std::int64_t draw = power[static_cast<std::size_t>(p.core)];
-    delta[p.start] += draw;
-    delta[p.end] -= draw;
+    spans.push_back({p.start, p.end, power[static_cast<std::size_t>(p.core)]});
   }
-  std::int64_t peak = 0;
-  std::int64_t current = 0;
-  for (const auto& [time, change] : delta) {
-    current += change;
-    peak = std::max(peak, current);
-  }
-  return peak;
+  return core::peak_power(spans);
 }
 
 std::vector<std::string> validate_packed_schedule(

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "core/power.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pack/skyline.hpp"
@@ -225,29 +226,6 @@ PackedSchedule greedy_pack(const RectModel& model, const PackState& state,
   return schedule;
 }
 
-/// Peak-power feasibility of adding a `power`-draw rectangle over
-/// [start, start + time) next to `placements` (used by the hole-filling
-/// compaction, which cannot rely on the skyline's power timeline).
-bool power_window_ok(const std::vector<PackedPlacement>& placements,
-                     const ConstraintPlan& plan, std::int64_t start,
-                     std::int64_t time, std::int64_t power) {
-  if (plan.budget <= 0) return true;
-  const std::int64_t headroom = plan.budget - power;
-  if (headroom < 0) return false;
-  const auto power_at = [&](std::int64_t t) {
-    std::int64_t total = 0;
-    for (const auto& p : placements)
-      if (p.start <= t && t < p.end) total += plan.core_power(p.core);
-    return total;
-  };
-  if (power_at(start) > headroom) return false;
-  for (const auto& p : placements) {
-    if (p.start <= start || p.start >= start + time) continue;
-    if (power_at(p.start) > headroom) return false;
-  }
-  return true;
-}
-
 /// Bottom-left packing *with hole filling*: unlike the skyline, a
 /// rectangle may start below previously raised wires, in any hole large
 /// enough to hold it. Candidate start times are 0 (or the core's
@@ -300,6 +278,12 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
       plan.any ? topo_project(state.order, plan) : state.order;
   std::vector<std::int64_t> core_end(state.order.size(), 0);
 
+  // Power profile of what is already placed, mirrored from
+  // schedule.placements (the hole-filler cannot rely on the skyline's
+  // power timeline). Only maintained under a budget — feasibility is the
+  // shared core::power_window_fits check.
+  std::vector<core::PowerSpan> power_spans;
+
   std::vector<std::int64_t> starts;
   for (const int core : order) {
     const std::int64_t min_start =
@@ -322,8 +306,8 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
         const Rect& rect = rects[c];
         for (const std::int64_t start : starts) {
           if (have_chosen && start + rect.time > chosen.end) break;
-          if (!power_window_ok(schedule.placements, plan, start, rect.time,
-                               power))
+          if (!core::power_window_fits(power_spans, start, rect.time, power,
+                                       plan.budget))
             continue;  // a later start may have power headroom
           const int wire = leftmost_window(start, rect.time, rect.width, core);
           if (wire < 0) continue;
@@ -348,6 +332,8 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
           std::to_string(core) +
           " (constraints should have been validated)");
     schedule.placements.push_back(chosen);
+    if (plan.budget > 0 && power > 0 && chosen.start < chosen.end)
+      power_spans.push_back({chosen.start, chosen.end, power});
     schedule.makespan = std::max(schedule.makespan, chosen.end);
     core_end[static_cast<std::size_t>(core)] = chosen.end;
   }

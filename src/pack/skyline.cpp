@@ -45,44 +45,25 @@ std::int64_t Skyline::earliest_power_feasible(std::int64_t from,
                                               std::int64_t power,
                                               std::int64_t budget) const {
   if (budget <= 0 || power_spans_.empty()) return from;
-  const std::int64_t headroom = budget - power;
 
   // Candidate starts: `from` itself and every recorded span end after it
   // (the strip power only ever drops at span ends, so the earliest
-  // feasible start is one of these).
+  // feasible start is one of these). Feasibility per candidate is the
+  // shared window check (core::power_window_fits).
   std::vector<std::int64_t> candidates{from};
-  for (const PowerSpan& span : power_spans_)
+  for (const core::PowerSpan& span : power_spans_)
     if (span.end > from) candidates.push_back(span.end);
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  for (const std::int64_t start : candidates) {
-    // Peak of the existing profile over [start, start + duration): the
-    // profile is piecewise constant with breakpoints at span starts, so
-    // evaluating at `start` and at every span start inside the window
-    // covers every level the window sees.
-    bool feasible = true;
-    const auto power_at = [&](std::int64_t t) {
-      std::int64_t total = 0;
-      for (const PowerSpan& span : power_spans_)
-        if (span.start <= t && t < span.end) total += span.power;
-      return total;
-    };
-    if (power_at(start) > headroom) continue;
-    for (const PowerSpan& span : power_spans_) {
-      if (span.start <= start || span.start >= start + duration) continue;
-      if (power_at(span.start) > headroom) {
-        feasible = false;
-        break;
-      }
-    }
-    if (feasible) return start;
-  }
+  for (const std::int64_t start : candidates)
+    if (core::power_window_fits(power_spans_, start, duration, power, budget))
+      return start;
   // Unreachable for power <= budget: past the last span end the profile
   // is zero and that end is a candidate. Defensive fallback:
   std::int64_t horizon = from;
-  for (const PowerSpan& span : power_spans_)
+  for (const core::PowerSpan& span : power_spans_)
     horizon = std::max(horizon, span.end);
   return horizon;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/constraints.hpp"
+#include "core/power.hpp"  // core::PowerSpan + the window-feasibility helpers
 
 namespace wtam::pack {
 
@@ -99,22 +100,17 @@ class Skyline {
   void clear() noexcept;
 
  private:
-  /// One placed rectangle's contribution to the strip power profile.
-  struct PowerSpan {
-    std::int64_t start = 0;
-    std::int64_t end = 0;
-    std::int64_t power = 0;
-  };
-
   /// Earliest start >= `from` at which `power` more units fit under
   /// `budget` for `duration` cycles; candidates are `from` and the ends
-  /// of recorded spans.
+  /// of recorded spans. Feasibility at each candidate is the shared
+  /// core::power_window_fits check.
   [[nodiscard]] std::int64_t earliest_power_feasible(
       std::int64_t from, std::int64_t duration, std::int64_t power,
       std::int64_t budget) const;
 
   std::vector<std::int64_t> free_time_;
-  std::vector<PowerSpan> power_spans_;
+  /// Placed rectangles' contributions to the strip power profile.
+  std::vector<core::PowerSpan> power_spans_;
 };
 
 }  // namespace wtam::pack

@@ -1,0 +1,658 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "api/job_io.hpp"
+#include "api/request_key.hpp"
+#include "api/solver.hpp"
+#include "common/hash.hpp"
+
+namespace wtam::serve {
+
+namespace {
+
+api::JsonValue error_object(const std::string& message) {
+  api::JsonValue value = api::JsonValue::object();
+  value.set("error", api::JsonValue::string(message));
+  return value;
+}
+
+/// Generic fleet fold for op acks: numbers sum, "ok" flags AND, objects
+/// merge key-wise (the first ack fixes the key order), strings/arrays
+/// keep the first worker's value. Good for stats / cache_clear /
+/// cache_save / shutdown; metrics needs the histogram-aware merge below.
+api::JsonValue merge_acks(const api::JsonValue& a, const api::JsonValue& b) {
+  using Kind = api::JsonValue::Kind;
+  if (a.kind() == Kind::Int && b.kind() == Kind::Int)
+    return api::JsonValue::number(a.as_int() + b.as_int());
+  if ((a.kind() == Kind::Int || a.kind() == Kind::Double) &&
+      (b.kind() == Kind::Int || b.kind() == Kind::Double))
+    return api::JsonValue::number(a.as_double() + b.as_double());
+  if (a.kind() == Kind::Bool && b.kind() == Kind::Bool)
+    return api::JsonValue::boolean(a.as_bool() && b.as_bool());
+  if (a.kind() == Kind::Object && b.kind() == Kind::Object) {
+    api::JsonValue merged = api::JsonValue::object();
+    for (const auto& [key, value] : a.members()) {
+      const api::JsonValue* other = b.find(key);
+      merged.set(key, other ? merge_acks(value, *other) : value);
+    }
+    for (const auto& [key, value] : b.members())
+      if (a.find(key) == nullptr) merged.set(key, value);
+    return merged;
+  }
+  return a;
+}
+
+/// Merges fleet metrics acks: counters and gauges sum per name (sorted),
+/// histograms combine count/sum/min/max and recompute the mean.
+/// Percentiles are dropped — quantiles of independent sketches do not
+/// merge, and a made-up number is worse than an absent one.
+api::JsonValue merge_metrics_acks(
+    const std::vector<const api::JsonValue*>& acks) {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  struct Hist {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+  std::map<std::string, Hist> histograms;
+
+  for (const api::JsonValue* ack : acks) {
+    if (const api::JsonValue* section = ack->find("counters"))
+      if (section->is_object())
+        for (const auto& [name, value] : section->members())
+          counters[name] += value.as_int();
+    if (const api::JsonValue* section = ack->find("gauges"))
+      if (section->is_object())
+        for (const auto& [name, value] : section->members())
+          gauges[name] += value.as_int();
+    if (const api::JsonValue* section = ack->find("histograms"))
+      if (section->is_object())
+        for (const auto& [name, entry] : section->members()) {
+          const api::JsonValue* count = entry.find("count");
+          if (count == nullptr || count->as_int() == 0) continue;
+          Hist& hist = histograms[name];
+          const std::int64_t entry_min = entry.find("min")->as_int();
+          const std::int64_t entry_max = entry.find("max")->as_int();
+          if (hist.count == 0) {
+            hist.min = entry_min;
+            hist.max = entry_max;
+          } else {
+            hist.min = std::min(hist.min, entry_min);
+            hist.max = std::max(hist.max, entry_max);
+          }
+          hist.count += count->as_int();
+          hist.sum += entry.find("sum")->as_int();
+        }
+  }
+
+  api::JsonValue merged = api::JsonValue::object();
+  merged.set("op", api::JsonValue::string("metrics"));
+  api::JsonValue counters_json = api::JsonValue::object();
+  for (const auto& [name, value] : counters)
+    counters_json.set(name, api::JsonValue::number(value));
+  merged.set("counters", std::move(counters_json));
+  api::JsonValue gauges_json = api::JsonValue::object();
+  for (const auto& [name, value] : gauges)
+    gauges_json.set(name, api::JsonValue::number(value));
+  merged.set("gauges", std::move(gauges_json));
+  api::JsonValue histograms_json = api::JsonValue::object();
+  for (const auto& [name, hist] : histograms) {
+    api::JsonValue entry = api::JsonValue::object();
+    entry.set("count", api::JsonValue::number(hist.count));
+    entry.set("sum", api::JsonValue::number(hist.sum));
+    entry.set("min", api::JsonValue::number(hist.min));
+    entry.set("max", api::JsonValue::number(hist.max));
+    entry.set("mean",
+              api::JsonValue::number(static_cast<double>(hist.sum) /
+                                     static_cast<double>(hist.count)));
+    histograms_json.set(name, std::move(entry));
+  }
+  merged.set("histograms", std::move(histograms_json));
+  return merged;
+}
+
+api::JsonValue router_counters_json(const RouterCounters& counters) {
+  api::JsonValue value = api::JsonValue::object();
+  const auto set = [&value](const char* key, std::uint64_t count) {
+    value.set(key, api::JsonValue::number(static_cast<std::int64_t>(count)));
+  };
+  set("routed", counters.routed);
+  set("shed", counters.shed);
+  set("respawns", counters.respawns);
+  set("replayed", counters.replayed);
+  set("orphaned", counters.orphaned);
+  return value;
+}
+
+}  // namespace
+
+/// One worker slot: the live process (swapped on respawn; null once a
+/// respawn has failed permanently), its in-flight job count for the
+/// admission check, and the dedicated reader thread. `incarnation`
+/// bumps each time a death is resolved (respawn or permanent failure),
+/// so kill_worker can block until the slot is live again.
+struct Router::Slot {
+  std::shared_ptr<common::Subprocess> process;  // guarded by Router::mutex_
+  std::uint64_t inflight = 0;                   // guarded by Router::mutex_
+  std::uint64_t incarnation = 0;                // guarded by Router::mutex_
+  std::thread reader;
+};
+
+Router::Router(RouterOptions options, Sink sink, Diag diag)
+    : options_(std::move(options)),
+      sink_(std::move(sink)),
+      diag_(std::move(diag)) {
+  if (options_.worker_commands.empty())
+    throw std::invalid_argument("router needs at least one worker command");
+  slots_.reserve(options_.worker_commands.size());
+  for (const std::vector<std::string>& command : options_.worker_commands) {
+    auto slot = std::make_unique<Slot>();
+    slot->process = std::make_shared<common::Subprocess>(command);
+    slots_.push_back(std::move(slot));
+  }
+  // Readers start only after every spawn succeeded, so a boot failure
+  // throws out of the constructor with no threads to unwind.
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    slots_[i]->reader = std::thread([this, i] { reader_loop(i); });
+}
+
+Router::~Router() {
+  {
+    const common::MutexLock lock(mutex_);
+    shutting_down_ = true;
+  }
+  for (const auto& slot : slots_) {
+    std::shared_ptr<common::Subprocess> process;
+    {
+      const common::MutexLock lock(mutex_);
+      process = slot->process;
+    }
+    if (process) process->kill();
+  }
+  for (const auto& slot : slots_)
+    if (slot->reader.joinable()) slot->reader.join();
+}
+
+RouterCounters Router::counters() const {
+  const common::MutexLock lock(mutex_);
+  return counters_;
+}
+
+void Router::emit(const api::JsonValue& value) {
+  emit_raw(value.dump_compact_string());
+}
+
+void Router::emit_raw(const std::string& line) {
+  const common::MutexLock lock(sink_mutex_);
+  if (sink_) sink_(line);
+}
+
+void Router::note(const std::string& message) {
+  const common::MutexLock lock(sink_mutex_);
+  if (diag_) diag_(message);
+}
+
+std::size_t Router::shard_for(const api::JsonValue& value,
+                              const std::string& line) const {
+  // Route by cache identity so resubmissions hit the worker that cached
+  // them: the job's first RequestKey (a sweep's lowest width) hashes to
+  // a worker. Jobs whose key cannot be computed still route
+  // deterministically, by a stable hash of the raw line, so their error
+  // responses are reproducible too.
+  try {
+    const api::SolveRequest request = api::job_from_json(value);
+    const std::vector<api::RequestKey> keys = api::request_keys(request);
+    if (!keys.empty())
+      return static_cast<std::size_t>(keys.front().hash()) % slots_.size();
+  } catch (const std::exception&) {
+  }
+  return static_cast<std::size_t>(common::stable_hash_128(line).word()) %
+         slots_.size();
+}
+
+bool Router::handle_line(const std::string& line) {
+  api::JsonValue value;
+  try {
+    value = api::JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    emit(error_object(std::string("router: ") + e.what()));
+    return true;
+  }
+
+  const api::JsonValue* op = value.find("op");
+  if (op == nullptr) {
+    route_job(std::move(value));
+    return true;
+  }
+
+  std::string verb;
+  try {
+    verb = op->as_string();
+  } catch (const std::exception&) {
+    emit(error_object("router: 'op' must be a string"));
+    return true;
+  }
+
+  if (verb == "kill_worker") {
+    // Crash-recovery test hook: SIGKILL one worker; its reader respawns
+    // it and replays the in-flight jobs.
+    const api::JsonValue* index_json = value.find("worker");
+    std::int64_t index = -1;
+    try {
+      if (index_json != nullptr) index = index_json->as_int();
+    } catch (const std::exception&) {
+    }
+    if (index < 0 || index >= static_cast<std::int64_t>(slots_.size())) {
+      emit(error_object("kill_worker: 'worker' must be in [0, " +
+                        std::to_string(slots_.size()) + ")"));
+      return true;
+    }
+    Slot& slot = *slots_[static_cast<std::size_t>(index)];
+    std::shared_ptr<common::Subprocess> process;
+    std::uint64_t incarnation = 0;
+    {
+      const common::MutexLock lock(mutex_);
+      process = slot.process;
+      incarnation = slot.incarnation;
+    }
+    if (process) process->kill();
+    bool respawned = false;
+    if (process) {
+      // Block (bounded) until the reader resolves the death — fresh
+      // process swapped in (or the slot declared dead). Acking only
+      // after the respawn makes kill-then-assert flows deterministic:
+      // a following op broadcast reaches the live fleet instead of
+      // racing the respawn window, and the respawn counter is already
+      // visible to the next stats scrape.
+      const common::MutexLock lock(mutex_);
+      for (int i = 0; i < 100 && slot.incarnation == incarnation; ++i)
+        (void)op_cv_.wait_for(mutex_, std::chrono::milliseconds(100));
+      respawned = slot.incarnation != incarnation && slot.process != nullptr;
+    }
+    api::JsonValue ack = api::JsonValue::object();
+    ack.set("op", api::JsonValue::string("kill_worker"));
+    ack.set("ok", api::JsonValue::boolean(process != nullptr));
+    ack.set("worker", api::JsonValue::number(index));
+    ack.set("respawned", api::JsonValue::boolean(respawned));
+    emit(ack);
+    return true;
+  }
+
+  if (verb == "shutdown") {
+    {
+      const common::MutexLock lock(mutex_);
+      if (shutting_down_) return false;
+      shutting_down_ = true;
+    }
+    const std::vector<api::JsonValue> acks = broadcast(line);
+    for (const auto& slot : slots_) {
+      std::shared_ptr<common::Subprocess> process;
+      {
+        const common::MutexLock lock(mutex_);
+        process = slot->process;
+      }
+      if (process) process->close_stdin();
+    }
+    for (const auto& slot : slots_)
+      if (slot->reader.joinable()) slot->reader.join();
+    for (const auto& slot : slots_)
+      if (slot->process) (void)slot->process->wait();
+    api::JsonValue merged = api::JsonValue::object();
+    for (const api::JsonValue& ack : acks)
+      merged = merged.is_object() && !merged.members().empty()
+                   ? merge_acks(merged, ack)
+                   : ack;
+    merged.set("workers",
+               api::JsonValue::number(
+                   static_cast<std::int64_t>(slots_.size())));
+    emit(merged);
+    return false;
+  }
+
+  if (verb == "metrics") {
+    if (const api::JsonValue* format = value.find("format"))
+      if (format->kind() == api::JsonValue::Kind::String &&
+          format->as_string() != "json") {
+        emit(error_object("router: only metrics format \"json\" merges "
+                          "across the fleet; scrape workers directly for "
+                          "prometheus text"));
+        return true;
+      }
+    const std::vector<api::JsonValue> acks = broadcast(line);
+    std::vector<const api::JsonValue*> ack_ptrs;
+    std::size_t errors = 0;
+    for (const api::JsonValue& ack : acks) {
+      if (ack.find("error") != nullptr && ack.find("op") == nullptr)
+        ++errors;
+      else
+        ack_ptrs.push_back(&ack);
+    }
+    api::JsonValue merged = merge_metrics_acks(ack_ptrs);
+    // The router's own counters join the scrape under serve.router.*,
+    // re-sorted into the counters section's name order.
+    const RouterCounters now = counters();
+    const api::JsonValue* counters_json = merged.find("counters");
+    std::map<std::string, std::int64_t> all;
+    for (const auto& [name, count] : counters_json->members())
+      all[name] = count.as_int();
+    all["serve.router.routed"] = static_cast<std::int64_t>(now.routed);
+    all["serve.router.shed"] = static_cast<std::int64_t>(now.shed);
+    all["serve.router.respawns"] = static_cast<std::int64_t>(now.respawns);
+    all["serve.router.replayed"] = static_cast<std::int64_t>(now.replayed);
+    all["serve.router.orphaned"] = static_cast<std::int64_t>(now.orphaned);
+    api::JsonValue rebuilt = api::JsonValue::object();
+    for (const auto& [name, count] : all)
+      rebuilt.set(name, api::JsonValue::number(count));
+    merged.set("counters", std::move(rebuilt));
+    merged.set("workers",
+               api::JsonValue::number(
+                   static_cast<std::int64_t>(slots_.size())));
+    if (errors != 0)
+      merged.set("worker_errors",
+                 api::JsonValue::number(static_cast<std::int64_t>(errors)));
+    emit(merged);
+    return true;
+  }
+
+  if (verb == "stats" || verb == "cache_clear" || verb == "cache_save") {
+    const std::vector<api::JsonValue> acks = broadcast(line);
+    api::JsonValue merged;
+    std::size_t errors = 0;
+    for (const api::JsonValue& ack : acks) {
+      if (ack.find("error") != nullptr && ack.find("op") == nullptr) {
+        ++errors;
+        continue;
+      }
+      merged = merged.is_object() ? merge_acks(merged, ack) : ack;
+    }
+    if (!merged.is_object()) {
+      // Every worker errored (e.g. cache_save on a cacheless fleet):
+      // surface the first error verbatim.
+      emit(acks.empty() ? error_object("router: no workers") : acks.front());
+      return true;
+    }
+    merged.set("workers",
+               api::JsonValue::number(
+                   static_cast<std::int64_t>(slots_.size())));
+    if (verb == "stats")
+      merged.set("router", router_counters_json(counters()));
+    if (errors != 0)
+      merged.set("worker_errors",
+                 api::JsonValue::number(static_cast<std::int64_t>(errors)));
+    emit(merged);
+    return true;
+  }
+
+  // Unknown verbs still fan out (a newer wtam_serve may know them); the
+  // workers' own error responses come back and merge like any ack.
+  const std::vector<api::JsonValue> acks = broadcast(line);
+  emit(acks.empty() ? error_object("router: no workers") : acks.front());
+  return true;
+}
+
+void Router::route_job(api::JsonValue value) {
+  const std::string raw = value.dump_compact_string();
+  const std::size_t worker = shard_for(value, raw);
+
+  std::string client_id;
+  if (const api::JsonValue* id = value.find("id")) {
+    if (id->kind() != api::JsonValue::Kind::String) {
+      emit(error_object("router: 'id' must be a string"));
+      return;
+    }
+    client_id = id->as_string();
+  }
+
+  std::shared_ptr<common::Subprocess> process;
+  std::string wire_line;
+  std::string internal_id;
+  {
+    const common::MutexLock lock(mutex_);
+    if (options_.queue_limit != 0 &&
+        slots_[worker]->inflight >= options_.queue_limit) {
+      ++counters_.shed;
+    } else {
+      const std::uint64_t seq = ++serial_;
+      // Built with += : GCC 12's -Wrestrict misfires on operator+ here.
+      internal_id = "r";
+      internal_id += std::to_string(seq);
+      if (client_id.empty()) {
+        client_id = "job-";
+        client_id += std::to_string(seq);
+      }
+      value.set("id", api::JsonValue::string(internal_id));
+      wire_line = value.dump_compact_string();
+      pending_.emplace(internal_id,
+                       Pending{client_id, wire_line, worker, seq});
+      ++slots_[worker]->inflight;
+      ++counters_.routed;
+      process = slots_[worker]->process;
+    }
+  }
+  if (internal_id.empty()) {
+    // Shed: answered here, never forwarded. Fixed text keeps shed
+    // responses byte-deterministic (mirrors wtam_serve's own shedding).
+    api::JsonValue response = api::JsonValue::object();
+    if (!client_id.empty())
+      response.set("id", api::JsonValue::string(client_id));
+    response.set("status", api::JsonValue::string("overloaded"));
+    response.set("error", api::JsonValue::string(
+                              "queue limit reached; job shed — retry later"));
+    emit(response);
+    return;
+  }
+  // A failed write means the worker just died: the job stays pending and
+  // the reader's respawn replays it, so nothing is lost here.
+  if (process) (void)process->write_line(wire_line);
+}
+
+std::vector<api::JsonValue> Router::broadcast(const std::string& line) {
+  std::vector<std::shared_ptr<common::Subprocess>> processes(slots_.size());
+  {
+    const common::MutexLock lock(mutex_);
+    op_active_ = true;
+    op_remaining_ = static_cast<int>(slots_.size());
+    op_filled_.assign(slots_.size(), false);
+    op_responses_.assign(slots_.size(), api::JsonValue());
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      processes[i] = slots_[i]->process;
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (processes[i] && processes[i]->write_line(line)) continue;
+    // Dead (or permanently failed) worker: fill its slot immediately so
+    // the wait below always terminates.
+    const common::MutexLock lock(mutex_);
+    if (!op_filled_[i]) {
+      op_filled_[i] = true;
+      op_responses_[i] =
+          error_object("worker " + std::to_string(i) + " unavailable");
+      --op_remaining_;
+    }
+  }
+  std::vector<api::JsonValue> responses;
+  {
+    const common::MutexLock lock(mutex_);
+    while (op_remaining_ > 0) op_cv_.wait(mutex_);
+    op_active_ = false;
+    responses = std::move(op_responses_);
+    op_responses_.clear();
+  }
+  return responses;
+}
+
+void Router::shutdown() {
+  {
+    const common::MutexLock lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  (void)broadcast("{\"op\": \"shutdown\"}");
+  for (const auto& slot : slots_) {
+    std::shared_ptr<common::Subprocess> process;
+    {
+      const common::MutexLock lock(mutex_);
+      process = slot->process;
+    }
+    if (process) process->close_stdin();
+  }
+  for (const auto& slot : slots_)
+    if (slot->reader.joinable()) slot->reader.join();
+  for (const auto& slot : slots_)
+    if (slot->process) (void)slot->process->wait();
+}
+
+void Router::handle_worker_line(std::size_t index, const std::string& line) {
+  api::JsonValue value;
+  try {
+    value = api::JsonValue::parse(line);
+  } catch (const std::exception&) {
+    const common::MutexLock lock(mutex_);
+    ++counters_.orphaned;
+    return;
+  }
+
+  // Job responses carry the internal id we assigned; everything else
+  // (op acks, op error objects) answers the one in-flight broadcast.
+  if (const api::JsonValue* id = value.find("id")) {
+    if (id->kind() == api::JsonValue::Kind::String) {
+      std::string client_id;
+      {
+        const common::MutexLock lock(mutex_);
+        const auto it = pending_.find(id->as_string());
+        if (it == pending_.end()) {
+          // Late duplicate after a replay, or a stray line: at-least-
+          // once delivery means the first response already answered the
+          // client, so this one is dropped, counted, never emitted.
+          ++counters_.orphaned;
+          return;
+        }
+        client_id = it->second.client_id;
+        --slots_[it->second.worker]->inflight;
+        pending_.erase(it);
+      }
+      value.set("id", api::JsonValue::string(client_id));
+      emit(value);
+      return;
+    }
+  }
+
+  {
+    const common::MutexLock lock(mutex_);
+    if (op_active_ && !op_filled_[index]) {
+      op_filled_[index] = true;
+      op_responses_[index] = std::move(value);
+      --op_remaining_;
+      op_cv_.notify_all();
+      return;
+    }
+    ++counters_.orphaned;
+  }
+}
+
+void Router::reader_loop(std::size_t index) {
+  for (;;) {
+    std::shared_ptr<common::Subprocess> process;
+    {
+      const common::MutexLock lock(mutex_);
+      process = slots_[index]->process;
+    }
+    if (!process) return;  // respawn failed permanently; slot is dead
+
+    if (const std::optional<std::string> line = process->read_line()) {
+      handle_worker_line(index, *line);
+      continue;
+    }
+
+    // EOF: the worker exited. During shutdown that is expected; any
+    // other time it is a crash to recover from.
+    (void)process->wait();
+    {
+      const common::MutexLock lock(mutex_);
+      if (op_active_ && !op_filled_[index]) {
+        // An op was outstanding to the dead worker — its ack is gone.
+        op_filled_[index] = true;
+        op_responses_[index] = error_object(
+            "worker " + std::to_string(index) + " exited during the op");
+        --op_remaining_;
+        op_cv_.notify_all();
+      }
+      if (shutting_down_) return;
+    }
+
+    std::shared_ptr<common::Subprocess> fresh;
+    try {
+      fresh = std::make_shared<common::Subprocess>(
+          options_.worker_commands[index]);
+    } catch (const std::exception& e) {
+      // Respawn failed (binary gone?): the slot dies for good and its
+      // in-flight jobs are answered with errors so no client hangs.
+      std::vector<std::pair<std::string, std::string>> failed;  // id, client
+      {
+        const common::MutexLock lock(mutex_);
+        slots_[index]->process.reset();
+        ++slots_[index]->incarnation;  // resolved: permanently dead
+        op_cv_.notify_all();
+        for (auto it = pending_.begin(); it != pending_.end();) {
+          if (it->second.worker == index) {
+            failed.emplace_back(it->first, it->second.client_id);
+            --slots_[index]->inflight;
+            it = pending_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      note("worker " + std::to_string(index) +
+           " died and could not be respawned (" + e.what() + "); " +
+           std::to_string(failed.size()) + " in-flight job(s) failed");
+      for (const auto& [internal_id, client_id] : failed) {
+        api::JsonValue response = api::JsonValue::object();
+        if (!client_id.empty())
+          response.set("id", api::JsonValue::string(client_id));
+        response.set("error",
+                     api::JsonValue::string(
+                         "worker lost and not respawnable; resubmit"));
+        emit(response);
+      }
+      return;
+    }
+
+    // Swap the fresh worker in first, then collect the replay set: any
+    // job routed while the old worker was dying is in pending_ by now
+    // (route_job registers before writing), so it is either in this
+    // replay batch or was written to the fresh process directly. A job
+    // that gets both is de-duplicated by the pending_ erase on its
+    // first response (the orphan path above drops the second).
+    std::vector<const Pending*> replay_refs;
+    std::vector<Pending> replay;
+    {
+      const common::MutexLock lock(mutex_);
+      slots_[index]->process = fresh;
+      ++slots_[index]->incarnation;  // resolved: fresh process live
+      op_cv_.notify_all();
+      ++counters_.respawns;
+      for (const auto& [internal_id, pending] : pending_)
+        if (pending.worker == index) replay_refs.push_back(&pending);
+      std::sort(replay_refs.begin(), replay_refs.end(),
+                [](const Pending* a, const Pending* b) {
+                  return a->seq < b->seq;
+                });
+      replay.reserve(replay_refs.size());
+      for (const Pending* pending : replay_refs) replay.push_back(*pending);
+      counters_.replayed += replay.size();
+    }
+    note("worker " + std::to_string(index) + " died; respawned, replaying " +
+         std::to_string(replay.size()) + " in-flight job(s)");
+    for (const Pending& pending : replay)
+      if (!fresh->write_line(pending.line)) break;  // died again: next loop
+  }
+}
+
+}  // namespace wtam::serve

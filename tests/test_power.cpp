@@ -150,5 +150,71 @@ TEST(PowerProfile, ThrowsOnShortPowerVector) {
   EXPECT_THROW((void)power_profile(schedule, p), std::invalid_argument);
 }
 
+// --- Span-level window helpers (shared by the packers and validator) ---
+
+/// Brute force: max over every instant in [start, start + duration) of the
+/// sum of covering spans.
+std::int64_t brute_peak(const std::vector<PowerSpan>& spans,
+                        std::int64_t start, std::int64_t duration) {
+  std::int64_t peak = 0;
+  for (std::int64_t t = start; t < start + duration; ++t) {
+    std::int64_t total = 0;
+    for (const auto& span : spans)
+      if (span.start <= t && t < span.end) total += span.power;
+    peak = std::max(peak, total);
+  }
+  return peak;
+}
+
+TEST(PowerSpans, WindowPeakMatchesBruteForce) {
+  const std::vector<PowerSpan> spans = {
+      {0, 4, 3}, {2, 6, 5}, {5, 9, 2}, {1, 8, 1}, {10, 12, 7}};
+  for (std::int64_t start = 0; start <= 13; ++start)
+    for (std::int64_t duration = 1; duration <= 13; ++duration)
+      EXPECT_EQ(peak_power_over_window(spans, start, duration),
+                brute_peak(spans, start, duration))
+          << "window [" << start << ", " << start + duration << ")";
+  EXPECT_EQ(peak_power_over_window(spans, 0, 0), 0);
+  EXPECT_EQ(peak_power_over_window({}, 0, 100), 0);
+}
+
+TEST(PowerSpans, WindowFitsMatchesPeakDefinition) {
+  const std::vector<PowerSpan> spans = {{0, 5, 4}, {3, 8, 2}, {6, 10, 5}};
+  for (std::int64_t start = 0; start <= 11; ++start)
+    for (std::int64_t duration = 1; duration <= 11; ++duration)
+      for (std::int64_t power = 0; power <= 6; ++power)
+        for (const std::int64_t budget : {1, 5, 7, 9, 12}) {
+          const bool expected =
+              brute_peak(spans, start, duration) + power <= budget;
+          EXPECT_EQ(power_window_fits(spans, start, duration, power, budget),
+                    expected)
+              << "window [" << start << ", " << start + duration
+              << ") power " << power << " budget " << budget;
+        }
+}
+
+TEST(PowerSpans, WindowFitsUnconstrainedAndDegenerate) {
+  const std::vector<PowerSpan> spans = {{0, 10, 100}};
+  // budget <= 0 means unconstrained.
+  EXPECT_TRUE(power_window_fits(spans, 0, 10, 1000, 0));
+  EXPECT_TRUE(power_window_fits(spans, 0, 10, 1000, -1));
+  // The rectangle alone may exceed the budget.
+  EXPECT_FALSE(power_window_fits({}, 0, 10, 11, 10));
+  // Empty window always fits when the rectangle's own power does.
+  EXPECT_TRUE(power_window_fits(spans, 0, 0, 5, 6));
+}
+
+TEST(PowerSpans, GlobalPeakSweepLine) {
+  EXPECT_EQ(peak_power(std::span<const PowerSpan>{}), 0);
+  const std::vector<PowerSpan> spans = {
+      {0, 4, 3}, {2, 6, 5}, {5, 9, 2}, {4, 4, 50}, {3, 2, 50}, {1, 7, 0}};
+  // Degenerate (empty or reversed) and zero-power spans are ignored;
+  // the true peak is 3 + 5 = 8 over [2, 4).
+  EXPECT_EQ(peak_power(spans), 8);
+  // Half-open: abutting spans never stack.
+  const std::vector<PowerSpan> abut = {{0, 5, 4}, {5, 10, 4}};
+  EXPECT_EQ(peak_power(abut), 4);
+}
+
 }  // namespace
 }  // namespace wtam::core

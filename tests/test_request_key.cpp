@@ -206,6 +206,42 @@ TEST(RequestKey, ConstrainedCanonicalTextFormIsPinned) {
   // CanonicalTextFormIsStable above) — pre-constraint cache keys survive.
 }
 
+TEST(RequestKey, ParseRoundTripsToString) {
+  SolveRequest request;
+  request.soc = "d695";
+  request.width = 16;
+  request.width_max = 48;
+  for (const RequestKey& key : request_keys(request)) {
+    const RequestKey parsed = RequestKey::parse(key.to_string());
+    EXPECT_EQ(parsed, key);
+    EXPECT_EQ(parsed.hash(), key.hash());
+  }
+  // Empty options round-trip too.
+  RequestKey bare;
+  bare.soc_hash = common::stable_hash_128("x");
+  bare.width = 7;
+  bare.backend = "rectpack";
+  EXPECT_EQ(RequestKey::parse(bare.to_string()), bare);
+}
+
+TEST(RequestKey, ParseRejectsMalformedText) {
+  const char* bad[] = {
+      "",
+      "soc:",
+      "soc:zz",                                            // non-hex
+      "soc:50b7104b26d5c3f4695a8654678f5f94",              // no width
+      "soc:50b7104b26d5c3f4695a8654678f5f94/w/x{}",        // empty width
+      "soc:50b7104b26d5c3f4695a8654678f5f94/w32",          // no backend
+      "soc:50b7104b26d5c3f4695a8654678f5f94/w32/{}",       // empty backend
+      "soc:50b7104b26d5c3f4695a8654678f5f94/w32/e{a=1",    // unclosed brace
+      "soc:50b7104b26d5c3f4695a8654678f5f94/w32/e{a={b}}", // nested braces
+      "bogus:50b7104b26d5c3f4695a8654678f5f94/w32/e{}",
+  };
+  for (const char* text : bad)
+    EXPECT_THROW((void)RequestKey::parse(text), std::invalid_argument)
+        << "accepted: " << text;
+}
+
 TEST(RequestKey, HashIsUsableForBucketing) {
   SolveRequest request;
   request.soc = "d695";

@@ -208,5 +208,74 @@ TEST(ResultCache, AbandonedLeadHandsTheKeyToAWaiter) {
   EXPECT_EQ(cache.stats().insertions, 1u);
 }
 
+TEST(ResultCache, ResetStatsZeroesCountersButKeepsGauges) {
+  ResultCache cache;
+  lead_and_publish(cache, key_for(32), solve_of_size(100, 64));
+  lead_and_publish(cache, key_for(33), solve_of_size(200, 64));
+  (void)cache.lookup(key_for(32));
+  ASSERT_GT(cache.stats().hits, 0u);
+  ASSERT_GT(cache.stats().misses, 0u);
+
+  cache.reset_stats();
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  // Gauges describe live state, not history: entries survive the reset.
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+  // Counting restarts cleanly from zero.
+  (void)cache.lookup(key_for(32));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ResultCache, InsertAndExportRoundTrip) {
+  ResultCache cache;
+  cache.insert(key_for(32), solve_of_size(100, 64));
+  cache.insert(key_for(33), solve_of_size(200, 64));
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // insert replaces in place (no duplicate entries, bytes stay sane).
+  cache.insert(key_for(32), solve_of_size(300, 64));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  const auto replaced = cache.lookup(key_for(32));
+  ASSERT_TRUE(replaced.has_value());
+  EXPECT_EQ(replaced->outcome.testing_time, 300);
+
+  const auto entries = cache.export_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& [key, value] : entries) {
+    const auto direct = cache.lookup(key);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(direct->outcome.testing_time, value.outcome.testing_time);
+  }
+
+  // A fresh cache populated from the export serves the same values —
+  // the persistence layer's save/load contract in miniature.
+  ResultCache copy;
+  for (const auto& [key, value] : entries) copy.insert(key, value);
+  const auto from_copy = copy.lookup(key_for(33));
+  ASSERT_TRUE(from_copy.has_value());
+  EXPECT_EQ(from_copy->outcome.testing_time, 200);
+}
+
+TEST(ResultCache, InsertRespectsBudgetAndOversizeRules) {
+  ResultCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 4096;
+  ResultCache cache(options);
+  // An entry bigger than the whole budget is not stored.
+  cache.insert(key_for(1), solve_of_size(1, 1 << 20));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // Filling past the budget evicts LRU tails.
+  for (int w = 2; w < 12; ++w) cache.insert(key_for(w), solve_of_size(w, 800));
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 4096u);
+}
+
 }  // namespace
 }  // namespace wtam::api

@@ -1,0 +1,293 @@
+// Router mechanics against scripted workers (/bin/cat echoes every
+// line, tiny sh scripts fake crashes and slow workers), so routing,
+// id rewriting, op fan-out/merge, shedding, and crash replay are
+// testable without paying for real solves. The full-stack fleet (real
+// wtam_serve workers, byte-identity across fleet sizes, crash replay
+// of real jobs) runs in cmake/cli_checks.cmake.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/json_value.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/router.hpp"
+
+namespace wtam::serve {
+namespace {
+
+/// Thread-safe sink: collects response lines and lets the test block
+/// until a count arrives (readers deliver from their own threads).
+class Collector {
+ public:
+  void operator()(const std::string& line) {
+    const common::MutexLock lock(mutex_);
+    lines_.push_back(line);
+  }
+
+  /// Waits (bounded) until at least `count` lines have arrived.
+  [[nodiscard]] bool wait_for(std::size_t count) {
+    for (int i = 0; i < 2000; ++i) {
+      {
+        const common::MutexLock lock(mutex_);
+        if (lines_.size() >= count) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<std::string> lines() {
+    const common::MutexLock lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  common::Mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+std::vector<std::string> cat_worker() { return {"/bin/cat"}; }
+
+RouterOptions cat_fleet(int workers, std::uint64_t queue_limit = 0) {
+  RouterOptions options;
+  for (int i = 0; i < workers; ++i)
+    options.worker_commands.push_back(cat_worker());
+  options.queue_limit = queue_limit;
+  return options;
+}
+
+const api::JsonValue* find_line_with_id(
+    const std::vector<std::string>& lines,
+    std::vector<api::JsonValue>& storage, const std::string& id) {
+  for (const std::string& line : lines) {
+    storage.push_back(api::JsonValue::parse(line));
+    const api::JsonValue* found = storage.back().find("id");
+    if (found != nullptr &&
+        found->kind() == api::JsonValue::Kind::String &&
+        found->as_string() == id)
+      return &storage.back();
+  }
+  return nullptr;
+}
+
+TEST(Router, RoutesJobsAndRestoresClientIds) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  // cat workers echo the rewritten request, so the "response" proves
+  // both directions of the id rewrite: the wire line carried an
+  // internal id, the emitted line carries the client's again.
+  for (const char* id : {"alpha", "beta", "gamma", "delta"}) {
+    std::string line = "{\"id\": \"";
+    line += id;
+    line += "\", \"soc\": \"d695\", \"width\": 32}";
+    EXPECT_TRUE(router.handle_line(line));
+  }
+  ASSERT_TRUE(collector->wait_for(4));
+  std::vector<api::JsonValue> storage;
+  const std::vector<std::string> lines = collector->lines();
+  for (const char* id : {"alpha", "beta", "gamma", "delta"}) {
+    const api::JsonValue* response = find_line_with_id(lines, storage, id);
+    ASSERT_NE(response, nullptr) << id;
+    // The job body passed through unchanged.
+    EXPECT_EQ(response->find("soc")->as_string(), "d695");
+    EXPECT_EQ(response->find("width")->as_int(), 32);
+  }
+  const RouterCounters counters = router.counters();
+  EXPECT_EQ(counters.routed, 4u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.respawns, 0u);
+  EXPECT_EQ(counters.orphaned, 0u);
+}
+
+TEST(Router, SynthesizesIdsInArrivalOrder) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"soc\": \"d695\", \"width\": 16}"));
+  EXPECT_TRUE(router.handle_line("{\"soc\": \"d695\", \"width\": 17}"));
+  ASSERT_TRUE(collector->wait_for(2));
+  std::vector<api::JsonValue> storage;
+  const std::vector<std::string> lines = collector->lines();
+  // Arrival order fixes the synthesized ids regardless of fleet size —
+  // part of the N=1/2/4 byte-identity story.
+  EXPECT_NE(find_line_with_id(lines, storage, "job-1"), nullptr);
+  EXPECT_NE(find_line_with_id(lines, storage, "job-2"), nullptr);
+}
+
+TEST(Router, MalformedClientLineIsAnsweredDirectly) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(1),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{not json"));
+  EXPECT_TRUE(router.handle_line("{\"op\": 5}"));
+  ASSERT_TRUE(collector->wait_for(2));
+  for (const std::string& line : collector->lines()) {
+    const api::JsonValue value = api::JsonValue::parse(line);
+    EXPECT_NE(value.find("error"), nullptr) << line;
+  }
+  EXPECT_EQ(router.counters().routed, 0u);
+}
+
+TEST(Router, OpFanOutMergesAcksAndAddsRouterSections) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  // cat echoes the op line itself, which doubles as a minimal ack.
+  EXPECT_TRUE(router.handle_line("{\"op\": \"stats\"}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue merged =
+      api::JsonValue::parse(collector->lines().front());
+  EXPECT_EQ(merged.find("op")->as_string(), "stats");
+  EXPECT_EQ(merged.find("workers")->as_int(), 2);
+  ASSERT_NE(merged.find("router"), nullptr);
+  EXPECT_EQ(merged.find("router")->find("routed")->as_int(), 0);
+}
+
+TEST(Router, KillWorkerAcksAfterTheRespawnCompletes) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"op\": \"kill_worker\", \"worker\": 0}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue ack =
+      api::JsonValue::parse(collector->lines().front());
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  EXPECT_TRUE(ack.find("respawned")->as_bool());
+  // Synchronous contract: by ack time the respawn is counted and the
+  // slot is live again — no racing the respawn window.
+  EXPECT_EQ(router.counters().respawns, 1u);
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"after\", \"soc\": \"d695\", \"width\": 16}"));
+  ASSERT_TRUE(collector->wait_for(2));
+  std::vector<api::JsonValue> storage;
+  EXPECT_NE(find_line_with_id(collector->lines(), storage, "after"), nullptr);
+}
+
+TEST(Router, KillWorkerOutOfRangeIsAnError) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(1),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"op\": \"kill_worker\", \"worker\": 7}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue value =
+      api::JsonValue::parse(collector->lines().front());
+  EXPECT_NE(value.find("error"), nullptr);
+}
+
+TEST(Router, RespawnsDeadWorkerAndReplaysInFlightJobs) {
+  // First incarnation: consume one line and die without answering (a
+  // crash with a job in flight). The flag file makes every respawn an
+  // honest echo worker, so the replay completes.
+  const std::string flag =
+      ::testing::TempDir() + "router_respawn_flag_" +
+      std::to_string(::getpid());
+  std::remove(flag.c_str());
+  const std::string script = "if [ ! -e '" + flag +
+                             "' ]; then : > '" + flag +
+                             "'; IFS= read -r line; exit 0; "
+                             "else exec /bin/cat; fi";
+  RouterOptions options;
+  options.worker_commands.push_back({"/bin/sh", "-c", script});
+  auto collector = std::make_shared<Collector>();
+  Router router(std::move(options),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"survivor\", \"soc\": \"d695\", \"width\": 24}"));
+  // The crash eats the job; the respawned cat echoes the replayed line.
+  ASSERT_TRUE(collector->wait_for(1));
+  std::vector<api::JsonValue> storage;
+  const api::JsonValue* response =
+      find_line_with_id(collector->lines(), storage, "survivor");
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->find("width")->as_int(), 24);
+  const RouterCounters counters = router.counters();
+  EXPECT_EQ(counters.respawns, 1u);
+  EXPECT_EQ(counters.replayed, 1u);
+  std::remove(flag.c_str());
+}
+
+TEST(Router, ShedsWhenTheTargetWorkerIsAtItsQueueLimit) {
+  // The worker holds the first job until a second line arrives, giving
+  // a deterministic window in which the queue sits at its limit — no
+  // timing assumptions.
+  RouterOptions options;
+  options.worker_commands.push_back(
+      {"/bin/sh", "-c",
+       "IFS= read -r a; IFS= read -r b; "
+       "printf '%s\\n' \"$a\" \"$b\"; exec /bin/cat"});
+  options.queue_limit = 1;
+  auto collector = std::make_shared<Collector>();
+  Router router(std::move(options),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"held\", \"soc\": \"d695\", \"width\": 16}"));
+  // Worker 0 now has one job in flight; the limit is 1 → shed.
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"refused\", \"soc\": \"d695\", \"width\": 17}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  std::vector<api::JsonValue> storage;
+  const api::JsonValue* shed =
+      find_line_with_id(collector->lines(), storage, "refused");
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->find("status")->as_string(), "overloaded");
+  EXPECT_NE(shed->find("error"), nullptr);
+  // The op broadcast is the worker's second line: it releases the held
+  // job and acks the stats, whose router section shows the shed.
+  EXPECT_TRUE(router.handle_line("{\"op\": \"stats\"}"));
+  ASSERT_TRUE(collector->wait_for(3));
+  storage.clear();
+  const api::JsonValue* released =
+      find_line_with_id(collector->lines(), storage, "held");
+  ASSERT_NE(released, nullptr);
+  const RouterCounters counters = router.counters();
+  EXPECT_EQ(counters.routed, 1u);
+  EXPECT_EQ(counters.shed, 1u);
+  bool saw_stats = false;
+  for (const std::string& line : collector->lines()) {
+    const api::JsonValue value = api::JsonValue::parse(line);
+    const api::JsonValue* router_section = value.find("router");
+    if (router_section == nullptr) continue;
+    saw_stats = true;
+    EXPECT_EQ(router_section->find("shed")->as_int(), 1);
+  }
+  EXPECT_TRUE(saw_stats);
+}
+
+TEST(Router, ShutdownFansOutMergesAndStopsTheFleet) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_FALSE(router.handle_line("{\"op\": \"shutdown\"}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue ack =
+      api::JsonValue::parse(collector->lines().back());
+  EXPECT_EQ(ack.find("op")->as_string(), "shutdown");
+  EXPECT_EQ(ack.find("workers")->as_int(), 2);
+  // Idempotent: a second shutdown (or the EOF path) is a no-op.
+  EXPECT_FALSE(router.handle_line("{\"op\": \"shutdown\"}"));
+  router.shutdown();
+}
+
+TEST(Router, EmptyFleetIsRejected) {
+  EXPECT_THROW(Router(RouterOptions{}, [](const std::string&) {}),
+               std::invalid_argument);
+}
+
+TEST(Router, MissingWorkerBinaryFailsTheBoot) {
+  RouterOptions options;
+  options.worker_commands.push_back(
+      {"/nonexistent/worker/binary/hopefully"});
+  EXPECT_THROW(Router(std::move(options), [](const std::string&) {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wtam::serve

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include <sys/wait.h>
+
+#include "common/subprocess.hpp"
+
+namespace wtam::common {
+namespace {
+
+TEST(Subprocess, EchoRoundTripAndCleanExit) {
+  Subprocess cat({"/bin/cat"});
+  EXPECT_TRUE(cat.running());
+  EXPECT_GT(cat.pid(), 0);
+
+  EXPECT_TRUE(cat.write_line("hello"));
+  EXPECT_TRUE(cat.write_line("world"));
+  const auto first = cat.read_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "hello");
+  const auto second = cat.read_line();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "world");
+
+  // EOF on stdin: cat drains and exits 0; our read side sees EOF.
+  cat.close_stdin();
+  EXPECT_FALSE(cat.read_line().has_value());
+  const int status = cat.wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_FALSE(cat.running());
+}
+
+TEST(Subprocess, MissingBinaryThrows) {
+  EXPECT_THROW(Subprocess({"/definitely/not/a/binary"}), std::runtime_error);
+}
+
+TEST(Subprocess, EmptyArgvThrows) {
+  EXPECT_THROW(Subprocess({}), std::invalid_argument);
+}
+
+TEST(Subprocess, KillSurfacesAsEof) {
+  Subprocess cat({"/bin/cat"});
+  cat.kill();
+  // The reader observes the death as EOF, not a hang or a signal.
+  EXPECT_FALSE(cat.read_line().has_value());
+  const int status = cat.wait();
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  EXPECT_FALSE(cat.running());
+}
+
+TEST(Subprocess, WriteToDeadChildFailsInsteadOfSignaling) {
+  Subprocess child({"/bin/sh", "-c", "exit 0"});
+  (void)child.wait();
+  // The pipe's read end is gone: the write reports failure (EPIPE is
+  // ignored process-wide), it must not kill this test with SIGPIPE.
+  EXPECT_FALSE(child.write_line("anyone there?"));
+  EXPECT_FALSE(child.write_line("still no"));
+}
+
+TEST(Subprocess, UnterminatedFinalLineIsReturned) {
+  Subprocess child({"/bin/sh", "-c", "printf 'no-newline'"});
+  const auto line = child.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "no-newline");
+  EXPECT_FALSE(child.read_line().has_value());
+}
+
+TEST(Subprocess, CloseStdinIsIdempotent) {
+  Subprocess cat({"/bin/cat"});
+  cat.close_stdin();
+  cat.close_stdin();
+  EXPECT_FALSE(cat.write_line("after close"));
+  EXPECT_FALSE(cat.read_line().has_value());
+}
+
+}  // namespace
+}  // namespace wtam::common

@@ -1,0 +1,13 @@
+// Fixture: spawns a process directly instead of going through
+// common::Subprocess — must trigger exactly [raw-subprocess].
+
+#include <unistd.h>
+
+int bad_spawn() {
+  const int child = fork();
+  if (child == 0) {
+    execlp("true", "true", nullptr);
+    _exit(127);
+  }
+  return child;
+}

@@ -30,6 +30,11 @@ repo-specific discipline, so this linter enforces it mechanically:
                      same line, the line above, or the first two lines of
                      the handler: swallowing everything is sometimes right,
                      but never silently.                          [src, tools]
+  raw-subprocess     fork/vfork/exec*/popen/system are banned outside
+                     src/common/subprocess.* — spawn children through
+                     common::Subprocess, which owns the fd hygiene,
+                     SIGPIPE, exec-failure reporting, and reaping.
+                                                                  [src, tools]
 
 A finding can be waived on its line (or the line above) with
     // wtam-lint: allow(<rule>) — <reason>
@@ -88,6 +93,20 @@ CLOCK_ALLOWED = {
     str(Path("src") / "core" / "time_provider.hpp"),
 }
 BARE_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+# Process-spawning primitives: bare calls (`fork(`), explicitly global
+# (`::fork(`), and std::system. Matching deliberately skips member/
+# qualified names like soc.fork( or my::popen( — the rule is about the
+# libc spawners.
+_SPAWN_NAMES = r"(?:v?fork|execl|execlp|execle|execv|execvp|execvpe|popen|system)"
+RAW_SUBPROCESS_RE = re.compile(
+    r"(?:(?<![\w.:>])" + _SPAWN_NAMES +
+    r"|(?<!\w)::" + _SPAWN_NAMES +
+    r"|std::system)\s*\(")
+# The only files allowed to spawn processes directly.
+SUBPROCESS_ALLOWED = {
+    str(Path("src") / "common" / "subprocess.hpp"),
+    str(Path("src") / "common" / "subprocess.cpp"),
+}
 COMMENT_RE = re.compile(r"//|/\*")
 
 
@@ -137,6 +156,12 @@ def lint_file(path, rel, lines, scopes):
                    "raw std locking primitive — use the annotated "
                    "common::Mutex/MutexLock/CondVar "
                    "(src/common/thread_annotations.hpp)")
+
+        if rel not in SUBPROCESS_ALLOWED and RAW_SUBPROCESS_RE.search(line):
+            report(idx, "raw-subprocess",
+                   "raw process spawning — go through common::Subprocess "
+                   "(src/common/subprocess.hpp), the only sanctioned "
+                   "fork/exec site")
 
         if rel not in CLOCK_ALLOWED and RAW_CLOCK_RE.search(line):
             report(idx, "raw-clock-now",

@@ -1,0 +1,179 @@
+// wtam_router — shard router fronting a fleet of wtam_serve workers.
+//
+// Speaks the same NDJSON protocol as wtam_serve on stdin/stdout, so any
+// wtam_serve client can point at the router unchanged. Jobs shard by
+// cache identity (the job's first RequestKey hashes to a worker), so
+// resubmissions land on the worker that cached them; responses come
+// back as workers finish (possibly out of submission order) with the
+// client's ids restored. Workers that die are respawned and their
+// in-flight jobs replayed — at-least-once delivery over idempotent
+// solves, so the client still sees exactly one response per job.
+//
+// Control verbs fan out to every worker and the acks merge (numbers
+// sum, "ok" ANDs; merged stats/metrics add the router's own counters
+// as a "router" section / serve.router.* names). Router-specific verbs:
+//   {"op": "kill_worker", "worker": i}  — SIGKILL worker i (crash-
+//                                         recovery test hook; acks
+//                                         after the respawn completes)
+//   {"op": "shutdown"}                  — drain the fleet, merged ack,
+//                                         exit 0; EOF = same, no ack
+// {"op": "metrics", "format": "prometheus"} is refused (merged text
+// expositions are not well-defined); use the JSON form.
+//
+// Options:
+//   --workers N        fleet size (default 2)
+//   --serve PATH       wtam_serve binary (default: next to this binary,
+//                      falling back to PATH lookup)
+//   --queue-limit N    per-worker in-flight cap: jobs beyond it are shed
+//                      with status "overloaded" (0 = never shed)
+//   --cache-file P     per-worker warm-boot persistence: worker i loads/
+//                      saves P.w<i> (sharding keys by worker keeps each
+//                      file disjoint, so save/load round-trips the fleet)
+//   --worker-threads N forwarded to each worker as --threads
+//   --cache-mb M       forwarded to each worker
+//   --no-cache         forwarded to each worker
+//   --timing / --trace forwarded to each worker
+//   --quiet            no banner, no respawn notices on stderr
+//
+// Exit status: 0 on clean shutdown/EOF, 1 when the fleet cannot boot,
+// 2 on usage errors.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/router.hpp"
+
+namespace {
+
+using namespace wtam;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: wtam_router [--workers N] [--serve PATH] [--queue-limit N]\n"
+         "                   [--cache-file PATH] [--worker-threads N]\n"
+         "                   [--cache-mb M] [--no-cache] [--timing] "
+         "[--trace]\n"
+         "                   [--quiet]\n"
+         "NDJSON protocol on stdin/stdout; see README (Fleet serving).\n";
+  std::exit(2);
+}
+
+/// Default worker binary: wtam_serve next to this executable (the
+/// normal build-tree layout), else bare "wtam_serve" for PATH lookup.
+std::string default_serve_path(const char* argv0) {
+  const std::string self = argv0;
+  const std::size_t slash = self.find_last_of('/');
+  if (slash == std::string::npos) return "wtam_serve";
+  return self.substr(0, slash + 1) + "wtam_serve";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 2;
+  std::string serve_path;
+  std::string cache_file;
+  std::uint64_t queue_limit = 0;
+  int worker_threads = 0;
+  int cache_mb = -1;  // -1 = worker default
+  bool no_cache = false;
+  bool timing = false;
+  bool trace = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      workers = std::atoi(value());
+      if (workers < 1) usage("--workers must be >= 1");
+    } else if (arg == "--serve") {
+      serve_path = value();
+      if (serve_path.empty()) usage("--serve needs a non-empty path");
+    } else if (arg == "--queue-limit") {
+      const int limit = std::atoi(value());
+      if (limit < 0) usage("--queue-limit must be >= 0 (0 = never shed)");
+      queue_limit = static_cast<std::uint64_t>(limit);
+    } else if (arg == "--cache-file") {
+      cache_file = value();
+      if (cache_file.empty()) usage("--cache-file needs a non-empty path");
+    } else if (arg == "--worker-threads") {
+      worker_threads = std::atoi(value());
+      if (worker_threads < 0) usage("--worker-threads must be >= 0");
+    } else if (arg == "--cache-mb") {
+      cache_mb = std::atoi(value());
+      if (cache_mb < 0) usage("--cache-mb must be >= 0");
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  if (serve_path.empty()) serve_path = default_serve_path(argv[0]);
+
+  serve::RouterOptions options;
+  options.queue_limit = queue_limit;
+  for (int w = 0; w < workers; ++w) {
+    std::vector<std::string> command = {serve_path, "--quiet"};
+    if (worker_threads > 0) {
+      command.push_back("--threads");
+      command.push_back(std::to_string(worker_threads));
+    }
+    if (cache_mb >= 0) {
+      command.push_back("--cache-mb");
+      command.push_back(std::to_string(cache_mb));
+    }
+    if (no_cache) command.push_back("--no-cache");
+    if (!cache_file.empty()) {
+      // Disjoint per-worker snapshots: sharding pins each key to one
+      // worker, so P.w0..P.w<N-1> partition the fleet's cache.
+      command.push_back("--cache-file");
+      command.push_back(cache_file + ".w" + std::to_string(w));
+    }
+    if (timing) command.push_back("--timing");
+    if (trace) command.push_back("--trace");
+    options.worker_commands.push_back(std::move(command));
+  }
+
+  // The router serializes sink calls, so plain cout is line-safe here.
+  const auto sink = [](const std::string& line) {
+    std::cout << line << '\n' << std::flush;
+  };
+  const auto diag = [quiet](const std::string& message) {
+    if (!quiet) std::cerr << "wtam_router: " << message << "\n";
+  };
+
+  try {
+    serve::Router router(std::move(options), sink, diag);
+    if (!quiet)
+      std::cerr << "wtam_router: ready (" << router.workers()
+                << " workers via " << serve_path
+                << "); one JSON request per line, {\"op\": \"shutdown\"} "
+                   "to stop\n";
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (!router.handle_line(line)) return 0;
+    }
+    router.shutdown();  // EOF: drain the fleet silently
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "wtam_router: fleet failed to start: " << e.what() << "\n";
+    return 1;
+  }
+}

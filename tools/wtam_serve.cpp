@@ -19,27 +19,44 @@
 // carries `cache: hit|miss|bypass` (the memoizing ResultCache is on by
 // default; an identical resubmission is served byte-identically without
 // running an engine). Control verbs:
-//   stats        — jobs accepted/started/completed, error-response and
-//                  in-flight/queue-depth gauges, plus cache counters
+//   stats        — jobs accepted/started/completed, error-response,
+//                  shed, and in-flight/queue-depth gauges, plus cache
+//                  counters
 //   metrics      — full MetricsRegistry snapshot. Options on the verb:
 //                  {"op": "metrics", "drain": true} waits for in-flight
 //                  jobs first (deterministic counters for scripted
 //                  scrapes); {"op": "metrics", "format": "prometheus"}
 //                  returns the text exposition in a "body" string field
 //                  (the response stays one NDJSON line either way)
-//   cache_clear  — drop every cached entry, then ack
-//   shutdown     — stop reading, drain in-flight jobs, ack, exit 0
+//   cache_clear  — drop every cached entry and zero the cache counters;
+//                  the ack carries the PRE-clear counters (the last
+//                  consistent look at the epoch being discarded), so
+//                  post-clear scrapes read deterministically from zero
+//   cache_save   — snapshot the cache to {"path": ...} (default: the
+//                  --cache-file path); ack reports entries/bytes written
+//   shutdown     — stop reading, drain in-flight jobs, save the cache
+//                  (when --cache-file is set), ack, exit 0
 // EOF on stdin behaves like shutdown (without the ack line).
 //
 // Options:
-//   --threads N    concurrent jobs (default 0 = one per hardware thread)
-//   --cache-mb M   cache byte budget in MiB (default 64; 0 disables)
-//   --no-cache     disable the result cache
-//   --timing       include cpu_s/wall_s in results (off by default so
-//                  responses are byte-identical across runs)
-//   --trace        include per-solve stage spans (`trace` array) in
-//                  results — opt-in execution provenance like --timing
-//   --quiet        no startup banner on stderr
+//   --threads N      concurrent jobs (default 0 = one per hardware thread)
+//   --cache-mb M     cache byte budget in MiB (default 64; 0 disables)
+//   --no-cache       disable the result cache
+//   --cache-file P   warm-boot persistence: load the snapshot at P on
+//                    start (missing file = cold start; torn tail = load
+//                    the valid prefix; wrong version = refuse the file
+//                    and start cold, loudly) and save back to P on
+//                    shutdown/EOF after the drain
+//   --queue-limit N  admission control: when more than N accepted jobs
+//                    are waiting for a worker, new jobs are shed with
+//                    status "overloaded" instead of queued (0 = never
+//                    shed, the default). Shedding bounds queue time —
+//                    clients retry, the queue never grows unboundedly
+//   --timing         include cpu_s/wall_s in results (off by default so
+//                    responses are byte-identical across runs)
+//   --trace          include per-solve stage spans (`trace` array) in
+//                    results — opt-in execution provenance like --timing
+//   --quiet          no startup banner on stderr
 //
 // Exit status: 0 on clean shutdown/EOF, 2 on usage errors. Malformed
 // request lines are answered with an {"error": ...} object (the id is
@@ -54,6 +71,7 @@
 #include <memory>
 #include <string>
 
+#include "api/cache_store.hpp"
 #include "api/job_io.hpp"
 #include "api/result_cache.hpp"
 #include "api/solver.hpp"
@@ -70,6 +88,7 @@ using namespace wtam;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: wtam_serve [--threads N] [--cache-mb M] [--no-cache]\n"
+               "                  [--cache-file PATH] [--queue-limit N]\n"
                "                  [--timing] [--trace] [--quiet]\n"
                "NDJSON protocol on stdin/stdout; see README (wtam_serve).\n";
   std::exit(2);
@@ -101,6 +120,7 @@ class JobAccounting {
     std::uint64_t started = 0;
     std::uint64_t completed = 0;
     std::uint64_t errors = 0;
+    std::uint64_t shed = 0;
     std::size_t pending = 0;
 
     /// Jobs a worker is executing right now.
@@ -117,6 +137,21 @@ class JobAccounting {
   /// (used to synthesize ids for id-less requests).
   [[nodiscard]] std::uint64_t job_accepted() {
     const wtam::common::MutexLock lock(mutex_);
+    ++pending_;
+    return ++accepted_;
+  }
+
+  /// Admission control: accepts the job only when fewer than `limit`
+  /// jobs are queued (limit 0 = unlimited). The depth check and the
+  /// accept are one critical section, so concurrent readers can never
+  /// overshoot the limit between checking and counting. Returns the
+  /// accept number, or 0 when the job was shed.
+  [[nodiscard]] std::uint64_t try_accept(std::uint64_t limit) {
+    const wtam::common::MutexLock lock(mutex_);
+    if (limit != 0 && accepted_ - started_ >= limit) {
+      ++shed_;
+      return 0;
+    }
     ++pending_;
     return ++accepted_;
   }
@@ -163,6 +198,7 @@ class JobAccounting {
     snapshot.started = started_;
     snapshot.completed = completed_;
     snapshot.errors = errors_;
+    snapshot.shed = shed_;
     snapshot.pending = pending_;
     return snapshot;
   }
@@ -174,6 +210,7 @@ class JobAccounting {
   std::uint64_t started_ WTAM_GUARDED_BY(mutex_) = 0;
   std::uint64_t completed_ WTAM_GUARDED_BY(mutex_) = 0;
   std::uint64_t errors_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ WTAM_GUARDED_BY(mutex_) = 0;
 };
 
 api::JsonValue error_response(const std::string& id,
@@ -235,6 +272,8 @@ int main(int argc, char** argv) {
   int threads = 0;  // server default: use the hardware
   std::size_t cache_mb = 64;
   bool use_cache = true;
+  std::string cache_file;
+  std::uint64_t queue_limit = 0;  // 0 = never shed
   bool timing = false;
   bool trace = false;
   bool quiet = false;
@@ -255,6 +294,13 @@ int main(int argc, char** argv) {
       use_cache = mb > 0;
     } else if (arg == "--no-cache") {
       use_cache = false;
+    } else if (arg == "--cache-file") {
+      cache_file = value();
+      if (cache_file.empty()) usage("--cache-file needs a non-empty path");
+    } else if (arg == "--queue-limit") {
+      const int limit = std::atoi(value());
+      if (limit < 0) usage("--queue-limit must be >= 0 (0 = never shed)");
+      queue_limit = static_cast<std::uint64_t>(limit);
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--trace") {
@@ -274,6 +320,37 @@ int main(int argc, char** argv) {
     cache_options.max_bytes = cache_mb << 20;
     cache = std::make_shared<api::ResultCache>(cache_options);
   }
+  if (!cache && !cache_file.empty())
+    usage("--cache-file needs the cache (drop --no-cache / --cache-mb 0)");
+
+  // Warm boot: load the snapshot before any job runs, then zero the
+  // counters so scrapes only count this process's traffic (the loader's
+  // own insertions are bookkeeping, not service history).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (cache && !cache_file.empty()) {
+    try {
+      const api::CacheLoadStats loaded =
+          api::load_cache_file(*cache, cache_file);
+      registry.counter("serve.persist.loaded_entries")
+          .increment(static_cast<std::int64_t>(loaded.entries_loaded));
+      registry.counter("serve.persist.rejected_entries")
+          .increment(static_cast<std::int64_t>(loaded.entries_rejected));
+      if (!loaded.clean_tail)
+        registry.counter("serve.persist.torn_tails").increment();
+      if (!quiet && loaded.found)
+        std::cerr << "wtam_serve: warm boot from " << cache_file << " ("
+                  << loaded.entries_loaded << " entries"
+                  << (loaded.clean_tail ? "" : ", torn tail truncated")
+                  << ")\n";
+    } catch (const std::exception& e) {
+      // Version mismatch / unreadable snapshot: refuse the file, start
+      // cold, and say so — a stale-format cache must never be trusted,
+      // but it must not take the service down either.
+      registry.counter("serve.persist.load_failures").increment();
+      std::cerr << "wtam_serve: ignoring cache file: " << e.what() << "\n";
+    }
+    cache->reset_stats();
+  }
   // Each job runs through one shared Solver (single-solve calls are
   // thread-safe; the cache coalesces concurrent identical jobs).
   api::SolverOptions solver_options = api::SolverOptions::with_threads(1, cache);
@@ -292,11 +369,11 @@ int main(int argc, char** argv) {
 
   // Process-wide serve metrics, scraped by the `metrics` verb alongside
   // everything the solver/engines record.
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
   obs::Counter& jobs_accepted_counter = registry.counter("serve.jobs_accepted");
   obs::Counter& jobs_completed_counter =
       registry.counter("serve.jobs_completed");
   obs::Counter& errors_counter = registry.counter("serve.errors");
+  obs::Counter& jobs_shed_counter = registry.counter("serve.jobs_shed");
   obs::Histogram& job_hist = registry.histogram("serve.job_ns");
 
   // Every per-line error response goes through here so `stats` and the
@@ -307,6 +384,22 @@ int main(int argc, char** argv) {
     accounting.error_recorded();
     errors_counter.increment();
     out.write(error_response(id, message));
+  };
+
+  // Final persistence: shutdown and EOF both save back to --cache-file
+  // after the drain, so the next boot is warm. A failed save must not
+  // turn a clean shutdown into a crash — it is reported and counted.
+  const auto save_cache_on_exit = [&cache, &cache_file, &registry] {
+    if (!cache || cache_file.empty()) return;
+    try {
+      const api::CacheSaveStats saved =
+          api::save_cache_file(*cache, cache_file);
+      registry.counter("serve.persist.saves").increment();
+      (void)saved;
+    } catch (const std::exception& e) {
+      registry.counter("serve.persist.save_failures").increment();
+      std::cerr << "wtam_serve: cache save failed: " << e.what() << "\n";
+    }
   };
 
   // Declared after everything its workers reference, so the pool's
@@ -342,6 +435,7 @@ int main(int argc, char** argv) {
         const std::string verb = op->as_string();
         if (verb == "shutdown") {
           const JobAccounting::Snapshot drained = accounting.wait_for_drain();
+          save_cache_on_exit();
           api::JsonValue response = api::JsonValue::object();
           response.set("op", api::JsonValue::string("shutdown"));
           response.set("ok", api::JsonValue::boolean(true));
@@ -363,6 +457,8 @@ int main(int argc, char** argv) {
                                       static_cast<std::int64_t>(now.pending)));
           response.set("errors", api::JsonValue::number(
                                      static_cast<std::int64_t>(now.errors)));
+          response.set("shed", api::JsonValue::number(
+                                   static_cast<std::int64_t>(now.shed)));
           response.set("running", api::JsonValue::number(
                                       static_cast<std::int64_t>(now.running())));
           response.set("queue_depth",
@@ -420,15 +516,69 @@ int main(int argc, char** argv) {
           }
           out.write(response);
         } else if (verb == "cache_clear") {
-          if (cache) cache->clear();
           api::JsonValue response = api::JsonValue::object();
           response.set("op", api::JsonValue::string("cache_clear"));
           response.set("ok", api::JsonValue::boolean(cache != nullptr));
+          if (cache) {
+            // The ack carries the PRE-clear counters: the last consistent
+            // look at the epoch being discarded. After the ack, both the
+            // entries and the counters read from zero.
+            const api::ResultCacheStats stats = cache->stats();
+            api::JsonValue cache_json = api::JsonValue::object();
+            const auto set_count = [&](const char* key, std::uint64_t count) {
+              cache_json.set(key, api::JsonValue::number(
+                                      static_cast<std::int64_t>(count)));
+            };
+            set_count("hits", stats.hits);
+            set_count("misses", stats.misses);
+            set_count("coalesced", stats.coalesced);
+            set_count("insertions", stats.insertions);
+            set_count("evictions", stats.evictions);
+            set_count("entries", stats.entries);
+            set_count("bytes", stats.bytes);
+            response.set("cache", std::move(cache_json));
+            cache->clear();
+            cache->reset_stats();
+          }
           out.write(response);
+        } else if (verb == "cache_save") {
+          std::string path = cache_file;
+          if (const api::JsonValue* requested = value.find("path"))
+            path = requested->as_string();
+          if (!cache) {
+            write_error(salvage_id(value), "cache_save: the cache is off");
+            continue;
+          }
+          if (path.empty()) {
+            write_error(salvage_id(value),
+                        "cache_save: no path (give \"path\" or start with "
+                        "--cache-file)");
+            continue;
+          }
+          try {
+            const api::CacheSaveStats saved =
+                api::save_cache_file(*cache, path);
+            registry.counter("serve.persist.saves").increment();
+            api::JsonValue response = api::JsonValue::object();
+            response.set("op", api::JsonValue::string("cache_save"));
+            response.set("ok", api::JsonValue::boolean(true));
+            response.set("path", api::JsonValue::string(path));
+            response.set("entries",
+                         api::JsonValue::number(
+                             static_cast<std::int64_t>(saved.entries)));
+            response.set("bytes", api::JsonValue::number(
+                                      static_cast<std::int64_t>(saved.bytes)));
+            out.write(response);
+          } catch (const std::exception& e) {
+            registry.counter("serve.persist.save_failures").increment();
+            write_error(salvage_id(value),
+                        std::string("cache_save: ") + e.what());
+          }
         } else {
           write_error(salvage_id(value), "unknown op '" + verb +
                                              "' (known: stats, metrics, "
-                                             "cache_clear, shutdown)");
+                                             "cache_clear, cache_save, "
+                                             "shutdown)");
         }
       } catch (const std::exception& e) {
         write_error(salvage_id(value), "line " + std::to_string(line_number) +
@@ -445,7 +595,26 @@ int main(int argc, char** argv) {
                   "line " + std::to_string(line_number) + ": " + e.what());
       continue;
     }
-    const std::uint64_t job_number = accounting.job_accepted();
+    const std::uint64_t job_number = accounting.try_accept(queue_limit);
+    if (job_number == 0) {
+      // Admission control: the queue is at its limit — shed instead of
+      // stalling. The response is a result line (status "overloaded"),
+      // not an error object: the job was well-formed, the service just
+      // declined it right now. Message is fixed text so shed responses
+      // stay byte-deterministic.
+      jobs_shed_counter.increment();
+      api::JsonValue response = api::JsonValue::object();
+      if (!request.id.empty())
+        response.set("id", api::JsonValue::string(request.id));
+      response.set("status",
+                   api::JsonValue::string(
+                       std::string(api::to_string(api::Status::Overloaded))));
+      response.set("error",
+                   api::JsonValue::string(
+                       "queue limit reached; job shed — retry later"));
+      out.write(response);
+      continue;
+    }
     jobs_accepted_counter.increment();
     if (request.id.empty())
       request.id = "job-" + std::to_string(job_number);
@@ -473,7 +642,8 @@ int main(int argc, char** argv) {
     });
   }
 
-  // EOF: drain and exit like a silent shutdown.
+  // EOF: drain and exit like a silent shutdown (cache saved the same).
   (void)accounting.wait_for_drain();
+  save_cache_on_exit();
   return 0;
 }
