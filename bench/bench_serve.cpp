@@ -3,7 +3,7 @@
 // every job sharing one memoizing ResultCache) and publishes throughput,
 // cache hit rate, and tail-latency percentiles to BENCH_serve.json.
 //
-// Five phases, extending the CI serve soak (cmake/cli_checks.cmake):
+// Seven phases, extending the CI serve soak (cmake/cli_checks.cmake):
 //   * cold — unique (soc, width) points: every request is a cache miss,
 //     so this phase prices the raw solve path;
 //   * soak — the 102-request mix (34 x {d695 w12/w14/w16 rectpack}): the
@@ -21,7 +21,13 @@
 //     takes a 40-job unique-key burst against --queue-limit 4 — the
 //     saturated fleet must SHED (status "overloaded", serve.router.shed
 //     counted — both asserted) rather than stall: every burst job gets
-//     an answer or this bench exits 1.
+//     an answer or this bench exits 1;
+//   * pipe / tcp — the transport comparison: sequential request/response
+//     round-trips of one cached point against a single wtam_serve worker,
+//     first over its stdin/stdout pipes, then over a localhost socket
+//     (--listen 127.0.0.1:0). After the priming solve every round is a
+//     cache hit, so the percentiles price the transport itself — what a
+//     multi-host deployment pays per hop relative to a local fleet.
 //
 // Per-request latency (submit -> result) feeds an obs::Histogram;
 // p50/p90/p95/p99 come from its merged quantiles. Determinism is part of
@@ -33,8 +39,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -52,6 +60,7 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "serve/worker_link.hpp"
 
 namespace {
 
@@ -333,6 +342,60 @@ FleetOutcome run_fleet_phase(const std::string& bin_dir,
   return outcome;
 }
 
+/// Sequential request/response round-trips over one WorkerLink. A
+/// priming solve warms the worker's cache first, so every measured
+/// round is a hit and the histogram prices the transport itself
+/// (framing, syscalls, wakeups), not the solver.
+PhaseStats run_transport_phase(const std::string& name,
+                               serve::WorkerLink& link,
+                               std::map<int, std::int64_t>& reference,
+                               bool& deterministic) {
+  PhaseStats stats;
+  stats.name = name;
+  constexpr int kRounds = 200;
+  const auto round_trip = [&](const std::string& id) {
+    const api::SolveRequest request = make_request(id, 12);
+    if (!link.write_line(api::job_to_json(request).dump_compact_string()))
+      throw std::runtime_error(name + " worker rejected the request");
+    const std::optional<std::string> line = link.read_line();
+    if (!line) throw std::runtime_error(name + " worker hung up");
+    return api::JsonValue::parse(*line);
+  };
+  (void)round_trip(name + "-prime");  // the only real solve
+
+  obs::Histogram latency;
+  common::Stopwatch wall;
+  for (int i = 0; i < kRounds; ++i) {
+    const common::Stopwatch rt;
+    const api::JsonValue response = round_trip(name + "-" + std::to_string(i));
+    latency.record_ns(rt.elapsed_ns());
+    const api::JsonValue* status = response.find("status");
+    if (status == nullptr || status->as_string() != "ok") {
+      std::cerr << "FATAL: " << name << " round " << i
+                << " came back without an ok result\n";
+      deterministic = false;
+      continue;
+    }
+    const api::JsonValue* cache_state = response.find("cache");
+    if (cache_state != nullptr && cache_state->as_string() == "hit")
+      ++stats.hits;
+    else
+      ++stats.misses;
+    const std::int64_t testing_time = response.find("testing_time")->as_int();
+    const auto [it, inserted] = reference.emplace(12, testing_time);
+    if (!inserted && it->second != testing_time) {
+      std::cerr << "FATAL: " << name << " round " << i << " returned "
+                << testing_time << " cycles; reference is " << it->second
+                << "\n";
+      deterministic = false;
+    }
+  }
+  stats.requests = kRounds;
+  stats.wall_s = wall.elapsed_s();
+  stats.latency = latency.merged();
+  return stats;
+}
+
 }  // namespace
 
 int main(int, char** argv) {
@@ -423,6 +486,53 @@ int main(int, char** argv) {
     }
   } catch (const std::exception& e) {
     std::cerr << "FATAL: fleet phase: " << e.what() << "\n";
+    deterministic = false;
+  }
+
+  // --- transport phases (pipe vs localhost TCP) ----------------------------
+  // The same warm round-trip workload against one worker over each
+  // transport; both must report the width-12 reference time, so the
+  // comparison cannot silently measure different work.
+  try {
+    const std::unique_ptr<serve::WorkerLink> pipe_link =
+        serve::make_worker_link(
+            serve::WorkerSpec::local({bin_dir + "/wtam_serve", "--quiet"}));
+    phases.push_back(
+        run_transport_phase("pipe", *pipe_link, reference, deterministic));
+    (void)pipe_link->write_line("{\"op\": \"shutdown\"}");
+    (void)pipe_link->read_line();
+    pipe_link->finish();
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: pipe transport phase: " << e.what() << "\n";
+    deterministic = false;
+  }
+  try {
+    const std::string port_file = "BENCH_serve_tcp.port";
+    std::remove(port_file.c_str());
+    common::Subprocess listener({bin_dir + "/wtam_serve", "--listen",
+                                 "127.0.0.1:0", "--port-file", port_file,
+                                 "--quiet"});
+    std::string endpoint;
+    for (int i = 0; i < 200 && endpoint.empty(); ++i) {
+      std::ifstream in(port_file);
+      std::getline(in, endpoint);
+      if (endpoint.empty())
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    if (endpoint.empty())
+      throw std::runtime_error("TCP worker never published its port");
+    const std::unique_ptr<serve::WorkerLink> tcp_link =
+        serve::make_worker_link(serve::WorkerSpec::connect(endpoint));
+    phases.push_back(
+        run_transport_phase("tcp", *tcp_link, reference, deterministic));
+    // The shutdown verb stops the whole server, so the listener process
+    // exits on its own and the wait() below reaps it.
+    (void)tcp_link->write_line("{\"op\": \"shutdown\"}");
+    (void)tcp_link->read_line();
+    (void)listener.wait();
+    std::remove(port_file.c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: tcp transport phase: " << e.what() << "\n";
     deterministic = false;
   }
 

@@ -548,3 +548,230 @@ endif()
 
 message(STATUS "wtam_router fleet smoke holds (7 jobs over 2 workers, "
                "crash replay byte-identical modulo cache provenance)")
+
+# ---- multi-host fleet (TCP workers, kill mid-batch, hot resize) ------------
+# Three fleets answer the same five jobs and must agree byte for byte
+# (modulo cache provenance): a single local worker (the baseline), a
+# mixed fleet of one pipe + one TCP worker, and a two-TCP-worker fleet
+# whose worker 0 is killed mid-batch (the sever/reconnect/replay path).
+# Then an all-local fleet resizes 2 -> 3 mid-session and must serve the
+# resubmitted jobs from the re-sharded caches — hits, byte-identical.
+
+# Launches a wtam_serve TCP worker in the background on an ephemeral
+# port; await_endpoint() blocks until its --port-file reports where.
+function(launch_tcp_worker tag)
+  file(REMOVE ${WORK_DIR}/mh_${tag}.port)
+  execute_process(COMMAND sh -c "'${WTAM_SERVE}' --listen 127.0.0.1:0 --port-file '${WORK_DIR}/mh_${tag}.port' --quiet > '${WORK_DIR}/mh_${tag}.log' 2>&1 &"
+                  RESULT_VARIABLE launch_code)
+  if(NOT launch_code EQUAL 0)
+    message(FATAL_ERROR "multi-host: cannot launch TCP worker ${tag}")
+  endif()
+endfunction()
+
+function(await_endpoint tag out_var)
+  set(port_file ${WORK_DIR}/mh_${tag}.port)
+  foreach(i RANGE 100)
+    if(EXISTS ${port_file})
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(NOT EXISTS ${port_file})
+    message(FATAL_ERROR "multi-host: worker ${tag} never wrote its port file "
+                        "(see ${WORK_DIR}/mh_${tag}.log)")
+  endif()
+  file(READ ${port_file} endpoint)
+  string(STRIP "${endpoint}" endpoint)
+  set(${out_var} ${endpoint} PARENT_SCOPE)
+endfunction()
+
+set(mh_jobs
+"{\"id\": \"m1\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"id\": \"m2\", \"soc\": \"d695\", \"width\": 17, \"backend\": \"rectpack\"}
+{\"id\": \"m3\", \"soc\": \"d695\", \"width\": 18, \"backend\": \"rectpack\"}
+")
+set(mh_jobs_tail
+"{\"id\": \"m4\", \"soc\": \"d695\", \"width\": 19, \"backend\": \"rectpack\"}
+{\"id\": \"m5\", \"soc\": \"d695\", \"width\": 20, \"backend\": \"rectpack\"}
+{\"op\": \"stats\"}
+{\"op\": \"shutdown\"}
+")
+file(WRITE ${WORK_DIR}/mh_session.ndjson "${mh_jobs}${mh_jobs_tail}")
+file(WRITE ${WORK_DIR}/mh_kill.ndjson
+     "${mh_jobs}{\"op\": \"kill_worker\", \"worker\": 0}\n${mh_jobs_tail}")
+
+# Workers for the mixed fleet (one TCP) and the kill fleet (two TCP).
+launch_tcp_worker(w1)
+launch_tcp_worker(w2)
+launch_tcp_worker(w3)
+await_endpoint(w1 mh_ep1)
+await_endpoint(w2 mh_ep2)
+await_endpoint(w3 mh_ep3)
+
+# phase -> router flags + input + expected fleet size.
+set(mh_baseline_args --workers 1)
+set(mh_mixed_args --workers 1 --worker ${mh_ep1})
+set(mh_kill_args --worker ${mh_ep2} --worker ${mh_ep3})
+foreach(phase baseline mixed kill)
+  if(phase STREQUAL "kill")
+    set(mh_input ${WORK_DIR}/mh_kill.ndjson)
+  else()
+    set(mh_input ${WORK_DIR}/mh_session.ndjson)
+  endif()
+  execute_process(COMMAND ${WTAM_ROUTER} --quiet --serve ${WTAM_SERVE}
+                          ${mh_${phase}_args}
+                  INPUT_FILE ${mh_input}
+                  OUTPUT_VARIABLE mh_out
+                  ERROR_VARIABLE mh_err
+                  RESULT_VARIABLE mh_code)
+  if(NOT mh_code EQUAL 0)
+    message(FATAL_ERROR "multi-host ${phase} run: exit ${mh_code}\n"
+                        "stderr: ${mh_err}")
+  endif()
+  string(REGEX REPLACE "\n+$" "" mh_out "${mh_out}")
+  string(REPLACE ";" "<semi>" mh_escaped "${mh_out}")
+  string(REPLACE "\n" ";" mh_lines "${mh_escaped}")
+  set(mh_ok_count 0)
+  foreach(line IN LISTS mh_lines)
+    string(REPLACE "<semi>" ";" line "${line}")
+    string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+    if(no_op STREQUAL "NOTFOUND")
+      if(NOT op STREQUAL "stats")
+        continue()  # kill_worker / shutdown ack
+      endif()
+      string(JSON mh_workers GET "${line}" workers)
+      string(JSON mh_respawns GET "${line}" router respawns)
+      set(mh_${phase}_workers ${mh_workers})
+      set(mh_${phase}_respawns ${mh_respawns})
+      continue()
+    endif()
+    string(JSON id GET "${line}" id)
+    string(JSON status GET "${line}" status)
+    if(NOT status STREQUAL "ok")
+      message(FATAL_ERROR "multi-host ${phase} run: job ${id} status "
+                          "'${status}':\n${line}")
+    endif()
+    math(EXPR mh_ok_count "${mh_ok_count} + 1")
+    string(REGEX REPLACE "\"cache\": \"[a-z]+\"" "\"cache\": \"-\""
+           stripped "${line}")
+    set(mh_${phase}_${id} "${stripped}")
+  endforeach()
+  if(NOT mh_ok_count EQUAL 5)
+    message(FATAL_ERROR "multi-host ${phase} run: ${mh_ok_count} ok results, "
+                        "expected 5:\n${mh_out}")
+  endif()
+endforeach()
+
+foreach(id m1 m2 m3 m4 m5)
+  foreach(phase mixed kill)
+    if(NOT mh_baseline_${id} STREQUAL mh_${phase}_${id})
+      message(FATAL_ERROR "multi-host: job ${id} differs between the "
+                          "baseline and the ${phase} fleet\nbaseline: "
+                          "${mh_baseline_${id}}\n${phase}: ${mh_${phase}_${id}}")
+    endif()
+  endforeach()
+endforeach()
+if(NOT mh_mixed_workers EQUAL 2 OR NOT mh_kill_workers EQUAL 2)
+  message(FATAL_ERROR "multi-host: fleets report ${mh_mixed_workers}/"
+                      "${mh_kill_workers} workers, expected 2/2")
+endif()
+if(NOT mh_mixed_respawns EQUAL 0)
+  message(FATAL_ERROR "multi-host mixed run: ${mh_mixed_respawns} respawns, "
+                      "expected 0")
+endif()
+if(NOT mh_kill_respawns GREATER 0)
+  message(FATAL_ERROR "multi-host kill run: no reconnect recorded after "
+                      "kill_worker severed the TCP worker")
+endif()
+
+# Hot resize: four jobs warm a 2-worker fleet's caches, the fleet
+# resizes to 3 (re-dealing the persisted entries to their new owners),
+# and the identical resubmissions must all be cache hits with
+# byte-identical responses.
+set(mh_resize_cache ${WORK_DIR}/mh_resize_cache.bin)
+file(REMOVE ${mh_resize_cache}.w0 ${mh_resize_cache}.w1 ${mh_resize_cache}.w2)
+set(mh_resize_jobs
+"{\"id\": \"r1\", \"soc\": \"d695\", \"width\": 16, \"backend\": \"rectpack\"}
+{\"id\": \"r2\", \"soc\": \"d695\", \"width\": 17, \"backend\": \"rectpack\"}
+{\"id\": \"r3\", \"soc\": \"d695\", \"width\": 18, \"backend\": \"rectpack\"}
+{\"id\": \"r4\", \"soc\": \"d695\", \"width\": 19, \"backend\": \"rectpack\"}
+")
+file(WRITE ${WORK_DIR}/mh_resize.ndjson
+     "${mh_resize_jobs}{\"op\": \"resize\", \"workers\": 3}\n${mh_resize_jobs}{\"op\": \"stats\"}\n{\"op\": \"shutdown\"}\n")
+execute_process(COMMAND ${WTAM_ROUTER} --quiet --workers 2
+                        --serve ${WTAM_SERVE}
+                        --cache-file ${mh_resize_cache}
+                INPUT_FILE ${WORK_DIR}/mh_resize.ndjson
+                OUTPUT_VARIABLE resize_out
+                ERROR_VARIABLE resize_err
+                RESULT_VARIABLE resize_code)
+if(NOT resize_code EQUAL 0)
+  message(FATAL_ERROR "multi-host resize run: exit ${resize_code}\n"
+                      "stderr: ${resize_err}")
+endif()
+string(REGEX REPLACE "\n+$" "" resize_out "${resize_out}")
+string(REPLACE ";" "<semi>" resize_escaped "${resize_out}")
+string(REPLACE "\n" ";" resize_lines "${resize_escaped}")
+set(resize_acked FALSE)
+foreach(line IN LISTS resize_lines)
+  string(REPLACE "<semi>" ";" line "${line}")
+  string(JSON op ERROR_VARIABLE no_op GET "${line}" op)
+  if(no_op STREQUAL "NOTFOUND")
+    if(op STREQUAL "resize")
+      string(JSON resize_ok GET "${line}" ok)
+      string(JSON resize_workers GET "${line}" workers)
+      string(JSON resize_entries GET "${line}" resharded_entries)
+      if(NOT resize_ok STREQUAL "ON" OR NOT resize_workers EQUAL 3
+         OR NOT resize_entries EQUAL 4)
+        message(FATAL_ERROR "multi-host resize ack wrong (ok=${resize_ok} "
+                            "workers=${resize_workers} "
+                            "resharded=${resize_entries}):\n${line}")
+      endif()
+      set(resize_acked TRUE)
+    elseif(op STREQUAL "stats")
+      string(JSON resize_count GET "${line}" router resizes)
+      if(NOT resize_count EQUAL 1)
+        message(FATAL_ERROR "multi-host resize run: router counted "
+                            "${resize_count} resizes, expected 1")
+      endif()
+    endif()
+    continue()
+  endif()
+  string(JSON id GET "${line}" id)
+  string(JSON status GET "${line}" status)
+  if(NOT status STREQUAL "ok")
+    message(FATAL_ERROR "multi-host resize run: job ${id} status "
+                        "'${status}':\n${line}")
+  endif()
+  string(JSON cache_state GET "${line}" cache)
+  string(REGEX REPLACE "\"cache\": \"[a-z]+\"" "\"cache\": \"-\""
+         stripped "${line}")
+  if(NOT DEFINED resize_first_${id})
+    set(resize_first_${id} "${stripped}")
+  else()
+    if(NOT cache_state STREQUAL "hit")
+      message(FATAL_ERROR "multi-host resize run: resubmitted ${id} "
+                          "reported cache '${cache_state}', expected 'hit' "
+                          "from the re-sharded snapshot:\n${line}")
+    endif()
+    if(NOT resize_first_${id} STREQUAL stripped)
+      message(FATAL_ERROR "multi-host resize run: ${id} differs across the "
+                          "resize\nbefore: ${resize_first_${id}}\n"
+                          "after:  ${stripped}")
+    endif()
+    set(resize_second_${id} "${stripped}")
+  endif()
+endforeach()
+if(NOT resize_acked)
+  message(FATAL_ERROR "multi-host resize run: no resize ack:\n${resize_out}")
+endif()
+foreach(id r1 r2 r3 r4)
+  if(NOT DEFINED resize_second_${id})
+    message(FATAL_ERROR "multi-host resize run: no post-resize response "
+                        "for ${id}:\n${resize_out}")
+  endif()
+endforeach()
+
+message(STATUS "multi-host fleet holds (pipe+TCP byte-identical to the "
+               "baseline, kill mid-batch replayed, resize 2->3 re-sharded "
+               "to cache hits)")

@@ -1,0 +1,44 @@
+#include "net/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace wtam::net {
+
+std::string Endpoint::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos)
+    throw std::invalid_argument("endpoint '" + std::string(text) +
+                                "': expected host:port");
+  if (text.find(':') != colon)
+    throw std::invalid_argument("endpoint '" + std::string(text) +
+                                "': more than one ':' (IPv6 literals are "
+                                "not supported; use a hostname)");
+  const std::string_view host = text.substr(0, colon);
+  const std::string_view port_text = text.substr(colon + 1);
+  if (host.empty())
+    throw std::invalid_argument("endpoint '" + std::string(text) +
+                                "': empty host");
+  if (port_text.empty())
+    throw std::invalid_argument("endpoint '" + std::string(text) +
+                                "': empty port");
+  long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("endpoint '" + std::string(text) +
+                                  "': port must be numeric");
+    port = port * 10 + (c - '0');
+    if (port > 65535)
+      throw std::invalid_argument("endpoint '" + std::string(text) +
+                                  "': port must be in [0, 65535]");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(host);
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+}  // namespace wtam::net

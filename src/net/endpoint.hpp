@@ -1,0 +1,35 @@
+// Network endpoint model for the multi-host serving tier.
+//
+// An Endpoint is a (host, port) pair in the "host:port" text form used
+// everywhere a socket address crosses a CLI or protocol boundary
+// (`wtam_serve --listen 127.0.0.1:7411`, `wtam_router --worker
+// hostA:7411`). Hosts are IPv4 literals or resolvable names; the parser
+// is deliberately strict (exactly one ':', non-empty host, numeric port
+// in [0, 65535]) so a typo fails at flag-parse time, not at connect
+// time. Port 0 is legal on the listen side — the kernel picks a free
+// port and Listener::local_endpoint() reports it — which is how tests
+// and CI avoid fixed-port collisions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wtam::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool operator==(const Endpoint&) const = default;
+
+  /// "host:port" — the inverse of parse_endpoint.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "host:port". Throws std::invalid_argument on an empty host,
+/// a missing/extra ':', or a non-numeric / out-of-range port.
+[[nodiscard]] Endpoint parse_endpoint(std::string_view text);
+
+}  // namespace wtam::net

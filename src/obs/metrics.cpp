@@ -269,8 +269,6 @@ void MetricsRegistry::reset() {
 // ---------------------------------------------------------------------------
 // Prometheus text exposition
 
-namespace {
-
 std::string sanitize_metric_name(const std::string& name) {
   std::string out;
   out.reserve(name.size());
@@ -282,6 +280,8 @@ std::string sanitize_metric_name(const std::string& name) {
   if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
   return out;
 }
+
+namespace {
 
 std::string format_sample_value(double value) {
   if (std::isfinite(value) && value == std::floor(value) &&

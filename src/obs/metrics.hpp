@@ -217,6 +217,12 @@ class MetricsRegistry {
       WTAM_GUARDED_BY(mu_);
 };
 
+/// Maps a registry metric name onto the Prometheus grammar: every
+/// character outside [a-zA-Z0-9_:] becomes '_' and a leading digit is
+/// prefixed. Exposed so other renderers of merged fleet metrics
+/// (serve::Router's prometheus verb) sanitize identically.
+[[nodiscard]] std::string sanitize_metric_name(const std::string& name);
+
 /// Prometheus text exposition (version 0.0.4) of a snapshot: counters
 /// and gauges as typed samples, histograms as summaries with quantile
 /// labels plus _sum/_count. Metric names are sanitized ('.' and any

@@ -1,10 +1,11 @@
 // Shard router for a fleet of wtam_serve workers — the distributed
-// serving tier (ISSUE 8 tentpole).
+// serving tier (ISSUE 8 tentpole, grown multi-host in ISSUE 9).
 //
-// One Router owns N worker subprocesses (each speaking the wtam_serve
-// NDJSON protocol on stdin/stdout) and presents the same protocol
-// upward: the caller feeds it one client line at a time and receives
-// complete response lines through a sink callback. In between:
+// One Router owns N workers — local subprocesses and/or remote
+// `wtam_serve --listen` endpoints, each behind a serve::WorkerLink
+// speaking the wtam_serve NDJSON protocol — and presents the same
+// protocol upward: the caller feeds it one client line at a time and
+// receives complete response lines through a sink callback. In between:
 //
 //   * jobs shard by cache identity — the job's first RequestKey (sweeps
 //     expand to per-width keys; the first one routes) hashes to a
@@ -19,11 +20,17 @@
 //     the way out, so responses merge correctly however far out of
 //     submission order the workers complete;
 //   * worker death is survived — a reader thread per worker detects
-//     EOF, respawns the same command into the same slot, and replays
-//     that worker's in-flight jobs in arrival order. Delivery is
-//     at-least-once (a job that completed just before the crash may run
-//     twice) and solves are idempotent, so the client still sees exactly
-//     one response per job: late duplicates are dropped as orphans;
+//     EOF, brings the slot back (respawn for pipe workers, reconnect
+//     with backoff for remote ones), and replays that worker's
+//     in-flight jobs in arrival order. Delivery is at-least-once (a job
+//     that completed just before the crash may run twice) and solves
+//     are idempotent, so the client still sees exactly one response per
+//     job: late duplicates are dropped as orphans;
+//   * liveness goes beyond EOF — with a nonzero ping interval, a health
+//     thread sends each worker {"op": "ping"} and severs any worker
+//     whose pong misses the deadline (a hung process or a dead-but-
+//     not-closed TCP peer looks exactly like a crash to the reader,
+//     which then replays as above);
 //   * admission control sheds — with a nonzero queue limit, a job whose
 //     target worker already has `limit` jobs in flight is answered
 //     immediately with status "overloaded" (fixed text, byte-
@@ -32,22 +39,32 @@
 //     cache_save broadcast to every worker and the acks merge (numbers
 //     sum, "ok" ANDs; histograms merge count/sum/min/max/mean). The
 //     merged stats/metrics additionally carry the router's own
-//     counters ("router" section / serve.router.* names). Two verbs are
-//     router-specific: {"op": "kill_worker", "worker": i} SIGKILLs a
-//     worker (crash-recovery test hook; the ack waits for the respawn
-//     to complete, so a following op always reaches a live fleet and
-//     the respawn is already visible to the next stats scrape) and
-//     shutdown drains the fleet before acking. `{"op": "metrics", "format": "prometheus"}` is not
-//     supported through the router (a merged text exposition would need
-//     re-rendering); scrape workers directly or use the JSON form.
+//     counters ("router" section / serve.router.* names).
+//     {"op": "metrics", "format": "prometheus"} renders the merged
+//     snapshot as Prometheus text in a "body" field — counters and
+//     gauges as samples, histograms as _sum/_count-only summaries
+//     (quantiles of independent sketches do not merge, so none are
+//     invented). Router-specific verbs: {"op": "ping"} answers from the
+//     router itself; {"op": "kill_worker", "worker": i} severs a worker
+//     (crash-recovery test hook; the ack waits for the slot to come
+//     back); {"op": "resize", "workers": M} re-shards the fleet (below);
+//     shutdown drains the fleet before acking;
+//   * the fleet resizes hot — resize drains in-flight work, stops the
+//     old fleet (local workers save their cache files on EOF), re-hashes
+//     every persisted cache entry into per-worker snapshots under the
+//     *new* RequestKey-hash → worker mapping, and boots the new fleet,
+//     so relocated keys warm-boot on their new owner and resubmissions
+//     stay cache hits (and byte-identical) across the resize.
 //
 // Threading: handle_line() is single-caller (the tool's stdin loop).
-// Reader threads deliver worker output concurrently; all shared state
-// sits under one mutex and the sink is serialized by its own lock, so
-// sink lines never interleave.
+// Reader threads deliver worker output concurrently and the health
+// thread ticks on its own cadence; all shared state sits under one
+// mutex and the sink is serialized by its own lock, so sink lines never
+// interleave.
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -57,20 +74,31 @@
 #include <vector>
 
 #include "api/json_value.hpp"
-#include "common/subprocess.hpp"
 #include "common/thread_annotations.hpp"
+#include "serve/worker_link.hpp"
 
 namespace wtam::serve {
 
 struct RouterOptions {
-  /// argv for each worker slot (size = fleet size, >= 1). Usually N
-  /// copies of the same wtam_serve command, with per-worker variations
-  /// (e.g. distinct --cache-file paths) baked in by the caller.
-  std::vector<std::vector<std::string>> worker_commands;
+  /// One spec per worker slot (size = fleet size, >= 1): local argv
+  /// commands and/or remote endpoints, mixed freely.
+  std::vector<WorkerSpec> workers;
   /// Per-worker in-flight cap: a job whose target worker already has
   /// this many jobs outstanding is shed with status "overloaded".
   /// 0 = never shed.
   std::uint64_t queue_limit = 0;
+  /// Health-check cadence; zero disables the health thread (EOF remains
+  /// the only death signal, as in PR 8).
+  std::chrono::milliseconds ping_interval{0};
+  /// A worker whose pong is older than this when the next tick fires is
+  /// severed and its jobs replayed.
+  std::chrono::milliseconds ping_deadline{2000};
+  /// Budget for connecting (and reconnecting) to remote workers.
+  std::chrono::milliseconds connect_wait{5000};
+  /// Builds the worker specs for a fleet of the given size — what the
+  /// resize verb boots after re-sharding. Must return exactly `count`
+  /// specs. Without a factory, resize is refused.
+  std::function<std::vector<WorkerSpec>(std::size_t count)> fleet_factory;
 };
 
 /// Router-level counters, reported under "router" in merged stats and
@@ -78,9 +106,12 @@ struct RouterOptions {
 struct RouterCounters {
   std::uint64_t routed = 0;    ///< jobs forwarded to a worker
   std::uint64_t shed = 0;      ///< jobs refused by admission control
-  std::uint64_t respawns = 0;  ///< dead workers restarted
+  std::uint64_t respawns = 0;  ///< dead workers restarted/reconnected
   std::uint64_t replayed = 0;  ///< in-flight jobs resent after a respawn
   std::uint64_t orphaned = 0;  ///< late/duplicate worker lines dropped
+  std::uint64_t pings = 0;     ///< health-check pings sent
+  std::uint64_t health_severed = 0;  ///< workers severed for missed pongs
+  std::uint64_t resizes = 0;   ///< completed resize operations
 };
 
 class Router {
@@ -92,11 +123,11 @@ class Router {
   /// Human-readable notices (worker died/respawned); may be empty.
   using Diag = std::function<void(const std::string&)>;
 
-  /// Spawns every worker and starts its reader. Throws if a worker
-  /// cannot be spawned (the fleet is all-or-nothing at boot).
+  /// Spawns/connects every worker and starts its reader. Throws if a
+  /// worker cannot be reached (the fleet is all-or-nothing at boot).
   Router(RouterOptions options, Sink sink, Diag diag = {});
 
-  /// Kills any still-running workers and joins the readers. Prefer a
+  /// Severs any still-running workers and joins the readers. Prefer a
   /// clean shutdown() first; the destructor is the crash path.
   ~Router();
 
@@ -113,9 +144,7 @@ class Router {
   void shutdown();
 
   [[nodiscard]] RouterCounters counters() const;
-  [[nodiscard]] int workers() const noexcept {
-    return static_cast<int>(slots_.size());
-  }
+  [[nodiscard]] int workers() const;
 
  private:
   struct Slot;
@@ -130,6 +159,7 @@ class Router {
   };
 
   void reader_loop(std::size_t index);
+  void health_loop();
   void handle_worker_line(std::size_t index, const std::string& line);
   void emit(const api::JsonValue& value);
   void emit_raw(const std::string& line);
@@ -144,6 +174,8 @@ class Router {
   void route_job(api::JsonValue value);
   [[nodiscard]] std::size_t shard_for(const api::JsonValue& value,
                                       const std::string& line) const;
+  void handle_resize(const api::JsonValue& value);
+  void stop_fleet_for_shutdown();
 
   RouterOptions options_;
   Sink sink_;
@@ -151,15 +183,21 @@ class Router {
 
   mutable common::Mutex mutex_;
   common::CondVar op_cv_;
+  common::CondVar health_cv_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<std::string, Pending> pending_ WTAM_GUARDED_BY(mutex_);
   std::uint64_t serial_ WTAM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t ping_serial_ WTAM_GUARDED_BY(mutex_) = 0;
   RouterCounters counters_ WTAM_GUARDED_BY(mutex_);
   bool shutting_down_ WTAM_GUARDED_BY(mutex_) = false;
+  /// While true, readers treat EOF as the planned teardown of the old
+  /// fleet (no respawn) and the health thread skips its tick.
+  bool resizing_ WTAM_GUARDED_BY(mutex_) = false;
   bool op_active_ WTAM_GUARDED_BY(mutex_) = false;
   int op_remaining_ WTAM_GUARDED_BY(mutex_) = 0;
   std::vector<bool> op_filled_ WTAM_GUARDED_BY(mutex_);
   std::vector<api::JsonValue> op_responses_ WTAM_GUARDED_BY(mutex_);
+  std::thread health_thread_;
 
   common::Mutex sink_mutex_;
 };

@@ -58,7 +58,7 @@ std::vector<std::string> cat_worker() { return {"/bin/cat"}; }
 RouterOptions cat_fleet(int workers, std::uint64_t queue_limit = 0) {
   RouterOptions options;
   for (int i = 0; i < workers; ++i)
-    options.worker_commands.push_back(cat_worker());
+    options.workers.push_back(WorkerSpec::local(cat_worker()));
   options.queue_limit = queue_limit;
   return options;
 }
@@ -195,7 +195,7 @@ TEST(Router, RespawnsDeadWorkerAndReplaysInFlightJobs) {
                              "'; IFS= read -r line; exit 0; "
                              "else exec /bin/cat; fi";
   RouterOptions options;
-  options.worker_commands.push_back({"/bin/sh", "-c", script});
+  options.workers.push_back(WorkerSpec::local({"/bin/sh", "-c", script}));
   auto collector = std::make_shared<Collector>();
   Router router(std::move(options),
                 [collector](const std::string& line) { (*collector)(line); });
@@ -219,10 +219,10 @@ TEST(Router, ShedsWhenTheTargetWorkerIsAtItsQueueLimit) {
   // a deterministic window in which the queue sits at its limit — no
   // timing assumptions.
   RouterOptions options;
-  options.worker_commands.push_back(
+  options.workers.push_back(WorkerSpec::local(
       {"/bin/sh", "-c",
        "IFS= read -r a; IFS= read -r b; "
-       "printf '%s\\n' \"$a\" \"$b\"; exec /bin/cat"});
+       "printf '%s\\n' \"$a\" \"$b\"; exec /bin/cat"}));
   options.queue_limit = 1;
   auto collector = std::make_shared<Collector>();
   Router router(std::move(options),
@@ -283,10 +283,117 @@ TEST(Router, EmptyFleetIsRejected) {
 
 TEST(Router, MissingWorkerBinaryFailsTheBoot) {
   RouterOptions options;
-  options.worker_commands.push_back(
-      {"/nonexistent/worker/binary/hopefully"});
+  options.workers.push_back(
+      WorkerSpec::local({"/nonexistent/worker/binary/hopefully"}));
   EXPECT_THROW(Router(std::move(options), [](const std::string&) {}),
                std::runtime_error);
+}
+
+TEST(Router, PingIsAnsweredByTheRouterItselfAndEchoesSeq) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"op\": \"ping\", \"seq\": 41}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue ack =
+      api::JsonValue::parse(collector->lines().front());
+  EXPECT_EQ(ack.find("op")->as_string(), "ping");
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  EXPECT_EQ(ack.find("seq")->as_int(), 41);
+  EXPECT_EQ(ack.find("workers")->as_int(), 2);
+  // cat workers never saw a line: the router answers pings itself, so a
+  // busy fleet cannot make the router look dead.
+  EXPECT_EQ(router.counters().routed, 0u);
+}
+
+TEST(Router, HealthThreadSeversAWorkerThatNeverPongs) {
+  // cat echoes the ping line verbatim — which IS a valid pong (op ping,
+  // seq echoed), so a healthy cat worker survives the health thread.
+  // A worker that swallows input (sh reading forever without printing)
+  // misses its deadline, is severed, and comes back as a cat.
+  const std::string flag =
+      ::testing::TempDir() + "router_health_flag_" +
+      std::to_string(::getpid());
+  std::remove(flag.c_str());
+  const std::string script = "if [ ! -e '" + flag + "' ]; then : > '" +
+                             flag +
+                             "'; while IFS= read -r line; do :; done; "
+                             "else exec /bin/cat; fi";
+  RouterOptions options;
+  options.workers.push_back(WorkerSpec::local({"/bin/sh", "-c", script}));
+  options.workers.push_back(WorkerSpec::local(cat_worker()));
+  options.ping_interval = std::chrono::milliseconds(50);
+  options.ping_deadline = std::chrono::milliseconds(200);
+  auto collector = std::make_shared<Collector>();
+  Router router(std::move(options),
+                [collector](const std::string& line) { (*collector)(line); });
+  // Wait (bounded) for the health thread to sever the mute worker and
+  // for its replacement to boot. The respawn happens on the reader
+  // thread after the sever lands, so poll for both counters.
+  bool recovered = false;
+  for (int i = 0; i < 2000 && !recovered; ++i) {
+    const RouterCounters snap = router.counters();
+    recovered = snap.health_severed >= 1 && snap.respawns >= 1;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_GE(router.counters().pings, 1u);
+  // The fleet still works end to end after the sever+respawn.
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"after-sever\", \"soc\": \"d695\", \"width\": 16}"));
+  std::vector<api::JsonValue> storage;
+  bool answered = false;
+  for (int i = 0; i < 2000 && !answered; ++i) {
+    answered = find_line_with_id(collector->lines(), storage,
+                                 "after-sever") != nullptr;
+    storage.clear();
+    if (!answered) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(answered);
+  std::remove(flag.c_str());
+}
+
+TEST(Router, ResizeWithoutAFleetFactoryIsRefused) {
+  auto collector = std::make_shared<Collector>();
+  Router router(cat_fleet(2),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"op\": \"resize\", \"workers\": 3}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue value =
+      api::JsonValue::parse(collector->lines().front());
+  EXPECT_NE(value.find("error"), nullptr);
+  EXPECT_EQ(router.counters().resizes, 0u);
+}
+
+TEST(Router, ResizeRebootsTheFleetAtTheNewSize) {
+  RouterOptions options;
+  options.workers = {WorkerSpec::local(cat_worker()),
+                     WorkerSpec::local(cat_worker())};
+  options.fleet_factory = [](std::size_t count) {
+    std::vector<WorkerSpec> specs;
+    for (std::size_t i = 0; i < count; ++i)
+      specs.push_back(WorkerSpec::local(cat_worker()));
+    return specs;
+  };
+  auto collector = std::make_shared<Collector>();
+  Router router(std::move(options),
+                [collector](const std::string& line) { (*collector)(line); });
+  EXPECT_TRUE(router.handle_line("{\"op\": \"resize\", \"workers\": 3}"));
+  ASSERT_TRUE(collector->wait_for(1));
+  const api::JsonValue ack =
+      api::JsonValue::parse(collector->lines().front());
+  ASSERT_EQ(ack.find("op")->as_string(), "resize") << collector->lines().front();
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  EXPECT_EQ(ack.find("workers")->as_int(), 3);
+  EXPECT_EQ(router.workers(), 3);
+  EXPECT_EQ(router.counters().resizes, 1u);
+  // The rebooted fleet routes jobs as before.
+  EXPECT_TRUE(router.handle_line(
+      "{\"id\": \"post-resize\", \"soc\": \"d695\", \"width\": 20}"));
+  ASSERT_TRUE(collector->wait_for(2));
+  std::vector<api::JsonValue> storage;
+  EXPECT_NE(find_line_with_id(collector->lines(), storage, "post-resize"),
+            nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,14 @@
+// Deliberately-bad fixture: raw socket syscalls outside src/net/. The
+// transport layer (net::Listener/net::Connection) is the only
+// sanctioned socket site — it owns SIGPIPE, EINTR retries, framing
+// bounds, and shutdown semantics.
+
+#include <sys/socket.h>
+
+int open_raw_socket() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);  // bad: bare socket(2)
+  char byte = 0;
+  (void)::recv(fd, &byte, 1, 0);  // bad: ::-qualified syscall too
+  ::shutdown(fd, SHUT_RDWR);      // bad: collision-prone name, :: form
+  return fd;
+}

@@ -35,6 +35,11 @@ repo-specific discipline, so this linter enforces it mechanically:
                      common::Subprocess, which owns the fd hygiene,
                      SIGPIPE, exec-failure reporting, and reaping.
                                                                   [src, tools]
+  raw-socket         socket syscalls (socket/bind/listen/accept/connect/
+                     send/recv/getaddrinfo/...) are banned outside
+                     src/net/ — talk through net::Listener /
+                     net::Connection, which own SIGPIPE, EINTR retries,
+                     framing bounds, and shutdown semantics.      [src, tools]
 
 A finding can be waived on its line (or the line above) with
     // wtam-lint: allow(<rule>) — <reason>
@@ -107,6 +112,24 @@ SUBPROCESS_ALLOWED = {
     str(Path("src") / "common" / "subprocess.hpp"),
     str(Path("src") / "common" / "subprocess.cpp"),
 }
+# Socket syscalls. Unambiguous names match bare or ::-qualified; names
+# that are also common identifiers (bind/listen/connect/send/recv/
+# shutdown — think std::bind, a `listen` flag, Router::shutdown()) only
+# match with an explicit :: so the rule cannot misfire on member calls
+# or declarations. src/net uses the :: spelling throughout, so the
+# syscalls themselves never slip past.
+_SOCKET_SAFE_NAMES = (
+    r"(?:socketpair|socket|accept4?|getaddrinfo|freeaddrinfo|getsockname|"
+    r"getpeername|setsockopt|getsockopt|recvfrom|recvmsg|sendto|sendmsg|"
+    r"inet_ntop|inet_pton)")
+_SOCKET_RISKY_NAMES = r"(?:bind|listen|connect|send|recv|shutdown)"
+RAW_SOCKET_RE = re.compile(
+    r"(?:(?<![\w.:>])" + _SOCKET_SAFE_NAMES +
+    r"|(?<!\w)::" + _SOCKET_SAFE_NAMES +
+    r"|(?<!\w)::" + _SOCKET_RISKY_NAMES +
+    r")\s*\(")
+# The only directory allowed to touch sockets directly.
+NET_ALLOWED_PREFIX = str(Path("src") / "net") + "/"
 COMMENT_RE = re.compile(r"//|/\*")
 
 
@@ -162,6 +185,13 @@ def lint_file(path, rel, lines, scopes):
                    "raw process spawning — go through common::Subprocess "
                    "(src/common/subprocess.hpp), the only sanctioned "
                    "fork/exec site")
+
+        if (not rel.startswith(NET_ALLOWED_PREFIX)
+                and RAW_SOCKET_RE.search(line)):
+            report(idx, "raw-socket",
+                   "raw socket syscall — go through net::Listener/"
+                   "net::Connection (src/net/), the only sanctioned "
+                   "socket site")
 
         if rel not in CLOCK_ALLOWED and RAW_CLOCK_RE.search(line):
             report(idx, "raw-clock-now",

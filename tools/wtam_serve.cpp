@@ -1,16 +1,17 @@
 // wtam_serve — long-running wrapper/TAM co-optimization service.
 //
-// Speaks newline-delimited JSON (NDJSON) on stdin/stdout: one request
-// per input line, one response object per output line. The job schema is
-// exactly the batch wire format (src/api/job_io.hpp), so anything that
-// can write a jobs file can talk to the server:
+// Speaks newline-delimited JSON (NDJSON): one request per input line,
+// one response object per output line, on either transport:
+//   * stdin/stdout (the default) — one client, the process's pipes;
+//   * --listen HOST:PORT — a TCP server; every connected client speaks
+//     the same protocol concurrently against one shared service (one
+//     solver, one cache, one admission-controlled pool).
+// The job schema is exactly the batch wire format (src/api/job_io.hpp),
+// so anything that can write a jobs file can talk to the server:
 //
 //   {"id": "a", "soc": "d695", "width": 32, "backend": "rectpack"}
 //   {"id": "b", "soc": "d695", "width": 16, "width_max": 24}
-//   {"id": "c", "soc": "d695", "width": 32, "backend": "rectpack",
-//    "constraints": {"power": [...], "power_budget": 2000}}
 //   {"op": "stats"}
-//   {"op": "cache_clear"}
 //   {"op": "shutdown"}
 //
 // Jobs execute concurrently on a worker pool and results are written
@@ -18,27 +19,30 @@
 // `id` is echoed into every result so callers correlate. Every result
 // carries `cache: hit|miss|bypass` (the memoizing ResultCache is on by
 // default; an identical resubmission is served byte-identically without
-// running an engine). Control verbs:
-//   stats        — jobs accepted/started/completed, error-response,
-//                  shed, and in-flight/queue-depth gauges, plus cache
+// running an engine). Control verbs (src/serve/service.hpp implements
+// them; full semantics documented there):
+//   ping         — liveness probe, answered inline even under load;
+//                  echoes "seq" (the router's health checks use this)
+//   stats        — job counters + cache counters, one consistent snapshot
+//   metrics      — full MetricsRegistry snapshot ({"drain": true} waits
+//                  for in-flight jobs; {"format": "prometheus"} returns
+//                  the text exposition in a "body" string field)
+//   cache_clear  — drop every cached entry; ack carries the PRE-clear
 //                  counters
-//   metrics      — full MetricsRegistry snapshot. Options on the verb:
-//                  {"op": "metrics", "drain": true} waits for in-flight
-//                  jobs first (deterministic counters for scripted
-//                  scrapes); {"op": "metrics", "format": "prometheus"}
-//                  returns the text exposition in a "body" string field
-//                  (the response stays one NDJSON line either way)
-//   cache_clear  — drop every cached entry and zero the cache counters;
-//                  the ack carries the PRE-clear counters (the last
-//                  consistent look at the epoch being discarded), so
-//                  post-clear scrapes read deterministically from zero
 //   cache_save   — snapshot the cache to {"path": ...} (default: the
-//                  --cache-file path); ack reports entries/bytes written
+//                  --cache-file path)
 //   shutdown     — stop reading, drain in-flight jobs, save the cache
-//                  (when --cache-file is set), ack, exit 0
-// EOF on stdin behaves like shutdown (without the ack line).
+//                  (when --cache-file is set), ack, exit 0. Over TCP
+//                  this stops the whole server, not just the client.
+// EOF on stdin behaves like shutdown (without the ack line); EOF from a
+// TCP client just ends that client. SIGTERM/SIGINT drain and save the
+// cache before exiting, so kill-based orchestration keeps the warmth.
 //
 // Options:
+//   --listen H:P     serve TCP clients on H:P instead of stdin/stdout
+//                    (port 0 = kernel-assigned; see --port-file)
+//   --port-file P    write the actually-bound host:port to P once
+//                    listening (how scripts use --listen 127.0.0.1:0)
 //   --threads N      concurrent jobs (default 0 = one per hardware thread)
 //   --cache-mb M     cache byte budget in MiB (default 64; 0 disables)
 //   --no-cache       disable the result cache
@@ -46,40 +50,45 @@
 //                    start (missing file = cold start; torn tail = load
 //                    the valid prefix; wrong version = refuse the file
 //                    and start cold, loudly) and save back to P on
-//                    shutdown/EOF after the drain
+//                    shutdown/EOF/SIGTERM after the drain
 //   --queue-limit N  admission control: when more than N accepted jobs
 //                    are waiting for a worker, new jobs are shed with
 //                    status "overloaded" instead of queued (0 = never
-//                    shed, the default). Shedding bounds queue time —
-//                    clients retry, the queue never grows unboundedly
+//                    shed, the default)
 //   --timing         include cpu_s/wall_s in results (off by default so
 //                    responses are byte-identical across runs)
 //   --trace          include per-solve stage spans (`trace` array) in
 //                    results — opt-in execution provenance like --timing
 //   --quiet          no startup banner on stderr
 //
-// Exit status: 0 on clean shutdown/EOF, 2 on usage errors. Malformed
-// request lines are answered with an {"error": ...} object (the id is
-// echoed when one can be salvaged) and the server keeps serving — a bad
-// client must not take the service down.
+// Exit status: 0 on clean shutdown/EOF/signal, 1 when --listen cannot
+// bind, 2 on usage errors. Malformed request lines are answered with an
+// {"error": ...} object (the id is echoed when one can be salvaged) and
+// the server keeps serving — a bad client must not take the service
+// down. An oversized line (beyond the framing bound) is answered with a
+// clean error and the stream resyncs at the next newline.
 
-#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
-#include "api/cache_store.hpp"
-#include "api/job_io.hpp"
-#include "api/result_cache.hpp"
-#include "api/solver.hpp"
+#include <poll.h>
+#include <unistd.h>
+
 #include "common/thread_annotations.hpp"
-#include "common/thread_pool.hpp"
-#include "common/timer.hpp"
-#include "obs/metrics.hpp"
-#include "obs/metrics_json.hpp"
+#include "net/endpoint.hpp"
+#include "net/socket.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -87,195 +96,282 @@ using namespace wtam;
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::cerr << "error: " << error << "\n\n";
-  std::cerr << "usage: wtam_serve [--threads N] [--cache-mb M] [--no-cache]\n"
+  std::cerr << "usage: wtam_serve [--listen HOST:PORT] [--port-file PATH]\n"
+               "                  [--threads N] [--cache-mb M] [--no-cache]\n"
                "                  [--cache-file PATH] [--queue-limit N]\n"
                "                  [--timing] [--trace] [--quiet]\n"
-               "NDJSON protocol on stdin/stdout; see README (wtam_serve).\n";
+               "NDJSON protocol on stdin/stdout (or TCP with --listen); "
+               "see README (wtam_serve).\n";
   std::exit(2);
 }
 
-/// Serializes response lines: results may complete on any worker, but
-/// each NDJSON line must hit stdout whole and be flushed (callers block
-/// on our output).
-class LineWriter {
+/// Serializes stdout response lines: results may complete on any pool
+/// worker, but each NDJSON line must hit stdout whole and be flushed
+/// (callers block on our output).
+class StdoutWriter {
  public:
-  void write(const api::JsonValue& value) {
-    const std::string line = value.dump_compact_string();
-    const wtam::common::MutexLock lock(mutex_);
+  void write(const std::string& line) {
+    const common::MutexLock lock(mutex_);
     std::cout << line << '\n' << std::flush;
   }
 
  private:
-  wtam::common::Mutex mutex_;
+  common::Mutex mutex_;
 };
 
-/// Job accounting shared between the read loop and the worker pool.
-/// Every field sits under one mutex so `stats` reads one consistent
-/// snapshot (accepted/completed/pending can never be observed torn) and
-/// the drain wait observes the same counters the workers update.
-class JobAccounting {
+// SIGTERM/SIGINT land here: the self-pipe trick. The handler does the
+// only async-signal-safe thing — writes one byte — and the transport
+// loops treat that byte as "stop accepting, drain, save, exit", so a
+// kill-based orchestrator gets the same warm cache a clean shutdown
+// leaves behind. Installed WITHOUT SA_RESTART so a blocked stdin read
+// returns instead of silently resuming.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_stop_signal(int) {
+  const char byte = 's';
+  const ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void install_signal_handlers() {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "wtam_serve: signal pipe failed; running without "
+                 "drain-on-signal\n";
+    return;
+  }
+  struct sigaction action = {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupted reads must return
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+/// Tracks live TCP connections so shutdown (verb or signal) can sever
+/// every client and unblock their reader threads.
+class ConnectionRegistry {
  public:
-  struct Snapshot {
-    std::uint64_t accepted = 0;
-    std::uint64_t started = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t errors = 0;
-    std::uint64_t shed = 0;
-    std::size_t pending = 0;
+  void add(std::uint64_t id, std::shared_ptr<net::Connection> connection) {
+    const common::MutexLock lock(mutex_);
+    connections_.emplace(id, std::move(connection));
+  }
 
-    /// Jobs a worker is executing right now.
-    [[nodiscard]] std::uint64_t running() const noexcept {
-      return started - completed;
+  void remove(std::uint64_t id) {
+    const common::MutexLock lock(mutex_);
+    connections_.erase(id);
+  }
+
+  void sever_all() {
+    std::vector<std::shared_ptr<net::Connection>> victims;
+    {
+      const common::MutexLock lock(mutex_);
+      victims.reserve(connections_.size());
+      for (auto& [id, connection] : connections_)
+        victims.push_back(connection);
+      connections_.clear();
     }
-    /// Jobs accepted but still waiting for a worker.
-    [[nodiscard]] std::uint64_t queue_depth() const noexcept {
-      return accepted - started;
-    }
-  };
-
-  /// Registers a newly read job; returns its 1-based accept number
-  /// (used to synthesize ids for id-less requests).
-  [[nodiscard]] std::uint64_t job_accepted() {
-    const wtam::common::MutexLock lock(mutex_);
-    ++pending_;
-    return ++accepted_;
-  }
-
-  /// Admission control: accepts the job only when fewer than `limit`
-  /// jobs are queued (limit 0 = unlimited). The depth check and the
-  /// accept are one critical section, so concurrent readers can never
-  /// overshoot the limit between checking and counting. Returns the
-  /// accept number, or 0 when the job was shed.
-  [[nodiscard]] std::uint64_t try_accept(std::uint64_t limit) {
-    const wtam::common::MutexLock lock(mutex_);
-    if (limit != 0 && accepted_ - started_ >= limit) {
-      ++shed_;
-      return 0;
-    }
-    ++pending_;
-    return ++accepted_;
-  }
-
-  /// Marks one job picked up by a worker (running = started - completed).
-  void job_started() {
-    const wtam::common::MutexLock lock(mutex_);
-    ++started_;
-  }
-
-  /// Marks one job finished and wakes the drain waiter when idle.
-  void job_completed() {
-    const wtam::common::MutexLock lock(mutex_);
-    --pending_;
-    ++completed_;
-    if (pending_ == 0) drained_.notify_all();
-  }
-
-  /// Counts one per-line error response (malformed JSON, bad op, bad
-  /// job) — previously invisible in `stats`.
-  void error_recorded() {
-    const wtam::common::MutexLock lock(mutex_);
-    ++errors_;
-  }
-
-  /// Blocks until no job is in flight; returns the counters as observed
-  /// in that same critical section (the shutdown ack reports `completed`
-  /// from here rather than re-reading it unlocked later).
-  [[nodiscard]] Snapshot wait_for_drain() {
-    const wtam::common::MutexLock lock(mutex_);
-    while (pending_ != 0) drained_.wait(mutex_);
-    return snapshot_locked();
-  }
-
-  [[nodiscard]] Snapshot snapshot() const {
-    const wtam::common::MutexLock lock(mutex_);
-    return snapshot_locked();
+    for (const auto& connection : victims) connection->shutdown_both();
   }
 
  private:
-  [[nodiscard]] Snapshot snapshot_locked() const WTAM_REQUIRES(mutex_) {
-    Snapshot snapshot;
-    snapshot.accepted = accepted_;
-    snapshot.started = started_;
-    snapshot.completed = completed_;
-    snapshot.errors = errors_;
-    snapshot.shed = shed_;
-    snapshot.pending = pending_;
-    return snapshot;
-  }
-
-  mutable wtam::common::Mutex mutex_;
-  wtam::common::CondVar drained_;
-  std::size_t pending_ WTAM_GUARDED_BY(mutex_) = 0;
-  std::uint64_t accepted_ WTAM_GUARDED_BY(mutex_) = 0;
-  std::uint64_t started_ WTAM_GUARDED_BY(mutex_) = 0;
-  std::uint64_t completed_ WTAM_GUARDED_BY(mutex_) = 0;
-  std::uint64_t errors_ WTAM_GUARDED_BY(mutex_) = 0;
-  std::uint64_t shed_ WTAM_GUARDED_BY(mutex_) = 0;
+  common::Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<net::Connection>>
+      connections_ WTAM_GUARDED_BY(mutex_);
 };
 
-api::JsonValue error_response(const std::string& id,
-                              const std::string& message) {
-  api::JsonValue response = api::JsonValue::object();
-  if (!id.empty()) response.set("id", api::JsonValue::string(id));
-  response.set("error", api::JsonValue::string(message));
-  return response;
-}
+/// The stdin/stdout transport. Polls stdin alongside the signal pipe so
+/// SIGTERM/SIGINT break the read loop; lines are reassembled from raw
+/// chunks (the poll wakeup granularity), and a final unterminated line
+/// still counts. Returns the process exit status.
+int run_stdio(serve::Service& service) {
+  StdoutWriter out;
+  const serve::Service::Sink sink = [&out](const std::string& line) {
+    out.write(line);
+  };
 
-/// Best-effort id extraction from a parsed request that failed later
-/// validation, so the client can still correlate the error response.
-std::string salvage_id(const api::JsonValue& value) {
-  if (const api::JsonValue* id = value.find("id"))
-    if (id->kind() == api::JsonValue::Kind::String) return id->as_string();
-  return {};
-}
-
-/// Syncs the serve gauges from job accounting, snapshots the process
-/// registry, and folds the cache's counters in, so one scrape shows the
-/// whole service. Counter/gauge lists are re-sorted so the merged
-/// snapshot keeps the registry's deterministic name order.
-obs::MetricsSnapshot scrape_metrics(const JobAccounting::Snapshot& jobs,
-                                    const api::ResultCache* cache) {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
-  registry.gauge("serve.inflight_jobs")
-      .set(static_cast<std::int64_t>(jobs.running()));
-  registry.gauge("serve.queue_depth")
-      .set(static_cast<std::int64_t>(jobs.queue_depth()));
-  obs::MetricsSnapshot snapshot = registry.snapshot();
-  if (cache != nullptr) {
-    const api::ResultCacheStats stats = cache->stats();
-    const auto counter = [&snapshot](const char* name, std::uint64_t value) {
-      snapshot.counters.push_back({name, static_cast<std::int64_t>(value)});
-    };
-    counter("serve.cache.hits", stats.hits);
-    counter("serve.cache.misses", stats.misses);
-    counter("serve.cache.coalesced", stats.coalesced);
-    counter("serve.cache.insertions", stats.insertions);
-    counter("serve.cache.evictions", stats.evictions);
-    const auto gauge = [&snapshot](const char* name, std::uint64_t value) {
-      snapshot.gauges.push_back({name, static_cast<std::int64_t>(value)});
-    };
-    gauge("serve.cache.entries", stats.entries);
-    gauge("serve.cache.bytes", stats.bytes);
-    gauge("serve.cache.max_bytes", stats.max_bytes);
-    const auto by_name = [](const auto& a, const auto& b) {
-      return a.name < b.name;
-    };
-    std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
-    std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::string buffer;
+  std::uint64_t line_number = 0;
+  bool eof = false;
+  bool signaled = false;
+  while (!eof && !signaled) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const nfds_t count = g_signal_pipe[0] >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, count, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (count == 2 && (fds[1].revents & POLLIN) != 0) {
+      signaled = true;
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof = true;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t newline = buffer.find('\n', start);
+         newline != std::string::npos;
+         newline = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (service.handle_line(line, ++line_number, sink) ==
+          serve::Service::Action::Shutdown) {
+        return 0;  // drained, saved, acked inside the verb
+      }
+    }
+    buffer.erase(0, start);
   }
-  return snapshot;
+  // EOF: a final unterminated line still counts (matches getline).
+  if (eof && !buffer.empty()) {
+    if (service.handle_line(buffer, ++line_number, sink) ==
+        serve::Service::Action::Shutdown)
+      return 0;
+  }
+  // EOF or signal: drain and exit like a silent shutdown (cache saved
+  // the same).
+  service.drain_and_save();
+  return 0;
+}
+
+/// The TCP transport: accept loop + one reader thread per client, all
+/// sharing one Service. A client's `shutdown` verb (or SIGTERM/SIGINT)
+/// stops the listener, severs every client, drains, and saves.
+int run_listen(serve::Service& service, const net::Endpoint& endpoint,
+               const std::string& port_file, bool quiet) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(endpoint);
+  } catch (const std::exception& e) {
+    std::cerr << "wtam_serve: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!port_file.empty()) {
+    // tmp + rename: pollers waiting on the file never read a torn
+    // endpoint.
+    const std::string tmp = port_file + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << listener->local_endpoint().to_string() << "\n";
+    out.close();
+    if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::cerr << "wtam_serve: cannot write --port-file " << port_file
+                << "\n";
+      return 1;
+    }
+  }
+  if (!quiet)
+    std::cerr << "wtam_serve: listening on "
+              << listener->local_endpoint().to_string() << " ("
+              << service.workers() << " workers, cache "
+              << (service.cache_enabled()
+                      ? std::to_string(service.cache_mb()) + " MiB"
+                      : std::string("off"))
+              << ")\n";
+
+  ConnectionRegistry registry;
+  std::atomic<bool> stopping{false};
+
+  // Signal watcher: SIGTERM/SIGINT (via the self-pipe) stop the accept
+  // loop; the main thread then severs clients, drains, and saves. The
+  // main thread wakes this watcher with its own byte on clean exits.
+  std::thread signal_watcher;
+  if (g_signal_pipe[0] >= 0)
+    signal_watcher = std::thread([&listener] {
+      char byte = 0;
+      ssize_t n = 0;
+      do {
+        n = ::read(g_signal_pipe[0], &byte, 1);
+      } while (n < 0 && errno == EINTR);
+      listener->stop();
+    });
+
+  std::vector<std::thread> readers;
+  std::uint64_t next_id = 0;
+  while (std::unique_ptr<net::Connection> accepted = listener->accept()) {
+    const std::uint64_t id = ++next_id;
+    std::shared_ptr<net::Connection> connection(std::move(accepted));
+    registry.add(id, connection);
+    readers.push_back(std::thread([&service, &registry, &listener, &stopping,
+                                   connection, id] {
+      // The sink holds the connection alive until its last in-flight
+      // job has written its response; writes after a disconnect fail
+      // silently inside the transport.
+      const serve::Service::Sink sink =
+          [connection](const std::string& line) {
+            (void)connection->write_line(line);
+          };
+      std::string line;
+      std::uint64_t line_number = 0;
+      for (;;) {
+        switch (connection->read_line(line)) {
+          case net::ReadStatus::Line: {
+            ++line_number;
+            if (line.empty()) continue;
+            if (service.handle_line(line, line_number, sink) ==
+                serve::Service::Action::Shutdown) {
+              // Drained and saved; now stop the world. The ack already
+              // reached this client.
+              stopping.store(true);
+              listener->stop();
+              registry.sever_all();
+              return;
+            }
+            continue;
+          }
+          case net::ReadStatus::TooLong: {
+            ++line_number;
+            api::JsonValue response = api::JsonValue::object();
+            response.set(
+                "error",
+                api::JsonValue::string(
+                    "line " + std::to_string(line_number) +
+                    ": frame exceeds the line-length bound; resynced at "
+                    "the next newline"));
+            sink(response.dump_compact_string());
+            continue;
+          }
+          case net::ReadStatus::Eof:
+            // Client hung up: just this client ends. In-flight jobs
+            // still complete (their writes land on the dead socket and
+            // are dropped).
+            registry.remove(id);
+            return;
+        }
+      }
+    }));
+  }
+
+  // Accept loop ended: a signal or a shutdown verb. Sever any remaining
+  // clients so their readers unblock, then join and drain.
+  registry.sever_all();
+  for (std::thread& reader : readers) reader.join();
+  if (signal_watcher.joinable()) {
+    const char byte = 'q';
+    const ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+    (void)ignored;
+    signal_watcher.join();
+  }
+  if (!stopping.load()) service.drain_and_save();  // signal path
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int threads = 0;  // server default: use the hardware
-  std::size_t cache_mb = 64;
-  bool use_cache = true;
-  std::string cache_file;
-  std::uint64_t queue_limit = 0;  // 0 = never shed
-  bool timing = false;
-  bool trace = false;
+  serve::ServiceOptions options;
+  options.threads = 0;  // server default: use the hardware
+  std::string listen;
+  std::string port_file;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -284,27 +380,39 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
-    if (arg == "--threads") {
-      threads = std::atoi(value());
-      if (threads < 0) usage("--threads must be >= 0 (0 = hardware threads)");
+    if (arg == "--listen") {
+      listen = value();
+      try {
+        (void)net::parse_endpoint(listen);  // fail at flag-parse time
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    } else if (arg == "--port-file") {
+      port_file = value();
+      if (port_file.empty()) usage("--port-file needs a non-empty path");
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(value());
+      if (options.threads < 0)
+        usage("--threads must be >= 0 (0 = hardware threads)");
     } else if (arg == "--cache-mb") {
       const int mb = std::atoi(value());
       if (mb < 0) usage("--cache-mb must be >= 0 (0 disables the cache)");
-      cache_mb = static_cast<std::size_t>(mb);
-      use_cache = mb > 0;
+      options.cache_mb = static_cast<std::size_t>(mb);
+      options.use_cache = mb > 0;
     } else if (arg == "--no-cache") {
-      use_cache = false;
+      options.use_cache = false;
     } else if (arg == "--cache-file") {
-      cache_file = value();
-      if (cache_file.empty()) usage("--cache-file needs a non-empty path");
+      options.cache_file = value();
+      if (options.cache_file.empty())
+        usage("--cache-file needs a non-empty path");
     } else if (arg == "--queue-limit") {
       const int limit = std::atoi(value());
       if (limit < 0) usage("--queue-limit must be >= 0 (0 = never shed)");
-      queue_limit = static_cast<std::uint64_t>(limit);
+      options.queue_limit = static_cast<std::uint64_t>(limit);
     } else if (arg == "--timing") {
-      timing = true;
+      options.timing = true;
     } else if (arg == "--trace") {
-      trace = true;
+      options.trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -313,337 +421,29 @@ int main(int argc, char** argv) {
       usage(("unknown option " + arg).c_str());
     }
   }
-
-  std::shared_ptr<api::ResultCache> cache;
-  if (use_cache) {
-    api::ResultCacheOptions cache_options;
-    cache_options.max_bytes = cache_mb << 20;
-    cache = std::make_shared<api::ResultCache>(cache_options);
-  }
-  if (!cache && !cache_file.empty())
+  if (!options.use_cache && !options.cache_file.empty())
     usage("--cache-file needs the cache (drop --no-cache / --cache-mb 0)");
+  if (listen.empty() && !port_file.empty())
+    usage("--port-file only makes sense with --listen");
 
-  // Warm boot: load the snapshot before any job runs, then zero the
-  // counters so scrapes only count this process's traffic (the loader's
-  // own insertions are bookkeeping, not service history).
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
-  if (cache && !cache_file.empty()) {
-    try {
-      const api::CacheLoadStats loaded =
-          api::load_cache_file(*cache, cache_file);
-      registry.counter("serve.persist.loaded_entries")
-          .increment(static_cast<std::int64_t>(loaded.entries_loaded));
-      registry.counter("serve.persist.rejected_entries")
-          .increment(static_cast<std::int64_t>(loaded.entries_rejected));
-      if (!loaded.clean_tail)
-        registry.counter("serve.persist.torn_tails").increment();
-      if (!quiet && loaded.found)
-        std::cerr << "wtam_serve: warm boot from " << cache_file << " ("
-                  << loaded.entries_loaded << " entries"
-                  << (loaded.clean_tail ? "" : ", torn tail truncated")
-                  << ")\n";
-    } catch (const std::exception& e) {
-      // Version mismatch / unreadable snapshot: refuse the file, start
-      // cold, and say so — a stale-format cache must never be trusted,
-      // but it must not take the service down either.
-      registry.counter("serve.persist.load_failures").increment();
-      std::cerr << "wtam_serve: ignoring cache file: " << e.what() << "\n";
-    }
-    cache->reset_stats();
-  }
-  // Each job runs through one shared Solver (single-solve calls are
-  // thread-safe; the cache coalesces concurrent identical jobs).
-  api::SolverOptions solver_options = api::SolverOptions::with_threads(1, cache);
-  solver_options.trace = trace;
-  const api::Solver solver(std::move(solver_options));
-  api::ResultsWriteOptions write_options;
-  write_options.include_timing = timing;
-  write_options.include_cache = true;
-  write_options.include_trace = trace;
+  install_signal_handlers();
 
-  LineWriter out;
+  serve::Service service(std::move(options),
+                         [quiet](const std::string& message) {
+                           if (!quiet)
+                             std::cerr << "wtam_serve: " << message << "\n";
+                         });
 
-  // In-flight accounting: shutdown/EOF drain before exiting, and `stats`
-  // reports progress.
-  JobAccounting accounting;
-
-  // Process-wide serve metrics, scraped by the `metrics` verb alongside
-  // everything the solver/engines record.
-  obs::Counter& jobs_accepted_counter = registry.counter("serve.jobs_accepted");
-  obs::Counter& jobs_completed_counter =
-      registry.counter("serve.jobs_completed");
-  obs::Counter& errors_counter = registry.counter("serve.errors");
-  obs::Counter& jobs_shed_counter = registry.counter("serve.jobs_shed");
-  obs::Histogram& job_hist = registry.histogram("serve.job_ns");
-
-  // Every per-line error response goes through here so `stats` and the
-  // serve.errors counter see it.
-  const auto write_error = [&accounting, &errors_counter, &out](
-                               const std::string& id,
-                               const std::string& message) {
-    accounting.error_recorded();
-    errors_counter.increment();
-    out.write(error_response(id, message));
-  };
-
-  // Final persistence: shutdown and EOF both save back to --cache-file
-  // after the drain, so the next boot is warm. A failed save must not
-  // turn a clean shutdown into a crash — it is reported and counted.
-  const auto save_cache_on_exit = [&cache, &cache_file, &registry] {
-    if (!cache || cache_file.empty()) return;
-    try {
-      const api::CacheSaveStats saved =
-          api::save_cache_file(*cache, cache_file);
-      registry.counter("serve.persist.saves").increment();
-      (void)saved;
-    } catch (const std::exception& e) {
-      registry.counter("serve.persist.save_failures").increment();
-      std::cerr << "wtam_serve: cache save failed: " << e.what() << "\n";
-    }
-  };
-
-  // Declared after everything its workers reference, so the pool's
-  // joining destructor runs first on every exit path.
-  const int workers =
-      threads == 0 ? common::ThreadPool::hardware_threads() : threads;
-  common::ThreadPool pool(workers);
+  if (!listen.empty())
+    return run_listen(service, net::parse_endpoint(listen), port_file, quiet);
 
   if (!quiet)
-    std::cerr << "wtam_serve: ready (" << workers << " workers, cache "
-              << (cache ? std::to_string(cache_mb) + " MiB" : "off")
+    std::cerr << "wtam_serve: ready (" << service.workers()
+              << " workers, cache "
+              << (service.cache_enabled()
+                      ? std::to_string(service.cache_mb()) + " MiB"
+                      : std::string("off"))
               << "); one JSON request per line, {\"op\": \"shutdown\"} to "
                  "stop\n";
-
-  std::string line;
-  std::uint64_t line_number = 0;
-  while (std::getline(std::cin, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-
-    // Each line is parsed exactly once; control verbs are handled inline
-    // on the read loop, jobs go to the pool so the loop keeps accepting
-    // while engines run.
-    api::JsonValue value;
-    try {
-      value = api::JsonValue::parse(line);
-    } catch (const std::exception& e) {
-      write_error({}, "line " + std::to_string(line_number) + ": " + e.what());
-      continue;
-    }
-    if (const api::JsonValue* op = value.find("op")) {
-      try {
-        const std::string verb = op->as_string();
-        if (verb == "shutdown") {
-          const JobAccounting::Snapshot drained = accounting.wait_for_drain();
-          save_cache_on_exit();
-          api::JsonValue response = api::JsonValue::object();
-          response.set("op", api::JsonValue::string("shutdown"));
-          response.set("ok", api::JsonValue::boolean(true));
-          response.set("jobs",
-                       api::JsonValue::number(
-                           static_cast<std::int64_t>(drained.completed)));
-          out.write(response);
-          return 0;
-        } else if (verb == "stats") {
-          api::JsonValue response = api::JsonValue::object();
-          response.set("op", api::JsonValue::string("stats"));
-          const JobAccounting::Snapshot now = accounting.snapshot();
-          response.set("accepted", api::JsonValue::number(
-                                       static_cast<std::int64_t>(now.accepted)));
-          response.set("completed",
-                       api::JsonValue::number(
-                           static_cast<std::int64_t>(now.completed)));
-          response.set("pending", api::JsonValue::number(
-                                      static_cast<std::int64_t>(now.pending)));
-          response.set("errors", api::JsonValue::number(
-                                     static_cast<std::int64_t>(now.errors)));
-          response.set("shed", api::JsonValue::number(
-                                   static_cast<std::int64_t>(now.shed)));
-          response.set("running", api::JsonValue::number(
-                                      static_cast<std::int64_t>(now.running())));
-          response.set("queue_depth",
-                       api::JsonValue::number(
-                           static_cast<std::int64_t>(now.queue_depth())));
-          if (cache) {
-            const api::ResultCacheStats stats = cache->stats();
-            api::JsonValue cache_json = api::JsonValue::object();
-            const auto set_count = [&](const char* key, std::uint64_t count) {
-              cache_json.set(key, api::JsonValue::number(
-                                      static_cast<std::int64_t>(count)));
-            };
-            set_count("hits", stats.hits);
-            set_count("misses", stats.misses);
-            set_count("coalesced", stats.coalesced);
-            set_count("insertions", stats.insertions);
-            set_count("evictions", stats.evictions);
-            set_count("entries", stats.entries);
-            set_count("bytes", stats.bytes);
-            set_count("max_bytes", stats.max_bytes);
-            response.set("cache", std::move(cache_json));
-          }
-          out.write(response);
-        } else if (verb == "metrics") {
-          bool drain = false;
-          if (const api::JsonValue* flag = value.find("drain"))
-            drain = flag->as_bool();
-          std::string format = "json";
-          if (const api::JsonValue* requested = value.find("format"))
-            format = requested->as_string();
-          if (format != "json" && format != "prometheus") {
-            write_error(salvage_id(value),
-                        "metrics format must be \"json\" or \"prometheus\"");
-            continue;
-          }
-          // drain waits for in-flight jobs first, so a scripted scrape
-          // observes deterministic counters (the CI smoke asserts
-          // accepted == completed == jobs submitted).
-          const JobAccounting::Snapshot now =
-              drain ? accounting.wait_for_drain() : accounting.snapshot();
-          const obs::MetricsSnapshot snapshot =
-              scrape_metrics(now, cache.get());
-          api::JsonValue response = api::JsonValue::object();
-          response.set("op", api::JsonValue::string("metrics"));
-          if (format == "prometheus") {
-            response.set("format", api::JsonValue::string("prometheus"));
-            response.set("body",
-                         api::JsonValue::string(obs::to_prometheus(snapshot)));
-          } else {
-            // Materialized first: members() returns a reference into the
-            // document, which must outlive the loop.
-            const api::JsonValue sections = obs::metrics_to_json(snapshot);
-            for (const auto& [section, content] : sections.members())
-              response.set(section, content);
-          }
-          out.write(response);
-        } else if (verb == "cache_clear") {
-          api::JsonValue response = api::JsonValue::object();
-          response.set("op", api::JsonValue::string("cache_clear"));
-          response.set("ok", api::JsonValue::boolean(cache != nullptr));
-          if (cache) {
-            // The ack carries the PRE-clear counters: the last consistent
-            // look at the epoch being discarded. After the ack, both the
-            // entries and the counters read from zero.
-            const api::ResultCacheStats stats = cache->stats();
-            api::JsonValue cache_json = api::JsonValue::object();
-            const auto set_count = [&](const char* key, std::uint64_t count) {
-              cache_json.set(key, api::JsonValue::number(
-                                      static_cast<std::int64_t>(count)));
-            };
-            set_count("hits", stats.hits);
-            set_count("misses", stats.misses);
-            set_count("coalesced", stats.coalesced);
-            set_count("insertions", stats.insertions);
-            set_count("evictions", stats.evictions);
-            set_count("entries", stats.entries);
-            set_count("bytes", stats.bytes);
-            response.set("cache", std::move(cache_json));
-            cache->clear();
-            cache->reset_stats();
-          }
-          out.write(response);
-        } else if (verb == "cache_save") {
-          std::string path = cache_file;
-          if (const api::JsonValue* requested = value.find("path"))
-            path = requested->as_string();
-          if (!cache) {
-            write_error(salvage_id(value), "cache_save: the cache is off");
-            continue;
-          }
-          if (path.empty()) {
-            write_error(salvage_id(value),
-                        "cache_save: no path (give \"path\" or start with "
-                        "--cache-file)");
-            continue;
-          }
-          try {
-            const api::CacheSaveStats saved =
-                api::save_cache_file(*cache, path);
-            registry.counter("serve.persist.saves").increment();
-            api::JsonValue response = api::JsonValue::object();
-            response.set("op", api::JsonValue::string("cache_save"));
-            response.set("ok", api::JsonValue::boolean(true));
-            response.set("path", api::JsonValue::string(path));
-            response.set("entries",
-                         api::JsonValue::number(
-                             static_cast<std::int64_t>(saved.entries)));
-            response.set("bytes", api::JsonValue::number(
-                                      static_cast<std::int64_t>(saved.bytes)));
-            out.write(response);
-          } catch (const std::exception& e) {
-            registry.counter("serve.persist.save_failures").increment();
-            write_error(salvage_id(value),
-                        std::string("cache_save: ") + e.what());
-          }
-        } else {
-          write_error(salvage_id(value), "unknown op '" + verb +
-                                             "' (known: stats, metrics, "
-                                             "cache_clear, cache_save, "
-                                             "shutdown)");
-        }
-      } catch (const std::exception& e) {
-        write_error(salvage_id(value), "line " + std::to_string(line_number) +
-                                           ": " + e.what());
-      }
-      continue;
-    }
-
-    api::SolveRequest request;
-    try {
-      request = api::job_from_json(value);
-    } catch (const std::exception& e) {
-      write_error(salvage_id(value),
-                  "line " + std::to_string(line_number) + ": " + e.what());
-      continue;
-    }
-    const std::uint64_t job_number = accounting.try_accept(queue_limit);
-    if (job_number == 0) {
-      // Admission control: the queue is at its limit — shed instead of
-      // stalling. The response is a result line (status "overloaded"),
-      // not an error object: the job was well-formed, the service just
-      // declined it right now. Message is fixed text so shed responses
-      // stay byte-deterministic.
-      jobs_shed_counter.increment();
-      api::JsonValue response = api::JsonValue::object();
-      if (!request.id.empty())
-        response.set("id", api::JsonValue::string(request.id));
-      response.set("status",
-                   api::JsonValue::string(
-                       std::string(api::to_string(api::Status::Overloaded))));
-      response.set("error",
-                   api::JsonValue::string(
-                       "queue limit reached; job shed — retry later"));
-      out.write(response);
-      continue;
-    }
-    jobs_accepted_counter.increment();
-    if (request.id.empty())
-      request.id = "job-" + std::to_string(job_number);
-
-    pool.submit([&, request = std::move(request),
-                 queued = common::Stopwatch()] {
-      accounting.job_started();
-      const std::int64_t queue_ns = queued.elapsed_ns();  // accept -> pickup
-      // Solver::solve never throws: every failure mode is a Status.
-      api::SolveResult result = solver.solve(request);
-      if (trace) {
-        // The solver timed its own (empty) queue: overwrite with the
-        // accept-to-execution wait this server actually imposed, so the
-        // echoed trace shows real queueing under load.
-        for (auto& span : result.trace)
-          if (span.stage == "queue-wait") {
-            span.duration_ns = queue_ns;
-            break;
-          }
-      }
-      out.write(api::result_to_json(result, write_options));
-      job_hist.record_ns(queued.elapsed_ns());
-      jobs_completed_counter.increment();
-      accounting.job_completed();
-    });
-  }
-
-  // EOF: drain and exit like a silent shutdown (cache saved the same).
-  (void)accounting.wait_for_drain();
-  save_cache_on_exit();
-  return 0;
+  return run_stdio(service);
 }
