@@ -29,6 +29,7 @@
 #include "core/test_time_table.hpp"
 #include "lp/simplex.hpp"
 #include "obs/metrics.hpp"
+#include "pack/skyline.hpp"
 #include "partition/partition.hpp"
 #include "soc/benchmarks.hpp"
 #include "wrapper/wrapper.hpp"
@@ -230,6 +231,55 @@ int main() {
     });
     if (fits < 0) std::abort();  // keep the result observable
     m.iterations *= kWindowOps;
+    measurements.push_back(m);
+  }
+
+  // The incremental power timeline that replaced per-query span rescans
+  // on the constrained packing path (ISSUE-10). Two kernels: profile
+  // maintenance (add over a long pack's worth of spans, then clear) and
+  // the constrained spot search on a skyline seeded with ~1k placed
+  // spans — the shape the d695/csynth power sweeps hammer.
+  {
+    core::PowerTimeline timeline;
+    constexpr std::int64_t kTimelineSpans = 1024;
+    Measurement m = measure("power_timeline_update_1kspans", [&] {
+      timeline.clear();
+      for (std::int64_t i = 0; i < kTimelineSpans; ++i)
+        timeline.add((i * 37) % 4096, (i * 37) % 4096 + 64 + i % 96,
+                     1 + i % 7);
+      if (timeline.peak() <= 0) std::abort();  // keep the result observable
+    });
+    m.iterations *= kTimelineSpans;
+    measurements.push_back(m);
+  }
+  {
+    pack::Skyline skyline(64);
+    std::int64_t budget = 0;
+    for (std::int64_t i = 0; i < 1024; ++i) {
+      const int wire = static_cast<int>((i * 11) % 56);
+      const std::int64_t start = skyline.free_time(wire);
+      const std::int64_t power = 1 + i % 7;
+      skyline.place(wire, 8, start, start + 48 + i % 64, power);
+      budget = std::max(budget, power);
+    }
+    budget += 6;  // headroom for the probe draw, still often contended
+    pack::Skyline::SpotQuery query;
+    query.width = 8;
+    query.duration = 96;
+    query.power = 4;
+    query.power_budget = budget;
+    constexpr std::int64_t kSpotOps = 64;
+    std::int64_t starts = 0;
+    Measurement m = measure("constrained_best_spot_1kspans", [&] {
+      for (std::int64_t op = 0; op < kSpotOps; ++op) {
+        query.min_start = op * 17;
+        const auto spot = skyline.best_spot(query);
+        if (!spot.has_value()) std::abort();
+        starts += spot->start;
+      }
+    });
+    if (starts < 0) std::abort();  // keep the result observable
+    m.iterations *= kSpotOps;
     measurements.push_back(m);
   }
 

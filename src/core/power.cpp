@@ -62,6 +62,115 @@ std::int64_t peak_power(std::span<const PowerSpan> spans) {
   return peak;
 }
 
+std::ptrdiff_t PowerTimeline::segment_before(std::int64_t t) const {
+  // Last breakpoint with time <= t; -1 when t precedes them all.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](std::int64_t value, const Breakpoint& bp) { return value < bp.time; });
+  return it - points_.begin() - 1;
+}
+
+void PowerTimeline::add(std::int64_t start, std::int64_t end,
+                        std::int64_t power) {
+  if (power < 0)
+    throw std::invalid_argument("PowerTimeline::add: negative power");
+  if (start >= end || power == 0) return;  // nothing to record
+
+  const auto by_time = [](const Breakpoint& bp, std::int64_t t) {
+    return bp.time < t;
+  };
+  // Ensure breakpoints exist at `start` and `end`; a new one inherits the
+  // level in force just before it.
+  auto lower =
+      std::lower_bound(points_.begin(), points_.end(), start, by_time);
+  auto i = static_cast<std::size_t>(lower - points_.begin());
+  if (i == points_.size() || points_[i].time != start) {
+    const std::int64_t level = i == 0 ? 0 : points_[i - 1].load;
+    points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(i),
+                   {start, level});
+  }
+  auto upper = std::lower_bound(
+      points_.begin() + static_cast<std::ptrdiff_t>(i), points_.end(), end,
+      by_time);
+  auto j = static_cast<std::size_t>(upper - points_.begin());
+  if (j == points_.size() || points_[j].time != end) {
+    // j > 0 always: the start breakpoint sits at index i < j.
+    points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(j),
+                   {end, points_[j - 1].load});
+  }
+
+  // Raise the level across [start, end); the global peak only ever grows.
+  for (std::size_t k = i; k < j; ++k) {
+    points_[k].load += power;
+    peak_ = std::max(peak_, points_[k].load);
+  }
+
+  // Coalesce. Equal-load neighbours can only appear at the two seams:
+  // interior neighbours differed before the uniform raise and still do.
+  // The end seam goes first so index i stays valid.
+  const auto coalesce_at = [this](std::size_t idx) {
+    if (idx >= points_.size()) return;
+    const std::int64_t before = idx == 0 ? 0 : points_[idx - 1].load;
+    if (points_[idx].load == before)
+      points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(idx));
+  };
+  coalesce_at(j);
+  coalesce_at(i);
+}
+
+std::int64_t PowerTimeline::peak_over_window(std::int64_t start,
+                                             std::int64_t duration) const {
+  if (duration <= 0 || points_.empty()) return 0;
+  std::ptrdiff_t seg = segment_before(start);
+  std::int64_t peak = seg >= 0 ? points_[static_cast<std::size_t>(seg)].load
+                               : 0;
+  for (++seg; seg < static_cast<std::ptrdiff_t>(points_.size()) &&
+              points_[static_cast<std::size_t>(seg)].time < start + duration;
+       ++seg)
+    peak = std::max(peak, points_[static_cast<std::size_t>(seg)].load);
+  return peak;
+}
+
+bool PowerTimeline::window_fits(std::int64_t start, std::int64_t duration,
+                                std::int64_t power,
+                                std::int64_t budget) const {
+  if (budget <= 0) return true;
+  const std::int64_t headroom = budget - power;
+  if (headroom < 0) return false;
+  if (duration <= 0 || points_.empty()) return true;
+  std::ptrdiff_t seg = segment_before(start);
+  if (seg >= 0 && points_[static_cast<std::size_t>(seg)].load > headroom)
+    return false;
+  for (++seg; seg < static_cast<std::ptrdiff_t>(points_.size()) &&
+              points_[static_cast<std::size_t>(seg)].time < start + duration;
+       ++seg)
+    if (points_[static_cast<std::size_t>(seg)].load > headroom) return false;
+  return true;
+}
+
+std::int64_t PowerTimeline::earliest_fit(std::int64_t from,
+                                         std::int64_t duration,
+                                         std::int64_t power,
+                                         std::int64_t budget) const {
+  if (budget <= 0 || points_.empty()) return from;
+  if (window_fits(from, duration, power, budget)) return from;
+  // Probe the load-drop breakpoints after `from` — the only instants
+  // where feasibility can flip to true (see the class comment).
+  const auto begin = std::upper_bound(
+      points_.begin(), points_.end(), from,
+      [](std::int64_t value, const Breakpoint& bp) { return value < bp.time; });
+  for (auto it = begin; it != points_.end(); ++it) {
+    const std::int64_t before =
+        it == points_.begin() ? 0 : std::prev(it)->load;
+    if (it->load >= before) continue;  // rise or plateau — cannot flip
+    if (window_fits(it->time, duration, power, budget)) return it->time;
+  }
+  // Unreachable for power <= budget: the last breakpoint drops to zero
+  // load and is probed above. Defensive fallback, matching the span-list
+  // helper: the profile horizon.
+  return std::max(from, points_.back().time);
+}
+
 PowerVector scan_activity_power(const soc::Soc& soc) {
   PowerVector power;
   power.reserve(soc.cores.size());

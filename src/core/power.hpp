@@ -60,6 +60,87 @@ struct PowerSpan {
 /// events; 0 when empty). The validator's one-shot global check.
 [[nodiscard]] std::int64_t peak_power(std::span<const PowerSpan> spans);
 
+/// Incremental piecewise-constant power profile — the constrained-packing
+/// hot-path replacement for rescanning a flat PowerSpan list per query.
+///
+/// The profile is stored as sorted breakpoints: `points_[i].load` is the
+/// instantaneous load on [points_[i].time, points_[i+1].time); the load is
+/// 0 before the first breakpoint and after the last (whose load is always
+/// 0, since every added span ends). Adjacent breakpoints with equal loads
+/// are coalesced on insertion, so long packs stop accumulating one
+/// breakpoint per span end and the structure stays at the number of
+/// *distinct-level* transitions. add() costs a binary search plus work
+/// proportional to the breakpoints the new span overlaps (vector inserts
+/// shift the tail, but after coalescing the array is short); every query
+/// is a binary search plus a scan of the overlapped breakpoints — no
+/// allocation, no full-profile rescans.
+///
+/// Query results are exactly the values the flat-span helpers above
+/// compute over the same placements: the profile function is identical,
+/// and earliest_fit probes `from` plus every load-drop breakpoint — the
+/// only instants where window feasibility can flip from infeasible to
+/// feasible (a flip needs the over-budget segment to leave the window,
+/// i.e. a load drop; every drop is a span end, and coalescing only ever
+/// removes non-drop points). The packers' determinism pins hold across
+/// the span-list -> timeline swap because of this equivalence.
+class PowerTimeline {
+ public:
+  struct Breakpoint {
+    std::int64_t time = 0;
+    std::int64_t load = 0;  ///< level on [time, next breakpoint's time)
+  };
+
+  /// Adds a `power`-draw span over [start, end). Empty spans (start >=
+  /// end) and zero power are ignored; negative power throws
+  /// std::invalid_argument (loads are sums of draws and never negative).
+  void add(std::int64_t start, std::int64_t end, std::int64_t power);
+
+  void clear() noexcept {
+    points_.clear();
+    peak_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  /// Global peak of the profile, maintained incrementally (loads only
+  /// ever grow, so the peak is the running max of every raised level).
+  [[nodiscard]] std::int64_t peak() const noexcept { return peak_; }
+
+  /// Peak load over [start, start + duration); 0 for an empty window.
+  [[nodiscard]] std::int64_t peak_over_window(std::int64_t start,
+                                              std::int64_t duration) const;
+
+  /// True iff adding `power` over [start, start + duration) keeps every
+  /// instant within `budget`. budget <= 0 means unconstrained. Same
+  /// contract as core::power_window_fits over the equivalent span list.
+  [[nodiscard]] bool window_fits(std::int64_t start, std::int64_t duration,
+                                 std::int64_t power,
+                                 std::int64_t budget) const;
+
+  /// Earliest start >= `from` at which `power` more units fit under
+  /// `budget` for `duration` cycles. Candidates are `from` and the
+  /// load-drop breakpoints after it; bit-identical to probing every span
+  /// end of the equivalent span list (see the class comment).
+  [[nodiscard]] std::int64_t earliest_fit(std::int64_t from,
+                                          std::int64_t duration,
+                                          std::int64_t power,
+                                          std::int64_t budget) const;
+
+  /// The raw breakpoint array, for tests asserting the invariants
+  /// (strictly increasing times, no adjacent equal loads, last load 0).
+  [[nodiscard]] const std::vector<Breakpoint>& breakpoints() const noexcept {
+    return points_;
+  }
+
+ private:
+  /// Index of the segment whose half-open interval covers `t`, or -1 when
+  /// t precedes the first breakpoint (level 0).
+  [[nodiscard]] std::ptrdiff_t segment_before(std::int64_t t) const;
+
+  std::vector<Breakpoint> points_;
+  std::int64_t peak_ = 0;
+};
+
 /// Default model: power ~ scan activity = functional I/Os + scan bits
 /// (every wrapper/scan cell toggles each shift cycle).
 [[nodiscard]] PowerVector scan_activity_power(const soc::Soc& soc);

@@ -92,19 +92,18 @@ std::vector<std::string> validate_packed_schedule(
 
 std::int64_t packed_peak_power(const PackedSchedule& schedule,
                                const core::PowerVector& power) {
-  // Lower the placements to power spans and take the shared sweep-line
-  // peak (core::peak_power), as core::power_profile does for test-bus
-  // schedules.
-  std::vector<core::PowerSpan> spans;
-  spans.reserve(schedule.placements.size());
+  // Feed the placements into the same incremental timeline the packers
+  // maintain on their hot path; its running peak is the sweep-line value
+  // the old span-list core::peak_power computed.
+  core::PowerTimeline timeline;
   for (const auto& p : schedule.placements) {
     if (p.core < 0 || p.core >= static_cast<int>(power.size()))
       throw std::invalid_argument(
           "packed_peak_power: power vector too small for " +
           placement_label(p));
-    spans.push_back({p.start, p.end, power[static_cast<std::size_t>(p.core)]});
+    timeline.add(p.start, p.end, power[static_cast<std::size_t>(p.core)]);
   }
-  return core::peak_power(spans);
+  return timeline.peak();
 }
 
 std::vector<std::string> validate_packed_schedule(
@@ -134,7 +133,12 @@ std::vector<std::string> validate_packed_schedule(
   }
 
   if (constraints.has_power() &&
-      static_cast<int>(constraints.power.size()) == table.core_count()) {
+      static_cast<int>(constraints.power.size()) == table.core_count() &&
+      std::all_of(constraints.power.begin(), constraints.power.end(),
+                  [](std::int64_t p) { return p >= 0; })) {
+    // Negative draws were already reported as a constraints issue above;
+    // skipping the sweep keeps the validator's never-throws contract now
+    // that packed_peak_power rejects them.
     // Sweep only the placements with known cores — an unknown index was
     // already reported above, and the validator's contract is to return
     // every violation, never to throw.

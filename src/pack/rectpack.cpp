@@ -37,11 +37,26 @@ struct ConstraintPlan {
   std::vector<std::int64_t> earliest;               ///< start floor per core
   std::vector<core::WireInterval> window;           ///< fixed window per core
   std::vector<std::vector<core::WireInterval>> forbidden;  ///< per core
+  /// Per-core wire masks, built once per pack so the spot-search hot path
+  /// never rebuilds them per query: wire_allowed[c][w] = 1 iff core c may
+  /// touch wire w (empty = unconstrained wires for that core), and
+  /// blocked_prefix[c] the matching prefix counts in the form
+  /// Skyline::SpotQuery borrows (empty likewise).
+  std::vector<std::vector<char>> wire_allowed;
+  std::vector<std::vector<int>> blocked_prefix;
   core::PowerVector power;  ///< per-core draw; empty = power-unconstrained
   std::int64_t budget = 0;
 
   [[nodiscard]] std::int64_t core_power(int core) const noexcept {
     return power.empty() ? 0 : power[static_cast<std::size_t>(core)];
+  }
+
+  /// The precomputed mask for SpotQuery, or nullptr when the core's wires
+  /// are unconstrained.
+  [[nodiscard]] const std::vector<int>* core_blocked_prefix(
+      int core) const noexcept {
+    const auto& mask = blocked_prefix[static_cast<std::size_t>(core)];
+    return mask.empty() ? nullptr : &mask;
   }
 };
 
@@ -55,6 +70,8 @@ ConstraintPlan build_plan(const core::ScheduleConstraints& constraints,
   plan.earliest.assign(n, 0);
   plan.window.assign(n, core::WireInterval{0, total_width});
   plan.forbidden.resize(n);
+  plan.wire_allowed.resize(n);
+  plan.blocked_prefix.resize(n);
   for (const auto& pair : constraints.precedence)
     plan.preds[static_cast<std::size_t>(pair.after)].push_back(pair.before);
   for (const auto& entry : constraints.earliest) {
@@ -69,6 +86,29 @@ ConstraintPlan build_plan(const core::ScheduleConstraints& constraints,
   if (constraints.has_power()) {
     plan.power = constraints.power;
     plan.budget = constraints.power_budget;
+  }
+  // Lower each wire-constrained core's window + forbidden intervals to a
+  // bitmap and its blocked-prefix counts, once; cores with free wires
+  // keep empty masks and take the unmasked query path.
+  const auto w_total = static_cast<std::size_t>(total_width);
+  for (std::size_t c = 0; c < n; ++c) {
+    const core::WireInterval window = plan.window[c];
+    if (window.lo == 0 && window.hi == total_width &&
+        plan.forbidden[c].empty())
+      continue;
+    auto& allowed = plan.wire_allowed[c];
+    allowed.assign(w_total, 1);
+    for (int w = 0; w < total_width; ++w)
+      if (w < window.lo || w >= window.hi)
+        allowed[static_cast<std::size_t>(w)] = 0;
+    for (const core::WireInterval& interval : plan.forbidden[c])
+      for (int w = std::max(0, interval.lo);
+           w < std::min(total_width, interval.hi); ++w)
+        allowed[static_cast<std::size_t>(w)] = 0;
+    auto& prefix = plan.blocked_prefix[c];
+    prefix.assign(w_total + 1, 0);
+    for (std::size_t w = 0; w < w_total; ++w)
+      prefix[w + 1] = prefix[w] + (allowed[w] ? 0 : 1);
   }
   return plan;
 }
@@ -175,20 +215,25 @@ PackedSchedule greedy_pack(const RectModel& model, const PackState& state,
     const std::int64_t min_start = start_floor(core, plan, core_end);
     const std::int64_t power = plan.core_power(core);
 
+    // Everything but the rectangle's own extent is invariant across the
+    // core's candidates — built once, with the plan's precomputed
+    // blocked-wire mask borrowed instead of rebuilt per query.
+    Skyline::SpotQuery query;
+    query.min_start = min_start;
+    query.window = plan.window[static_cast<std::size_t>(core)];
+    query.forbidden = &plan.forbidden[static_cast<std::size_t>(core)];
+    query.power = power;
+    query.power_budget = plan.budget;
+    query.blocked_prefix = plan.core_blocked_prefix(core);
+
     const Rect* chosen = nullptr;
     Skyline::Spot chosen_spot{};
     std::int64_t chosen_finish = 0;
     const auto scan = [&](std::size_t from) {
       for (std::size_t c = from; c < rects.size(); ++c) {
         const Rect& rect = rects[c];
-        Skyline::SpotQuery query;
         query.width = rect.width;
         query.duration = rect.time;
-        query.min_start = min_start;
-        query.window = plan.window[static_cast<std::size_t>(core)];
-        query.forbidden = &plan.forbidden[static_cast<std::size_t>(core)];
-        query.power = power;
-        query.power_budget = plan.budget;
         const auto spot = skyline.best_spot(query);
         if (!spot.has_value()) continue;  // constraint-infeasible candidate
         const std::int64_t finish = spot->start + rect.time;
@@ -248,18 +293,14 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
   // [start, start + time) for `core`; returns -1 when none exists.
   const auto leftmost_window = [&](std::int64_t start, std::int64_t time,
                                    int width, int core) {
-    std::fill(wire_free.begin(), wire_free.end(), char{1});
-    if (plan.any) {
-      const core::WireInterval window =
-          plan.window[static_cast<std::size_t>(core)];
-      for (int w = 0; w < width_total; ++w)
-        if (w < window.lo || w >= window.hi)
-          wire_free[static_cast<std::size_t>(w)] = 0;
-      for (const core::WireInterval& interval :
-           plan.forbidden[static_cast<std::size_t>(core)])
-        for (int w = std::max(0, interval.lo);
-             w < std::min(width_total, interval.hi); ++w)
-          wire_free[static_cast<std::size_t>(w)] = 0;
+    // Seed from the plan's precomputed per-core bitmap (built once per
+    // pack) instead of re-deriving window + forbidden wires per call.
+    if (plan.any &&
+        !plan.wire_allowed[static_cast<std::size_t>(core)].empty()) {
+      const auto& allowed = plan.wire_allowed[static_cast<std::size_t>(core)];
+      std::copy(allowed.begin(), allowed.end(), wire_free.begin());
+    } else {
+      std::fill(wire_free.begin(), wire_free.end(), char{1});
     }
     for (const auto& p : schedule.placements) {
       if (p.start >= start + time || start >= p.end) continue;
@@ -280,9 +321,10 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
 
   // Power profile of what is already placed, mirrored from
   // schedule.placements (the hole-filler cannot rely on the skyline's
-  // power timeline). Only maintained under a budget — feasibility is the
-  // shared core::power_window_fits check.
-  std::vector<core::PowerSpan> power_spans;
+  // power timeline, so it keeps its own). Only fed under a budget;
+  // feasibility is the timeline's window_fits — same values as the old
+  // span-list core::power_window_fits check.
+  core::PowerTimeline power_timeline;
 
   std::vector<std::int64_t> starts;
   for (const int core : order) {
@@ -306,8 +348,8 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
         const Rect& rect = rects[c];
         for (const std::int64_t start : starts) {
           if (have_chosen && start + rect.time > chosen.end) break;
-          if (!core::power_window_fits(power_spans, start, rect.time, power,
-                                       plan.budget))
+          if (!power_timeline.window_fits(start, rect.time, power,
+                                          plan.budget))
             continue;  // a later start may have power headroom
           const int wire = leftmost_window(start, rect.time, rect.width, core);
           if (wire < 0) continue;
@@ -333,7 +375,7 @@ PackedSchedule holefill_pack(const RectModel& model, const PackState& state,
           " (constraints should have been validated)");
     schedule.placements.push_back(chosen);
     if (plan.budget > 0 && power > 0 && chosen.start < chosen.end)
-      power_spans.push_back({chosen.start, chosen.end, power});
+      power_timeline.add(chosen.start, chosen.end, power);
     schedule.makespan = std::max(schedule.makespan, chosen.end);
     core_end[static_cast<std::size_t>(core)] = chosen.end;
   }

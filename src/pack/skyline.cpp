@@ -1,7 +1,6 @@
 #include "pack/skyline.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 namespace wtam::pack {
@@ -17,55 +16,31 @@ Skyline::Spot Skyline::best_spot(int width) const {
     throw std::invalid_argument("Skyline::best_spot: width outside strip");
 
   // Sliding-window maximum of the per-wire free times (monotone deque of
-  // wire indices whose free times decrease), minimized over windows.
+  // wire indices whose free times decrease), minimized over windows. The
+  // deque lives in reusable scratch: head/tail indices over a flat array
+  // (total pushes <= total_width, so it never overflows).
+  monotone_window_.resize(static_cast<std::size_t>(total_width()));
+  std::size_t head = 0;
+  std::size_t tail = 0;  // live candidates in [head, tail)
   Spot best{0, 0};
   bool have_best = false;
-  std::deque<int> window;  // candidate maxima, front = current max
   for (int wire = 0; wire < total_width(); ++wire) {
-    while (!window.empty() &&
-           free_time_[static_cast<std::size_t>(window.back())] <=
+    while (head < tail &&
+           free_time_[static_cast<std::size_t>(monotone_window_[tail - 1])] <=
                free_time_[static_cast<std::size_t>(wire)])
-      window.pop_back();
-    window.push_back(wire);
+      --tail;
+    monotone_window_[tail++] = wire;
     const int left = wire - width + 1;
     if (left < 0) continue;
-    if (window.front() < left) window.pop_front();
+    if (monotone_window_[head] < left) ++head;
     const std::int64_t start =
-        free_time_[static_cast<std::size_t>(window.front())];
+        free_time_[static_cast<std::size_t>(monotone_window_[head])];
     if (!have_best || start < best.start) {
       best = {left, start};
       have_best = true;
     }
   }
   return best;
-}
-
-std::int64_t Skyline::earliest_power_feasible(std::int64_t from,
-                                              std::int64_t duration,
-                                              std::int64_t power,
-                                              std::int64_t budget) const {
-  if (budget <= 0 || power_spans_.empty()) return from;
-
-  // Candidate starts: `from` itself and every recorded span end after it
-  // (the strip power only ever drops at span ends, so the earliest
-  // feasible start is one of these). Feasibility per candidate is the
-  // shared window check (core::power_window_fits).
-  std::vector<std::int64_t> candidates{from};
-  for (const core::PowerSpan& span : power_spans_)
-    if (span.end > from) candidates.push_back(span.end);
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-
-  for (const std::int64_t start : candidates)
-    if (core::power_window_fits(power_spans_, start, duration, power, budget))
-      return start;
-  // Unreachable for power <= budget: past the last span end the profile
-  // is zero and that end is a candidate. Defensive fallback:
-  std::int64_t horizon = from;
-  for (const core::PowerSpan& span : power_spans_)
-    horizon = std::max(horizon, span.end);
-  return horizon;
 }
 
 std::optional<Skyline::Spot> Skyline::best_spot(const SpotQuery& query) const {
@@ -78,71 +53,92 @@ std::optional<Skyline::Spot> Skyline::best_spot(const SpotQuery& query) const {
     throw std::invalid_argument("Skyline::best_spot: malformed wire window");
   if (query.duration < 1)
     throw std::invalid_argument("Skyline::best_spot: duration must be >= 1");
+  if (query.blocked_prefix != nullptr &&
+      query.blocked_prefix->size() !=
+          static_cast<std::size_t>(total_width()) + 1)
+    throw std::invalid_argument(
+        "Skyline::best_spot: blocked_prefix size != total_width + 1");
   if (query.power_budget > 0 && query.power > query.power_budget)
     return std::nullopt;  // this rectangle alone can never fit the budget
 
   // Wires a window may not touch: outside the allowed range or inside a
   // forbidden interval. A prefix count turns the per-window check into
-  // O(1); the common power-only query (full window, nothing forbidden)
+  // O(1). The caller can hand in a mask precomputed once per pack
+  // (query.blocked_prefix); otherwise it is rebuilt here into reusable
+  // scratch. The common power-only query (full window, nothing forbidden)
   // skips the mask entirely.
   const bool wires_constrained =
-      window_lo != 0 || window_hi != total_width() ||
+      query.blocked_prefix != nullptr || window_lo != 0 ||
+      window_hi != total_width() ||
       (query.forbidden != nullptr && !query.forbidden->empty());
-  std::vector<int> blocked_prefix;
-  if (wires_constrained) {
-    blocked_prefix.assign(static_cast<std::size_t>(total_width()) + 1, 0);
-    std::vector<char> blocked(static_cast<std::size_t>(total_width()), 0);
+  const std::vector<int>* blocked_prefix = query.blocked_prefix;
+  if (wires_constrained && blocked_prefix == nullptr) {
+    blocked_prefix_scratch_.assign(
+        static_cast<std::size_t>(total_width()) + 1, 0);
+    blocked_scratch_.assign(static_cast<std::size_t>(total_width()), 0);
     for (int wire = 0; wire < total_width(); ++wire)
       if (wire < window_lo || wire >= window_hi)
-        blocked[static_cast<std::size_t>(wire)] = 1;
+        blocked_scratch_[static_cast<std::size_t>(wire)] = 1;
     if (query.forbidden != nullptr)
       for (const core::WireInterval& interval : *query.forbidden)
         for (int wire = std::max(0, interval.lo);
              wire < std::min(total_width(), interval.hi); ++wire)
-          blocked[static_cast<std::size_t>(wire)] = 1;
+          blocked_scratch_[static_cast<std::size_t>(wire)] = 1;
     for (int wire = 0; wire < total_width(); ++wire)
-      blocked_prefix[static_cast<std::size_t>(wire) + 1] =
-          blocked_prefix[static_cast<std::size_t>(wire)] +
-          blocked[static_cast<std::size_t>(wire)];
+      blocked_prefix_scratch_[static_cast<std::size_t>(wire) + 1] =
+          blocked_prefix_scratch_[static_cast<std::size_t>(wire)] +
+          blocked_scratch_[static_cast<std::size_t>(wire)];
+    blocked_prefix = &blocked_prefix_scratch_;
   }
 
-  // The power-feasible start depends only on the window's base time, and
-  // the skyline takes few distinct values across a strip — memoize per
-  // base so the span sweep runs once per distinct time, not per wire.
-  std::vector<std::pair<std::int64_t, std::int64_t>> feasible_cache;
-  const auto feasible_start = [&](std::int64_t from) {
-    if (query.power_budget <= 0) return from;
-    for (const auto& [base, start] : feasible_cache)
-      if (base == from) return start;
-    const std::int64_t start = earliest_power_feasible(
-        from, query.duration, query.power, query.power_budget);
-    feasible_cache.emplace_back(from, start);
-    return start;
-  };
-
-  std::optional<Spot> best;
-  std::deque<int> window;  // monotone deque, as in the unconstrained search
+  // Pass 1: each allowed window's base start (its skyline maximum floored
+  // at min_start), into reusable scratch; the minimum base wins the power
+  // probe. Let f(base) = earliest power-feasible start >= base. f is
+  // non-decreasing, f(base) >= base, and f's result is itself feasible
+  // (f(f(base)) == f(base)), so the best achievable start is
+  // s* = f(min base) and f(base) == s* exactly when base <= s*. That
+  // turns the old per-window power evaluation into ONE timeline probe per
+  // query, and the old leftmost tie-break (first window achieving the
+  // minimal start, windows scanned left to right) into "leftmost window
+  // with base <= s*" — bit-identical results.
+  monotone_window_.resize(static_cast<std::size_t>(total_width()));
+  window_base_.assign(static_cast<std::size_t>(total_width()), -1);
+  std::size_t head = 0;
+  std::size_t tail = 0;  // monotone deque over scratch, as above
+  std::int64_t min_base = -1;
   for (int wire = 0; wire < total_width(); ++wire) {
-    while (!window.empty() &&
-           free_time_[static_cast<std::size_t>(window.back())] <=
+    while (head < tail &&
+           free_time_[static_cast<std::size_t>(monotone_window_[tail - 1])] <=
                free_time_[static_cast<std::size_t>(wire)])
-      window.pop_back();
-    window.push_back(wire);
+      --tail;
+    monotone_window_[tail++] = wire;
     const int left = wire - query.width + 1;
     if (left < 0) continue;
-    if (window.front() < left) window.pop_front();
+    if (monotone_window_[head] < left) ++head;
     if (wires_constrained &&
-        blocked_prefix[static_cast<std::size_t>(wire) + 1] -
-                blocked_prefix[static_cast<std::size_t>(left)] !=
+        (*blocked_prefix)[static_cast<std::size_t>(wire) + 1] -
+                (*blocked_prefix)[static_cast<std::size_t>(left)] !=
             0)
       continue;  // window touches a blocked wire
     const std::int64_t skyline_start =
-        free_time_[static_cast<std::size_t>(window.front())];
-    const std::int64_t start =
-        feasible_start(std::max(skyline_start, query.min_start));
-    if (!best.has_value() || start < best->start) best = Spot{left, start};
+        free_time_[static_cast<std::size_t>(monotone_window_[head])];
+    const std::int64_t base = std::max(skyline_start, query.min_start);
+    window_base_[static_cast<std::size_t>(left)] = base;
+    if (min_base < 0 || base < min_base) min_base = base;
   }
-  return best;
+  if (min_base < 0) return std::nullopt;  // no window of allowed wires
+
+  const std::int64_t start =
+      query.power_budget <= 0
+          ? min_base
+          : power_timeline_.earliest_fit(min_base, query.duration,
+                                         query.power, query.power_budget);
+  // Pass 2: leftmost window whose base admits `start`.
+  for (int left = 0; left <= total_width() - query.width; ++left) {
+    const std::int64_t base = window_base_[static_cast<std::size_t>(left)];
+    if (base >= 0 && base <= start) return Spot{left, start};
+  }
+  return std::nullopt;  // unreachable: the min-base window qualifies
 }
 
 void Skyline::place(int wire, int width, std::int64_t end) {
@@ -157,7 +153,7 @@ void Skyline::place(int wire, int width, std::int64_t end) {
 void Skyline::place(int wire, int width, std::int64_t start, std::int64_t end,
                     std::int64_t power) {
   place(wire, width, end);
-  if (power > 0 && start < end) power_spans_.push_back({start, end, power});
+  if (power > 0 && start < end) power_timeline_.add(start, end, power);
 }
 
 std::int64_t Skyline::makespan() const noexcept {
@@ -166,7 +162,7 @@ std::int64_t Skyline::makespan() const noexcept {
 
 void Skyline::clear() noexcept {
   std::fill(free_time_.begin(), free_time_.end(), 0);
-  power_spans_.clear();
+  power_timeline_.clear();
 }
 
 }  // namespace wtam::pack

@@ -19,6 +19,18 @@
 // placement may therefore float above the skyline; that is safe (nothing
 // below the skyline is ever free) and the hole-filling compaction of the
 // rectpack engine reclaims what it can.
+//
+// The constrained spot search is the engine's single-query hot path, so
+// everything invariant per placement or per pack is kept out of it: the
+// power profile lives in an incremental core::PowerTimeline updated per
+// place() (not rescanned per query) and probed once per query (the
+// earliest-feasible-start function is monotone, so the minimal window
+// base decides the start for every window), the blocked-wire masks can
+// be precomputed once per pack and borrowed through SpotQuery, and the
+// per-query scratch (mask fallback, window bases) is reused across
+// calls. The scratch makes best_spot logically-const-but-mutable:
+// a Skyline is single-owner state (one per packing walker) and is NOT
+// safe for concurrent queries on the same instance.
 
 #pragma once
 
@@ -73,6 +85,13 @@ class Skyline {
     /// power-unconstrained.
     std::int64_t power = 0;
     std::int64_t power_budget = 0;
+    /// Optional precomputed blocked-wire mask: prefix counts with
+    /// blocked_prefix[w] = number of blocked wires < w (size
+    /// total_width() + 1). When set, best_spot uses it directly instead
+    /// of rebuilding the mask from `window`/`forbidden` — rectpack's
+    /// ConstraintPlan builds one per wire-constrained core once per pack.
+    /// Non-owning; must be consistent with `window`/`forbidden`.
+    const std::vector<int>* blocked_prefix = nullptr;
   };
 
   /// Constrained bottom-left spot: minimum feasible start, ties to the
@@ -97,20 +116,31 @@ class Skyline {
   /// Highest skyline point — the makespan of everything placed so far.
   [[nodiscard]] std::int64_t makespan() const noexcept;
 
+  /// The incremental strip power profile fed by the power-aware place()
+  /// overload (exposed for tests and benches).
+  [[nodiscard]] const core::PowerTimeline& power_timeline() const noexcept {
+    return power_timeline_;
+  }
+
   void clear() noexcept;
 
  private:
-  /// Earliest start >= `from` at which `power` more units fit under
-  /// `budget` for `duration` cycles; candidates are `from` and the ends
-  /// of recorded spans. Feasibility at each candidate is the shared
-  /// core::power_window_fits check.
-  [[nodiscard]] std::int64_t earliest_power_feasible(
-      std::int64_t from, std::int64_t duration, std::int64_t power,
-      std::int64_t budget) const;
-
   std::vector<std::int64_t> free_time_;
-  /// Placed rectangles' contributions to the strip power profile.
-  std::vector<core::PowerSpan> power_spans_;
+  /// Placed rectangles' contributions to the strip power profile,
+  /// maintained incrementally (coalesced breakpoints, O(log n) lookups)
+  /// instead of as a rescanned span list.
+  core::PowerTimeline power_timeline_;
+
+  // Reusable per-query scratch: zero steady-state allocations on the
+  // constrained hot path. Logically const (query-local state only); see
+  // the class comment for the single-owner threading contract.
+  mutable std::vector<int> monotone_window_;  ///< deque storage, both paths
+  mutable std::vector<char> blocked_scratch_;
+  mutable std::vector<int> blocked_prefix_scratch_;
+  /// Per-left-position window base starts (-1 = window blocked), filled
+  /// by the constrained search's first pass so the single power probe and
+  /// the leftmost tie-break run without re-walking the skyline.
+  mutable std::vector<std::int64_t> window_base_;
 };
 
 }  // namespace wtam::pack

@@ -184,6 +184,47 @@ TEST(Skyline, PowerRejectionAtExactlyAtBudgetBoundaries) {
   EXPECT_EQ(spot->start, 10);
 }
 
+TEST(Skyline, PrecomputedBlockedPrefixMatchesRebuiltMask) {
+  // A caller-provided prefix mask (rectpack's ConstraintPlan path) must
+  // answer exactly like the query that rebuilds the mask from window +
+  // forbidden, on a non-flat skyline.
+  Skyline sky(8);
+  sky.place(0, 3, 7);
+  sky.place(5, 2, 4);
+
+  Skyline::SpotQuery rebuilt;
+  rebuilt.width = 2;
+  rebuilt.duration = 10;
+  rebuilt.window = {1, 8};
+  const std::vector<core::WireInterval> forbidden = {{3, 5}};
+  rebuilt.forbidden = &forbidden;
+
+  // blocked wires: 0 (window), 3, 4 (forbidden) -> prefix counts.
+  std::vector<int> prefix(9, 0);
+  const std::vector<int> blocked = {1, 0, 0, 1, 1, 0, 0, 0};
+  for (int w = 0; w < 8; ++w)
+    prefix[static_cast<std::size_t>(w) + 1] =
+        prefix[static_cast<std::size_t>(w)] + blocked[static_cast<std::size_t>(w)];
+  Skyline::SpotQuery precomputed = rebuilt;
+  precomputed.blocked_prefix = &prefix;
+
+  const auto a = sky.best_spot(rebuilt);
+  const auto b = sky.best_spot(precomputed);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->wire, b->wire);
+  EXPECT_EQ(a->start, b->start);
+  // Wires {1, 2} are free at 7, {5, 6, 7} at 4: the lower window wins.
+  EXPECT_EQ(a->wire, 5);
+  EXPECT_EQ(a->start, 4);
+
+  // A mask of the wrong size is a caller bug, reported loudly.
+  std::vector<int> short_mask(3, 0);
+  Skyline::SpotQuery bad = rebuilt;
+  bad.blocked_prefix = &short_mask;
+  EXPECT_THROW((void)sky.best_spot(bad), std::invalid_argument);
+}
+
 TEST(Skyline, ClearResetsPowerTimelineToo) {
   Skyline sky(4);
   sky.place(0, 4, 0, 10, 5);

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate for the constrained bench_backends section (ISSUE-10).
+
+Reads BENCH_backends.json and fails when any constrained point regressed
+past a generous per-point wall-clock ceiling, or produced an invalid
+schedule. The ceiling is deliberately loose — CI runners are noisy, so
+this is a cliff detector (the 10x constrained-vs-unconstrained gap the
+incremental power timeline removed), not a tight perf pin; the JSON is
+uploaded as an artifact so humans can track the actual trend.
+
+Usage: check_bench_constrained.py BENCH_backends.json [--max-cpu-s 2.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", type=Path, help="BENCH_backends.json")
+    parser.add_argument(
+        "--max-cpu-s",
+        type=float,
+        default=2.5,
+        help="per-point CPU ceiling in seconds (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    document = json.loads(args.json_path.read_text())
+    constrained = document.get("constrained")
+    if not constrained:
+        print("FAIL: no 'constrained' section in", args.json_path)
+        return 1
+
+    failures = []
+    for point in constrained:
+        label = "{soc}/{backend}/{variant}".format(**point)
+        cpu_s = float(point["cpu_s"])
+        line = f"  {label:45s} cpu {cpu_s:8.3f}s  T={point['testing_time']}"
+        if not point.get("schedule_valid", False):
+            failures.append(f"{label}: schedule_valid is false")
+            line += "  INVALID"
+        if cpu_s > args.max_cpu_s:
+            failures.append(
+                f"{label}: cpu {cpu_s:.3f}s exceeds the "
+                f"{args.max_cpu_s:.1f}s ceiling"
+            )
+            line += "  OVER CEILING"
+        print(line)
+
+    if failures:
+        print(f"FAIL: {len(failures)} constrained point(s) out of bounds:")
+        for failure in failures:
+            print("  -", failure)
+        return 1
+    print(
+        f"OK: {len(constrained)} constrained points within the "
+        f"{args.max_cpu_s:.1f}s ceiling"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+// Fixture: a PowerTimeline-shaped structure (src/core/power.hpp) that
+// narrates its coalescing to stdout — library code must stay silent so
+// the packers' hot path and the NDJSON serving tier own their streams.
+// Must trigger exactly the library-io rule. (Never compiled; scanned by
+// wtam_lint --self-test.)
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+namespace fixture {
+
+class ChattyTimeline {
+ public:
+  void add(std::int64_t start, std::int64_t end, std::int64_t load) {
+    points_.push_back({start, load});
+    points_.push_back({end, 0});
+    std::cout << "timeline now has " << points_.size() << " breakpoints\n";
+  }
+
+ private:
+  struct Breakpoint {
+    std::int64_t time = 0;
+    std::int64_t load = 0;
+  };
+  std::vector<Breakpoint> points_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: a PowerTimeline-shaped structure (src/core/power.hpp) that
+// breaks earliest-fit ties with std::rand() — the constrained packers'
+// golden testing times pin byte-identical probes, so any
+// implementation-defined randomness here is a determinism bug. Must
+// trigger exactly the nondeterminism rule. (Never compiled; scanned by
+// wtam_lint --self-test.)
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+class JitteredTimeline {
+ public:
+  std::int64_t earliest_fit(std::int64_t from) const {
+    for (const auto& point : points_)
+      if (point.time >= from && point.load == 0)
+        return point.time + std::rand() % 2;
+    return from;
+  }
+
+ private:
+  struct Breakpoint {
+    std::int64_t time = 0;
+    std::int64_t load = 0;
+  };
+  std::vector<Breakpoint> points_;
+};
+
+}  // namespace fixture

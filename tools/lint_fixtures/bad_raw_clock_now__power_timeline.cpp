@@ -1,0 +1,28 @@
+// Fixture: a PowerTimeline-shaped structure (src/core/power.hpp) whose
+// add() timestamps breakpoints off the raw monotonic clock instead of
+// the caller-supplied cycle times — exactly the nondeterministic clock
+// read the timeline's determinism pins forbid. Must trigger exactly the
+// raw-clock-now rule. (Never compiled; scanned by wtam_lint --self-test.)
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class StampedTimeline {
+ public:
+  void add(std::int64_t load) {
+    const auto now = std::chrono::steady_clock::now();
+    points_.push_back({now.time_since_epoch().count(), load});
+  }
+
+ private:
+  struct Breakpoint {
+    std::int64_t time = 0;
+    std::int64_t load = 0;
+  };
+  std::vector<Breakpoint> points_;
+};
+
+}  // namespace fixture

@@ -49,7 +49,8 @@ Usage:
     wtam_lint.py --root /path/to/repo [--self-test]
 
 --self-test first checks the deliberately-bad fixtures under
-tools/lint_fixtures/ (each bad_<rule>.cpp must trigger exactly its rule;
+tools/lint_fixtures/ (each bad_<rule>.cpp — or bad_<rule>__<variant>.cpp
+for extra shapes of the same rule — must trigger exactly its rule;
 good_*.cpp must be clean), proving the rules still fire, then scans the
 tree. Exit status: 0 clean, 1 findings or fixture mismatch, 2 usage.
 """
@@ -276,7 +277,11 @@ def run_self_test(root):
         found_rules = {finding[2]
                        for finding in lint_file(path, rel, lines, {"src"})}
         if path.stem.startswith("bad_"):
-            expected = path.stem[len("bad_"):].replace("_", "-")
+            # bad_<rule>.cpp, or bad_<rule>__<variant>.cpp for extra
+            # fixtures exercising the same rule on different code shapes.
+            expected = (path.stem[len("bad_"):]
+                        .split("__", 1)[0]
+                        .replace("_", "-"))
             if expected not in found_rules:
                 problems.append(
                     f"{rel}: expected rule '{expected}' did not fire")
